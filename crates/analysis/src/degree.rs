@@ -1,0 +1,225 @@
+//! Counter-ambiguity *degree* beyond 2 (Definition 3.1, general case).
+//!
+//! §3.1 notes that a state q has `degree(q) ≥ d` iff the d-fold product
+//! `Gᵈ` of the token transition system reaches a tuple
+//! `⟨(q,β₁),…,(q,β_d)⟩` with pairwise-distinct valuations. The binary case
+//! (d = 2) is the counter-ambiguity check of [`crate::analyze_nca`]; this
+//! module explores `Gᵈ` lazily for arbitrary small d — the tool the paper
+//! uses conceptually to justify sizing bit vectors at the full range
+//! `M` of counter values (a state of `Σ*σ{n}` has degree exactly n).
+
+use crate::stats::AnalysisStats;
+use recama_nca::{Nca, Prepared, StateId, Token};
+use recama_syntax::ByteClass;
+use std::collections::{HashSet, VecDeque};
+use std::time::Instant;
+
+/// Result of a degree query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegreeAnalysis {
+    /// The queried state.
+    pub state: StateId,
+    /// The queried degree d.
+    pub degree: usize,
+    /// `Some(true)`: a witness tuple was reached; `Some(false)`: the full
+    /// d-fold product was exhausted without one; `None`: budget exceeded.
+    pub reached: Option<bool>,
+    /// Exploration statistics (pairs = tuples here).
+    pub stats: AnalysisStats,
+}
+
+/// Decides whether `degree(state) ≥ d` by lazy BFS over sorted d-tuples of
+/// tokens (the canonical representatives of `Gᵈ` modulo permutation).
+///
+/// # Panics
+///
+/// Panics if `d == 0`.
+pub fn degree_at_least(nca: &Nca, state: StateId, d: usize, max_tuples: u64) -> DegreeAnalysis {
+    assert!(d >= 1, "degree queries start at 1");
+    let start_time = Instant::now();
+    let prepared = Prepared::new(nca);
+    let mut stats = AnalysisStats { explorations: 1, ..Default::default() };
+
+    let init: Vec<Token> = vec![Token::initial(); d];
+    let mut visited: HashSet<Vec<Token>> = HashSet::new();
+    let mut queue: VecDeque<Vec<Token>> = VecDeque::new();
+    visited.insert(init.clone());
+    stats.pairs_created += 1;
+    queue.push_back(init);
+
+    let witnesses = |tuple: &[Token]| -> bool {
+        tuple.iter().all(|t| t.state == state)
+            && (0..tuple.len()).all(|i| (i + 1..tuple.len()).all(|j| tuple[i].values != tuple[j].values))
+    };
+
+    // Degree ≥ 1 just asks for reachability of the state.
+    let mut reached = Some(false);
+    'bfs: while let Some(tuple) = queue.pop_front() {
+        if witnesses(&tuple) {
+            reached = Some(true);
+            break;
+        }
+        // Successor tuples: product of the component successor lists with a
+        // nonempty intersection of the symbol classes.
+        let succs: Vec<Vec<(ByteClass, Token)>> = tuple
+            .iter()
+            .map(|t| {
+                let mut v = Vec::new();
+                prepared.for_each_symbolic_successor(t, |_, class, tok| v.push((*class, tok)));
+                v
+            })
+            .collect();
+        let mut choice = vec![0usize; d];
+        'combos: loop {
+            // Evaluate the current combination.
+            let mut class = ByteClass::ANY;
+            let mut next: Vec<Token> = Vec::with_capacity(d);
+            let mut ok = true;
+            for (k, options) in succs.iter().enumerate() {
+                match options.get(choice[k]) {
+                    Some((c, t)) => {
+                        class = class.intersect(c);
+                        if class.is_empty() {
+                            ok = false;
+                        }
+                        next.push(t.clone());
+                    }
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            stats.edges_traversed += 1;
+            if ok && !class.is_empty() {
+                next.sort();
+                if visited.insert(next.clone()) {
+                    stats.pairs_created += 1;
+                    if witnesses(&next) {
+                        reached = Some(true);
+                        break 'bfs;
+                    }
+                    if stats.pairs_created >= max_tuples {
+                        reached = None;
+                        stats.budget_exhausted = true;
+                        break 'bfs;
+                    }
+                    queue.push_back(next);
+                }
+            }
+            // Advance the mixed-radix counter over successor choices.
+            let mut k = 0;
+            loop {
+                if k == d {
+                    break 'combos;
+                }
+                choice[k] += 1;
+                if choice[k] < succs[k].len() {
+                    break;
+                }
+                choice[k] = 0;
+                k += 1;
+            }
+        }
+    }
+    stats.duration = start_time.elapsed();
+    DegreeAnalysis { state, degree: d, reached, stats }
+}
+
+/// The exact degree of `state`, up to `cap`: the largest d ≤ cap with
+/// `degree ≥ d` (0 = unreachable). `None` if any query blew the budget.
+pub fn degree(nca: &Nca, state: StateId, cap: usize, max_tuples: u64) -> Option<usize> {
+    let mut best = 0;
+    for d in 1..=cap {
+        match degree_at_least(nca, state, d, max_tuples).reached {
+            Some(true) => best = d,
+            Some(false) => return Some(best),
+            None => return None,
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recama_syntax::parse;
+
+    fn nca(p: &str) -> Nca {
+        Nca::from_regex(&parse(p).unwrap().regex)
+    }
+
+    fn counted_state(a: &Nca) -> StateId {
+        (0..a.state_count())
+            .map(|i| StateId(i as u32))
+            .find(|&q| !a.state(q).is_pure())
+            .expect("counted state")
+    }
+
+    const BUDGET: u64 = 300_000;
+
+    #[test]
+    fn sigma_star_counting_has_degree_n() {
+        // Σ*a{n}: the counting state can hold tokens 1..n simultaneously.
+        let a = nca(".*a{4}");
+        let q = counted_state(&a);
+        assert_eq!(degree(&a, q, 6, BUDGET), Some(4));
+    }
+
+    #[test]
+    fn anchored_counting_has_degree_one() {
+        let a = nca("a{5}b");
+        let q = counted_state(&a);
+        assert_eq!(degree(&a, q, 3, BUDGET), Some(1));
+    }
+
+    #[test]
+    fn unreachable_state_has_degree_zero() {
+        // Build an automaton where a branch is unreachable by predicate:
+        // alternation arm behind an empty-intersection is still reachable
+        // here, so test q0-reachability semantics instead: q0 always
+        // reachable with one token (degree 1).
+        let a = nca("ab");
+        let r = degree_at_least(&a, StateId::INIT, 1, BUDGET);
+        assert_eq!(r.reached, Some(true));
+        let r = degree_at_least(&a, StateId::INIT, 2, BUDGET);
+        assert_eq!(r.reached, Some(false), "q0 is pure: only one token fits");
+    }
+
+    #[test]
+    fn degree_2_matches_ambiguity_analysis() {
+        for p in [".*a{3}", "a{3}b", ".*[^a]a{3}", ".*a[ab]{2}b"] {
+            let a = nca(p);
+            let analysis = crate::analyze_nca(&a, &crate::ExactConfig::default());
+            for i in 0..a.state_count() {
+                let q = StateId(i as u32);
+                if a.state(q).is_pure() {
+                    continue;
+                }
+                let deg2 = degree_at_least(&a, q, 2, BUDGET);
+                assert_eq!(
+                    deg2.reached,
+                    Some(analysis.ambiguous_states[i]),
+                    "{p}: state {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn budget_reports_none() {
+        let a = nca(".*a{64}");
+        let q = counted_state(&a);
+        let r = degree_at_least(&a, q, 3, 5);
+        assert_eq!(r.reached, None);
+        assert!(r.stats.budget_exhausted);
+    }
+
+    #[test]
+    fn bounded_window_limits_degree() {
+        // Σ*[^a]a{n}: runs are unique → degree 1 despite Σ* prefix.
+        let a = nca(".*[^a]a{6}");
+        let q = counted_state(&a);
+        assert_eq!(degree(&a, q, 3, BUDGET), Some(1));
+    }
+}

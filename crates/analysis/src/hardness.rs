@@ -1,0 +1,107 @@
+//! The NP-hardness construction of Lemma 3.3: a polynomial-time reduction
+//! from SUBSET-SUM to counter-ambiguity checking.
+//!
+//! For a set `S = {n₁,…,nₘ}` and target `T`, the regex
+//!
+//! ```text
+//! ( (a{n₁}+ε)···(a{nₘ}+ε)#b  +  a{T}#bb ) b{2}
+//! ```
+//!
+//! has a counter-ambiguous rightmost occurrence `b{2}` iff some subset of
+//! `S` sums to `T`: on input `aᵀ#bbb`, the left branch (when a subset
+//! exists) and the right branch put tokens with counter values 2 and 1 on
+//! the `b{2}` states.
+
+use recama_syntax::{Regex, RepeatId};
+
+/// Builds the reduction regex for subset-sum instance `(set, target)`.
+///
+/// # Panics
+///
+/// Panics when `set` is empty or any element / the target is 0 (degenerate
+/// instances the reduction does not need).
+pub fn subset_sum_regex(set: &[u32], target: u32) -> Regex {
+    assert!(!set.is_empty(), "subset-sum instance needs at least one element");
+    assert!(set.iter().all(|&n| n > 0), "subset-sum elements must be positive");
+    assert!(target > 0, "subset-sum target must be positive");
+    let a = Regex::byte(b'a');
+    let hash = Regex::byte(b'#');
+    let b = Regex::byte(b'b');
+
+    let mut left_parts: Vec<Regex> = set
+        .iter()
+        .map(|&n| Regex::opt(Regex::repeat(a.clone(), n, Some(n))))
+        .collect();
+    left_parts.push(hash.clone());
+    left_parts.push(b.clone());
+    let left = Regex::concat(left_parts);
+
+    let right = Regex::concat(vec![
+        Regex::repeat(a.clone(), target, Some(target)),
+        hash,
+        b.clone(),
+        b.clone(),
+    ]);
+
+    Regex::concat(vec![Regex::alt(vec![left, right]), Regex::repeat(b, 2, Some(2))])
+}
+
+/// The occurrence id of the rightmost `b{2}` in [`subset_sum_regex`]'s
+/// output: after the m set occurrences and the `a{T}`.
+pub fn target_occurrence(set_len: usize) -> RepeatId {
+    RepeatId(set_len + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_occurrence, CheckConfig, Method, Verdict};
+
+    fn solve(set: &[u32], target: u32) -> Verdict {
+        let r = subset_sum_regex(set, target);
+        check_occurrence(&r, target_occurrence(set.len()), Method::Exact, &CheckConfig::default())
+            .verdict
+    }
+
+    #[test]
+    fn regex_shape() {
+        let r = subset_sum_regex(&[2, 3], 5);
+        assert_eq!(r.to_string(), "((a{2})?(a{3})?#b|a{5}#bb)b{2}");
+        assert_eq!(r.repeats().len(), 4);
+        assert_eq!(target_occurrence(2), RepeatId(3));
+        let infos = r.repeats();
+        assert_eq!((infos[3].min, infos[3].max), (2, Some(2)));
+    }
+
+    #[test]
+    fn solvable_instances_are_ambiguous() {
+        // 2 + 3 = 5 ✓
+        assert_eq!(solve(&[2, 3], 5), Verdict::Ambiguous);
+        // 3 alone ✓
+        assert_eq!(solve(&[2, 3], 3), Verdict::Ambiguous);
+        // 2 + 5 = 7 ✓
+        assert_eq!(solve(&[2, 5, 9], 7), Verdict::Ambiguous);
+    }
+
+    #[test]
+    fn unsolvable_instances_are_unambiguous() {
+        // sums reachable from {2,3}: 2, 3, 5 — not 4.
+        assert_eq!(solve(&[2, 3], 4), Verdict::Unambiguous);
+        // sums from {2,5,9}: 2,5,7,9,11,14,16 — not 8.
+        assert_eq!(solve(&[2, 5, 9], 8), Verdict::Unambiguous);
+    }
+
+    #[test]
+    fn other_occurrences_do_not_confuse_the_target() {
+        // The a{nᵢ} occurrences themselves may be ambiguous; the reduction
+        // only cares about b{2}.
+        let r = subset_sum_regex(&[2, 2], 4);
+        let res = check_occurrence(
+            &r,
+            target_occurrence(2),
+            Method::Exact,
+            &CheckConfig::default(),
+        );
+        assert_eq!(res.verdict, Verdict::Ambiguous); // 2+2=4
+    }
+}

@@ -1,0 +1,52 @@
+//! Criterion bench: the static-analysis variants (Fig. 2/3 time axis) on
+//! representative regex families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId as CritId, Criterion};
+use recama::analysis::{check, CheckConfig, Method};
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_variants");
+    group.sample_size(20);
+    let cfg = CheckConfig::default();
+    let cases = [
+        ("ambiguous_sigma_star", ".*a{64}".to_string()),
+        ("anchored_unambiguous", "^a[bc]{64}d".to_string()),
+        ("expensive_two_branch", ".*([^ac][ac]{64}|[^bc][bc]{64})".to_string()),
+        ("nested", "(ab{2,5}c){2,4}".to_string()),
+    ];
+    for (name, pattern) in &cases {
+        let regex = recama::syntax::parse(pattern).unwrap().regex;
+        for (method, tag) in [
+            (Method::Exact, "exact"),
+            (Method::Approximate, "approx"),
+            (Method::Hybrid, "hybrid"),
+            (Method::HybridWitness, "hybrid_witness"),
+        ] {
+            group.bench_with_input(
+                CritId::new(format!("{name}/{tag}"), pattern.len()),
+                &regex,
+                |b, r| b.iter(|| check(r, method, &cfg)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_mu_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_mu_scaling");
+    group.sample_size(15);
+    for n in [16u32, 32, 64, 128] {
+        let pattern = format!(".*([^ac][ac]{{{n}}}|[^bc][bc]{{{n}}})");
+        let regex = recama::syntax::parse(&pattern).unwrap().regex;
+        group.bench_with_input(CritId::new("exact", n), &regex, |b, r| {
+            b.iter(|| check(r, Method::Exact, &CheckConfig::default()))
+        });
+        group.bench_with_input(CritId::new("hybrid", n), &regex, |b, r| {
+            b.iter(|| check(r, Method::Hybrid, &CheckConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_mu_scaling);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench: software execution engines — the reference token-set
+//! semantics vs the compiled counter/bit-vector engine vs the unfolded
+//! bitset NFA, on the same pattern and input.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use recama::nca::{
+    unfold, CompiledEngine, Engine, Nca, NfaEngine, TokenSetEngine, UnfoldPolicy,
+};
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("software_engines");
+    group.sample_size(20);
+    let pattern = recama::syntax::parse("x[ab]{1,100}y").unwrap().for_stream();
+    let nca = Nca::from_regex(&pattern);
+    let unfolded_nca = Nca::from_regex(&unfold(&pattern, UnfoldPolicy::All));
+    // Input with plenty of counting activity.
+    let input: Vec<u8> = (0..8192u32)
+        .map(|i| match i % 37 {
+            0 => b'x',
+            36 => b'y',
+            k if k % 2 == 0 => b'a',
+            _ => b'b',
+        })
+        .collect();
+    group.throughput(Throughput::Bytes(input.len() as u64));
+    group.bench_function("token_set_reference", |b| {
+        let mut e = TokenSetEngine::new(&nca);
+        b.iter(|| e.match_ends(&input).len())
+    });
+    group.bench_function("compiled_bitvector", |b| {
+        let mut e = CompiledEngine::conservative(&nca);
+        b.iter(|| e.match_ends(&input).len())
+    });
+    group.bench_function("unfolded_bitset_nfa", |b| {
+        let mut e = NfaEngine::new(&unfolded_nca);
+        b.iter(|| e.match_ends(&input).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench: the Fig. 10 application pipeline — ruleset compilation,
+//! placement, and traffic simulation at a small scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId as CritId, Criterion, Throughput};
+use recama::compiler::{compile_ruleset, CompileOptions};
+use recama::hw::{place, HwSimulator};
+use recama::nca::UnfoldPolicy;
+use recama::workloads::{generate, traffic, BenchmarkId};
+
+fn bench_ruleset_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ruleset_compile");
+    group.sample_size(10);
+    for id in [BenchmarkId::Snort, BenchmarkId::Protomata] {
+        let ruleset = generate(id, 0.005, 2022);
+        let patterns = ruleset.pattern_strings();
+        group.bench_with_input(CritId::new("augmented", id.name()), &patterns, |b, p| {
+            b.iter(|| compile_ruleset(p, &CompileOptions::default()).network.node_count())
+        });
+        group.bench_with_input(CritId::new("unfold_all", id.name()), &patterns, |b, p| {
+            b.iter(|| {
+                compile_ruleset(
+                    p,
+                    &CompileOptions { unfold: UnfoldPolicy::All, ..Default::default() },
+                )
+                .network
+                .node_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_placement_and_traffic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement_and_traffic");
+    group.sample_size(10);
+    let ruleset = generate(BenchmarkId::Snort, 0.005, 2022);
+    let patterns = ruleset.pattern_strings();
+    let out = compile_ruleset(&patterns, &CompileOptions::default());
+    group.bench_function("place_snort_0.5pct", |b| {
+        b.iter(|| place(&out.network).pe_count)
+    });
+    let input = traffic(&ruleset, 8192, 0.0005, 7);
+    group.throughput(Throughput::Bytes(input.len() as u64));
+    group.bench_function("simulate_snort_traffic", |b| {
+        let mut sim = HwSimulator::new(&out.network);
+        b.iter(|| sim.match_ends(&input).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ruleset_compile, bench_placement_and_traffic);
+criterion_main!(benches);

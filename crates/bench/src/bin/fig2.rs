@@ -1,0 +1,62 @@
+//! Fig. 2: static-analysis running time (a) and created token pairs (b)
+//! as functions of μ(r), for the 5 benchmarks × 4 analysis variants
+//! (E = exact, A = approximate, H = hybrid, HW = hybrid + witness).
+//!
+//! Emits one line per (benchmark, variant, regex): `mu time_ms pairs` —
+//! the scatter points of the 5×4 grid — plus per-variant totals on stderr.
+//!
+//! ```sh
+//! RECAMA_SCALE=0.02 cargo run --release -p recama-bench --bin fig2
+//! ```
+
+use recama::analysis::{CheckConfig, Method};
+use recama::workloads::{generate, BenchmarkId};
+use recama_bench::{analyze_patterns, banner, ms, scale, seed};
+
+fn main() {
+    let scale = scale();
+    banner(&format!("Fig. 2: static analysis cost vs mu(r)  (scale {scale})"));
+    let variants = [
+        (Method::Exact, "E"),
+        (Method::Approximate, "A"),
+        (Method::Hybrid, "H"),
+        (Method::HybridWitness, "HW"),
+    ];
+    println!("{:<12} {:>3} {:>8} {:>12} {:>12}", "benchmark", "var", "mu", "time_ms", "pairs");
+    for id in BenchmarkId::ALL {
+        let ruleset = generate(id, scale, seed());
+        let patterns: Vec<String> = ruleset
+            .pattern_strings()
+            .into_iter()
+            .filter(|p| {
+                recama::syntax::parse(p).map(|x| x.regex.has_counting()).unwrap_or(false)
+            })
+            .collect();
+        for (method, tag) in variants {
+            let results = analyze_patterns(&patterns, method, &CheckConfig::default());
+            let mut total_ms = 0.0;
+            let mut total_pairs = 0u64;
+            for r in &results {
+                let Some(c) = &r.check else { continue };
+                println!(
+                    "{:<12} {:>3} {:>8} {:>12.3} {:>12}",
+                    id.name(),
+                    tag,
+                    r.mu,
+                    ms(r.time),
+                    c.stats.pairs_created
+                );
+                total_ms += ms(r.time);
+                total_pairs += c.stats.pairs_created;
+            }
+            eprintln!(
+                "# {} {}: {} regexes, {:.1} ms total, {} pairs total",
+                id.name(),
+                tag,
+                results.len(),
+                total_ms,
+                total_pairs
+            );
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Fig. 3: per-regex running-time comparison of the exact and hybrid
+//! analyses on the Snort and Suricata rulesets. The points far below the
+//! diagonal are the `Σ*(σ̄₁σ₁{m}+σ̄₂σ₂{n}+···)` family, where the paper
+//! reports >100× speedups.
+//!
+//! ```sh
+//! RECAMA_SCALE=0.02 cargo run --release -p recama-bench --bin fig3
+//! ```
+
+use recama::analysis::{CheckConfig, Method};
+use recama::workloads::{generate, BenchmarkId};
+use recama_bench::{analyze_patterns, banner, ms, scale, seed};
+
+fn main() {
+    let scale = scale();
+    banner(&format!("Fig. 3: exact vs hybrid analysis time, Snort + Suricata (scale {scale})"));
+    println!("{:<10} {:>8} {:>12} {:>12} {:>9}", "benchmark", "mu", "exact_ms", "hybrid_ms", "speedup");
+    for id in [BenchmarkId::Snort, BenchmarkId::Suricata] {
+        let ruleset = generate(id, scale, seed());
+        let patterns: Vec<String> = ruleset
+            .pattern_strings()
+            .into_iter()
+            .filter(|p| {
+                recama::syntax::parse(p).map(|x| x.regex.has_counting()).unwrap_or(false)
+            })
+            .collect();
+        let exact = analyze_patterns(&patterns, Method::Exact, &CheckConfig::default());
+        let hybrid = analyze_patterns(&patterns, Method::Hybrid, &CheckConfig::default());
+        let mut best_speedup: f64 = 0.0;
+        let mut over_10x = 0usize;
+        for (e, h) in exact.iter().zip(&hybrid) {
+            let (e_ms, h_ms) = (ms(e.time), ms(h.time));
+            let speedup = if h_ms > 0.0 { e_ms / h_ms } else { 1.0 };
+            println!(
+                "{:<10} {:>8} {:>12.3} {:>12.3} {:>8.1}x",
+                id.name(),
+                e.mu,
+                e_ms,
+                h_ms,
+                speedup
+            );
+            best_speedup = best_speedup.max(speedup);
+            if speedup >= 10.0 {
+                over_10x += 1;
+            }
+        }
+        eprintln!(
+            "# {}: {} counting regexes; best hybrid speedup {:.0}x; {} regexes sped up >=10x",
+            id.name(),
+            patterns.len(),
+            best_speedup,
+            over_10x
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Fig. 8: micro-benchmark — energy and area trade-off of unfolding vs the
+//! counter module (`a{n}`, counter-unambiguous when anchored) and vs the
+//! bit-vector module (`Σ*a{n}`, counter-ambiguous), sweeping n on a log
+//! grid. Area uses the pro-rata accounting (the paper provisions a
+//! length-n vector per data point).
+//!
+//! ```sh
+//! cargo run --release -p recama-bench --bin fig8
+//! ```
+
+use recama::compiler::{compile, CompileOptions};
+use recama::hw::{run, AreaGranularity};
+use recama::nca::UnfoldPolicy;
+use recama_bench::banner;
+
+fn main() {
+    banner("Fig. 8: unfolding vs counter (left) and vs bit vector (right)");
+    let input: Vec<u8> = std::iter::repeat_n(b'a', 4096).collect();
+    let ns = [8u32, 16, 32, 64, 128, 256, 512, 1000, 1500, 2000];
+
+    println!(
+        "{:>6} | {:>13} {:>13} {:>11} {:>11} | {:>13} {:>13} {:>11} {:>11}",
+        "n",
+        "cnt nJ/B",
+        "unf nJ/B",
+        "cnt mm2",
+        "unf mm2",
+        "bv nJ/B",
+        "unf nJ/B",
+        "bv mm2",
+        "unf mm2"
+    );
+    for n in ns {
+        // Left: a{n} anchored — counter module vs unfolding.
+        let counter_pat = recama::syntax::parse(&format!("^a{{{n}}}")).unwrap().for_stream();
+        let counter = run(
+            &compile(&counter_pat, &CompileOptions::default()).network,
+            &input,
+            AreaGranularity::ProRata,
+        );
+        let counter_unf = run(
+            &compile(
+                &counter_pat,
+                &CompileOptions { unfold: UnfoldPolicy::All, ..Default::default() },
+            )
+            .network,
+            &input,
+            AreaGranularity::ProRata,
+        );
+        // Right: Σ*a{n} — bit vector vs unfolding.
+        let bv_pat = recama::syntax::parse(&format!("a{{{n}}}")).unwrap().for_stream();
+        let bv = run(
+            &compile(&bv_pat, &CompileOptions::default()).network,
+            &input,
+            AreaGranularity::ProRata,
+        );
+        let bv_unf = run(
+            &compile(&bv_pat, &CompileOptions { unfold: UnfoldPolicy::All, ..Default::default() })
+                .network,
+            &input,
+            AreaGranularity::ProRata,
+        );
+        println!(
+            "{:>6} | {:>13.6} {:>13.6} {:>11.6} {:>11.6} | {:>13.6} {:>13.6} {:>11.6} {:>11.6}",
+            n,
+            counter.energy.nj_per_byte(),
+            counter_unf.energy.nj_per_byte(),
+            counter.area.total_mm2(),
+            counter_unf.area.total_mm2(),
+            bv.energy.nj_per_byte(),
+            bv_unf.energy.nj_per_byte(),
+            bv.area.total_mm2(),
+            bv_unf.area.total_mm2()
+        );
+    }
+    println!("\n(axes are log-scaled in the paper; counter/bit vector win by orders of");
+    println!(" magnitude in energy at large n, and by large margins in area)");
+}

@@ -1,0 +1,48 @@
+//! Table 1: regex statistics per benchmark ruleset — total, supported,
+//! counting, counter-ambiguous — measured by actually parsing and analyzing
+//! the synthetic rulesets, next to the paper's published numbers.
+//!
+//! ```sh
+//! RECAMA_SCALE=0.05 cargo run --release -p recama-bench --bin table1
+//! ```
+
+use recama::analysis::{CheckConfig, Method};
+use recama::workloads::{generate, paper_table1, BenchmarkId};
+use recama_bench::{analyze_patterns, banner, scale, seed};
+
+fn main() {
+    let scale = scale();
+    banner(&format!(
+        "Table 1: analysis of regexes in the benchmarks (synthetic rulesets, scale {scale})"
+    ));
+    println!(
+        "{:<14} {:>8} {:>11} {:>10} {:>13}   paper row (full scale)",
+        "Benchmark", "# total", "# supported", "# counting", "# c-ambiguous"
+    );
+    for id in BenchmarkId::ALL {
+        let ruleset = generate(id, scale, seed());
+        let patterns = ruleset.pattern_strings();
+        let results = analyze_patterns(&patterns, Method::Hybrid, &CheckConfig::default());
+        let total = results.len();
+        let supported = results.iter().filter(|r| r.check.is_some()).count();
+        let counting = results.iter().filter(|r| r.counting).count();
+        let ambiguous = results
+            .iter()
+            .filter(|r| r.check.as_ref().is_some_and(|c| c.ambiguous == Some(true)))
+            .count();
+        let p = paper_table1(id);
+        println!(
+            "{:<14} {:>8} {:>11} {:>10} {:>13}   paper: {}/{}/{}/{}",
+            id.name(),
+            total,
+            supported,
+            counting,
+            ambiguous,
+            p.total,
+            p.supported,
+            p.counting,
+            p.ambiguous
+        );
+    }
+    println!("\n(Classification measured with the hybrid checker on the streaming form Σ*r.)");
+}

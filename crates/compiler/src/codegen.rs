@@ -1,0 +1,378 @@
+//! NCA → MNRL code generation.
+//!
+//! Every position state becomes an STE; every surviving counter becomes a
+//! counter or bit-vector module wired through the port discipline of
+//! Figs. 6–7:
+//!
+//! * entry edges `p → first(body)` stay direct STE connections, and `p`
+//!   additionally drives the module's `pre` port (the module resets when
+//!   `pre` was active and `fst` fires);
+//! * loop edges `last(body) → first(body)` are *replaced* by the module's
+//!   `en_fst` (counter) / `en_body` (bit vector) output;
+//! * exit edges `last(body) → q` are replaced by the module's `en_out`;
+//! * body STEs feed the module's `fst`/`lst` (counter) or `body`
+//!   (bit vector) inputs;
+//! * a finalization predicate over the counter turns into `report` on the
+//!   module (its `en_out` condition *is* the acceptance test).
+//!
+//! Precondition (established by the pipeline's nesting resolution): every
+//! transition touches at most one surviving counter, i.e. modules are never
+//! nested.
+
+use crate::pipeline::ModuleKind;
+use recama_mnrl::{Connection, Enable, MnrlNetwork, Node, NodeKind, Port};
+use recama_nca::{ActionOp, CounterId, GuardAtom, Nca, StateId, Transition};
+use std::collections::HashSet;
+
+fn ste_id(q: StateId) -> String {
+    format!("s{}", q.0)
+}
+
+fn module_id(c: CounterId) -> String {
+    format!("m{}", c.0)
+}
+
+/// Facts about one transition relative to the module counters.
+struct EdgeShape {
+    /// Counter entered (`x := 1` action), if any.
+    entered: Option<CounterId>,
+    /// Counter incremented (loop edge), if any.
+    looped: Option<CounterId>,
+    /// Counter tested by an exit guard (without being incremented), if any.
+    exited: Option<CounterId>,
+}
+
+fn classify(t: &Transition) -> EdgeShape {
+    let mut entered = None;
+    let mut looped = None;
+    for op in &t.actions {
+        match op {
+            ActionOp::Set(c, v) => {
+                debug_assert_eq!(*v, 1, "entry actions set counters to 1");
+                debug_assert!(entered.is_none(), "multiple entries per edge (nested modules?)");
+                entered = Some(*c);
+            }
+            ActionOp::Inc(c) | ActionOp::IncSat(c, _) => {
+                debug_assert!(looped.is_none(), "multiple loops per edge (nested modules?)");
+                looped = Some(*c);
+            }
+        }
+    }
+    let mut exited = None;
+    for atom in &t.guard {
+        let c = atom.counter();
+        if looped == Some(c) {
+            continue; // the `x < n` guard of the loop edge
+        }
+        match atom {
+            GuardAtom::Range(..) | GuardAtom::Ge(..) | GuardAtom::Eq(..) => {
+                debug_assert!(
+                    exited.is_none() || exited == Some(c),
+                    "exit guards over two counters (nested modules?)"
+                );
+                exited = Some(c);
+            }
+            GuardAtom::Lt(..) => {
+                debug_assert!(looped == Some(c), "Lt guard without increment");
+            }
+        }
+    }
+    EdgeShape { entered, looped, exited }
+}
+
+/// Emits the MNRL network for `nca`, realizing counter `k` with
+/// `modules[k]`.
+///
+/// # Panics
+///
+/// Panics if `modules.len() != nca.counters().len()` or if the automaton
+/// violates the no-nested-modules precondition (debug builds).
+pub fn emit(nca: &Nca, modules: &[ModuleKind], id: &str) -> MnrlNetwork {
+    assert_eq!(modules.len(), nca.counters().len(), "one module kind per counter");
+    let mut net = MnrlNetwork::new(id);
+
+    // Shells for STEs (skip q0).
+    struct Shell {
+        enable: Enable,
+        report: bool,
+        connections: HashSet<Connection>,
+    }
+    let mut ste: Vec<Shell> = (0..nca.state_count())
+        .map(|_| Shell {
+            enable: Enable::OnActivateIn,
+            report: false,
+            connections: HashSet::new(),
+        })
+        .collect();
+    let mut module_shell: Vec<Shell> = (0..nca.counters().len())
+        .map(|_| Shell {
+            enable: Enable::OnActivateIn,
+            report: false,
+            connections: HashSet::new(),
+        })
+        .collect();
+
+    // Reports: pure acceptance on the STE; counter-guarded acceptance on
+    // the module.
+    for (qi, state) in nca.states().iter().enumerate().skip(1) {
+        for conj in &state.accepts {
+            if conj.is_empty() {
+                ste[qi].report = true;
+            } else {
+                let c = conj[0].counter();
+                debug_assert!(
+                    conj.iter().all(|a| a.counter() == c),
+                    "acceptance over two counters (nested modules?)"
+                );
+                module_shell[c.index()].report = true;
+                // The accepting state is a `lst` source for the module.
+                module_port_in(&mut ste[qi].connections, StateId(qi as u32), c, modules, true);
+            }
+        }
+    }
+
+    for t in nca.transitions() {
+        let shape = classify(t);
+        let from_q0 = t.from == StateId::INIT;
+        if let Some(c) = shape.entered {
+            if from_q0 {
+                module_shell[c.index()].enable = Enable::OnStartAndActivateIn;
+            } else {
+                ste[t.from.index()].connections.insert(Connection {
+                    from_port: Port::Main,
+                    to: module_id(c),
+                    to_port: Port::Pre,
+                });
+            }
+            // The entry target is a `fst` input of the module.
+            module_port_in(&mut ste[t.to.index()].connections, t.to, c, modules, false);
+        }
+        if let Some(c) = shape.looped {
+            // Loop edges are mediated by the module.
+            let out_port = match modules[c.index()] {
+                ModuleKind::Counter => Port::EnFst,
+                ModuleKind::BitVector => Port::EnBody,
+            };
+            module_shell[c.index()].connections.insert(Connection {
+                from_port: out_port,
+                to: ste_id(t.to),
+                to_port: Port::Main,
+            });
+            // Loop source is `lst`, loop target is `fst`.
+            module_port_in(&mut ste[t.from.index()].connections, t.from, c, modules, true);
+            module_port_in(&mut ste[t.to.index()].connections, t.to, c, modules, false);
+            continue;
+        }
+        if let Some(c) = shape.exited {
+            module_shell[c.index()].connections.insert(Connection {
+                from_port: Port::EnOut,
+                to: ste_id(t.to),
+                to_port: Port::Main,
+            });
+            module_port_in(&mut ste[t.from.index()].connections, t.from, c, modules, true);
+            continue;
+        }
+        // Direct STE→STE activation (includes entry edges).
+        if from_q0 {
+            ste[t.to.index()].enable = Enable::OnStartAndActivateIn;
+        } else {
+            ste[t.from.index()].connections.insert(Connection {
+                from_port: Port::Main,
+                to: ste_id(t.to),
+                to_port: Port::Main,
+            });
+        }
+    }
+
+    for (qi, state) in nca.states().iter().enumerate().skip(1) {
+        let shell = &ste[qi];
+        let mut connections: Vec<Connection> = shell.connections.iter().cloned().collect();
+        connections.sort_by(|a, b| (a.to.clone(), a.to_port.name()).cmp(&(b.to.clone(), b.to_port.name())));
+        net.add_node(Node {
+            id: ste_id(StateId(qi as u32)),
+            kind: NodeKind::State { symbol_set: state.class },
+            enable: shell.enable,
+            report: shell.report,
+            connections,
+        });
+    }
+    for (k, info) in nca.counters().iter().enumerate() {
+        let shell = &module_shell[k];
+        let kind = match modules[k] {
+            ModuleKind::Counter => NodeKind::Counter { min: info.min, max: info.max },
+            ModuleKind::BitVector => {
+                let n = info.max.expect("bit vectors require bounded repetition");
+                NodeKind::BitVector { size: n, lo: info.min, hi: n }
+            }
+        };
+        let mut connections: Vec<Connection> = shell.connections.iter().cloned().collect();
+        connections.sort_by(|a, b| (a.to.clone(), a.to_port.name()).cmp(&(b.to.clone(), b.to_port.name())));
+        net.add_node(Node {
+            id: module_id(CounterId(k as u32)),
+            kind,
+            enable: shell.enable,
+            report: shell.report,
+            connections,
+        });
+    }
+    net
+}
+
+/// Adds the `STE.main → module.{fst|lst|body}` input connection.
+fn module_port_in(
+    connections: &mut HashSet<Connection>,
+    _state: StateId,
+    c: CounterId,
+    modules: &[ModuleKind],
+    is_last: bool,
+) {
+    let to_port = match modules[c.index()] {
+        ModuleKind::BitVector => Port::Body,
+        ModuleKind::Counter => {
+            if is_last {
+                Port::Lst
+            } else {
+                Port::Fst
+            }
+        }
+    };
+    connections.insert(Connection { from_port: Port::Main, to: module_id(c), to_port });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{compile, CompileOptions};
+    use recama_mnrl::NodeKind as NK;
+    use recama_syntax::parse;
+
+    /// Fig. 6: a(bc){m,n}d with a counter module.
+    #[test]
+    fn figure_6_wiring() {
+        let parsed = parse("^a(bc){3,7}d").unwrap();
+        let out = compile(&parsed.for_stream(), &CompileOptions::default());
+        let net = &out.network;
+        assert!(net.validate().is_empty(), "{:?}", net.validate());
+        assert_eq!(out.modules, vec![ModuleKind::Counter]);
+        // Find the module and the STEs by class.
+        let module = net
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.kind, NK::Counter { .. }))
+            .expect("counter module");
+        assert_eq!(module.kind, NK::Counter { min: 3, max: Some(7) });
+        // a drives pre; b is fst (from a's entry and the loop); c is lst.
+        let find_ste = |byte: u8| {
+            net.nodes()
+                .iter()
+                .find(|n| match &n.kind {
+                    NK::State { symbol_set } => {
+                        symbol_set.len() == 1 && symbol_set.contains(byte)
+                    }
+                    _ => false,
+                })
+                .unwrap_or_else(|| panic!("STE for {}", byte as char))
+        };
+        let a = find_ste(b'a');
+        let b = find_ste(b'b');
+        let c = find_ste(b'c');
+        let d = find_ste(b'd');
+        assert!(a.connections.iter().any(|x| x.to == module.id && x.to_port == Port::Pre));
+        assert!(a.connections.iter().any(|x| x.to == b.id && x.to_port == Port::Main));
+        assert!(b.connections.iter().any(|x| x.to == module.id && x.to_port == Port::Fst));
+        assert!(c.connections.iter().any(|x| x.to == module.id && x.to_port == Port::Lst));
+        // Module outputs: en_fst → b, en_out → d.
+        assert!(module
+            .connections
+            .iter()
+            .any(|x| x.from_port == Port::EnFst && x.to == b.id));
+        assert!(module
+            .connections
+            .iter()
+            .any(|x| x.from_port == Port::EnOut && x.to == d.id));
+        // No direct c→b loop connection (the module owns the loop).
+        assert!(!c.connections.iter().any(|x| x.to == b.id));
+        // d reports (end of the pattern).
+        assert!(d.report);
+    }
+
+    /// Fig. 7: [ab]*a[ab]{m,n}b with a bit-vector module.
+    #[test]
+    fn figure_7_wiring() {
+        let parsed = parse("^[ab]*a[ab]{3,5}b").unwrap();
+        let out = compile(&parsed.for_stream(), &CompileOptions::default());
+        let net = &out.network;
+        assert!(net.validate().is_empty(), "{:?}", net.validate());
+        assert_eq!(out.modules, vec![ModuleKind::BitVector]);
+        let bv = net
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.kind, NK::BitVector { .. }))
+            .expect("bit vector module");
+        assert_eq!(bv.kind, NK::BitVector { size: 5, lo: 3, hi: 5 });
+        // The [ab] body STE feeds `body`, en_body loops back to it.
+        let body = net
+            .nodes()
+            .iter()
+            .find(|n| n.connections.iter().any(|c| c.to == bv.id && c.to_port == Port::Body))
+            .expect("body STE");
+        assert!(bv
+            .connections
+            .iter()
+            .any(|c| c.from_port == Port::EnBody && c.to == body.id));
+        assert!(bv.connections.iter().any(|c| c.from_port == Port::EnOut));
+    }
+
+    #[test]
+    fn report_on_module_when_pattern_ends_in_counting() {
+        // Σ*a{10}: acceptance is `x = 10`, carried by the module.
+        let parsed = parse("a{10}").unwrap();
+        let out = compile(&parsed.for_stream(), &CompileOptions::default());
+        let module = out
+            .network
+            .nodes()
+            .iter()
+            .find(|n| !matches!(n.kind, NK::State { .. }))
+            .expect("module");
+        assert!(module.report);
+        // No STE reports.
+        assert!(out
+            .network
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, NK::State { .. }))
+            .all(|n| !n.report));
+    }
+
+    #[test]
+    fn start_anchored_module_enable() {
+        // ^a{5}b: the repetition starts the pattern, so the module is
+        // start-enabled (virtual pre at time 0).
+        let parsed = parse("^a{5}b").unwrap();
+        let out = compile(&parsed.for_stream(), &CompileOptions::default());
+        let module = out
+            .network
+            .nodes()
+            .iter()
+            .find(|n| !matches!(n.kind, NK::State { .. }))
+            .expect("module");
+        assert_eq!(module.enable, Enable::OnStartAndActivateIn);
+    }
+
+    #[test]
+    fn pure_nfa_emits_states_only() {
+        let parsed = parse("^ab*c").unwrap();
+        let out = compile(&parsed.for_stream(), &CompileOptions::default());
+        assert_eq!(out.network.counts_by_type(), (3, 0, 0));
+        let c_ste = out
+            .network
+            .nodes()
+            .iter()
+            .find(|n| n.report)
+            .expect("reporting STE");
+        match &c_ste.kind {
+            NK::State { symbol_set } => assert!(symbol_set.contains(b'c')),
+            _ => panic!("report should sit on the c STE"),
+        }
+    }
+}

@@ -1,0 +1,403 @@
+//! The regex-to-hardware compilation pipeline (§4.2 of the paper):
+//!
+//! 1. rewrite/simplify (upper bounds < 2 unfolded, classes merged);
+//! 2. unfold counting occurrences up to the configured threshold (the knob
+//!    swept in Fig. 9/Fig. 10);
+//! 3. run the counter-ambiguity analysis;
+//! 4. pick a module per surviving occurrence: **counter** for
+//!    (block-)unambiguous occurrences, **bit vector** for ambiguous
+//!    single-class bounded `σ{m,n}`, **partial unfolding** for everything
+//!    else — then iterate, because unfolding exposes fresh occurrences;
+//! 5. emit the MNRL network.
+
+use crate::codegen;
+use recama_analysis::{analyze_nca, AnalysisStats, ExactConfig, NcaAnalysis, StopPolicy};
+use recama_mnrl::MnrlNetwork;
+use recama_nca::{unfold, unfold_one, Nca, UnfoldPolicy};
+use recama_syntax::{normalize_for_nca, Regex, RepeatId};
+use std::collections::HashSet;
+
+/// Largest value the 17-bit hardware counter module can hold (Table 2).
+pub const COUNTER_MAX_BOUND: u32 = (1 << 17) - 1;
+
+/// Default physical bit-vector module length (Table 2: 2000-bit vector).
+pub const BITVECTOR_DEFAULT_CAPACITY: u32 = 2000;
+
+/// Compiler configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CompileOptions {
+    /// Which counting occurrences to unfold eagerly (the Fig. 9 threshold).
+    /// `None` (the default) unfolds nothing beyond the `< 2` rewrites.
+    pub unfold: UnfoldPolicy,
+    /// Largest repetition bound a bit-vector module supports.
+    pub bitvector_capacity: u32,
+    /// Token-pair budget per analysis exploration.
+    pub analysis_budget: u64,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            unfold: UnfoldPolicy::None,
+            bitvector_capacity: BITVECTOR_DEFAULT_CAPACITY,
+            analysis_budget: 2_000_000,
+        }
+    }
+}
+
+/// Hardware realization chosen for one surviving counting occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModuleKind {
+    /// Counter module (Fig. 6): one `O(log n)`-bit register.
+    Counter,
+    /// Bit-vector module (Fig. 7): `n` bits with set-first/shift/disjunct.
+    BitVector,
+}
+
+/// Result of compiling one regex.
+#[derive(Debug)]
+pub struct CompileOutput {
+    /// The emitted network.
+    pub network: MnrlNetwork,
+    /// The final normalized regex the network implements.
+    pub normalized: Regex,
+    /// The final NCA (reference model for simulation cross-checks).
+    pub nca: Nca,
+    /// Module selection per final counter (indexed like `nca.counters()`).
+    pub modules: Vec<ModuleKind>,
+    /// Analysis result of the final automaton.
+    pub analysis: NcaAnalysis,
+    /// Pipeline telemetry.
+    pub report: CompileReport,
+}
+
+/// Pipeline telemetry.
+#[derive(Debug, Clone, Default)]
+pub struct CompileReport {
+    /// Number of analyze→decide→unfold iterations.
+    pub iterations: u32,
+    /// Counting occurrences removed by (threshold or fallback) unfolding.
+    pub unfolded_occurrences: u32,
+    /// Aggregated analysis statistics across iterations.
+    pub analysis_stats: AnalysisStats,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Decision {
+    Counter,
+    BitVector,
+    Unfold,
+}
+
+/// Compiles a regex to an MNRL network.
+///
+/// The caller chooses the matching discipline first (e.g.
+/// [`recama_syntax::Parsed::for_stream`] for the streaming `Σ*r` form the
+/// accelerators execute).
+///
+/// # Examples
+///
+/// ```
+/// use recama_compiler::{compile, CompileOptions, ModuleKind};
+/// let parsed = recama_syntax::parse("a(bc){10,20}d").unwrap();
+/// let out = compile(&parsed.for_stream(), &CompileOptions::default());
+/// // Counter-unambiguous: implemented with one counter module.
+/// assert_eq!(out.modules, vec![ModuleKind::Counter]);
+/// assert!(out.network.validate().is_empty());
+/// ```
+pub fn compile(regex: &Regex, options: &CompileOptions) -> CompileOutput {
+    let mut report = CompileReport::default();
+    // Step 2: eager threshold unfolding.
+    let pre_unfold_occs = regex.repeats().len() as u32;
+    let mut current = unfold(regex, options.unfold);
+    report.unfolded_occurrences += pre_unfold_occs - current.repeats().len() as u32;
+
+    let max_iterations = 12;
+    loop {
+        report.iterations += 1;
+        let normalized = normalize_for_nca(&current);
+        let nca = recama_analysis::glushkov_build(&normalized);
+        if nca.counters().is_empty() {
+            let analysis = analyze_nca(&nca, &exact_cfg(options));
+            report.analysis_stats += analysis.stats;
+            let network = codegen::emit(&nca, &[], "regex");
+            return CompileOutput {
+                network,
+                normalized,
+                nca,
+                modules: Vec::new(),
+                analysis,
+                report,
+            };
+        }
+        let analysis = analyze_nca(&nca, &exact_cfg(options));
+        report.analysis_stats += analysis.stats;
+
+        let infos = normalized.repeats();
+        debug_assert_eq!(infos.len(), nca.counters().len());
+        let mut decisions: Vec<Decision> = infos
+            .iter()
+            .enumerate()
+            .map(|(k, info)| {
+                let bound = info.max.unwrap_or(info.min);
+                let block_unambiguous =
+                    analysis.complete && !analysis.block_ambiguous_counters[k];
+                if block_unambiguous && bound <= COUNTER_MAX_BOUND {
+                    Decision::Counter
+                } else if info.single_class_body.is_some()
+                    && info.max.is_some()
+                    && bound <= options.bitvector_capacity
+                {
+                    Decision::BitVector
+                } else {
+                    Decision::Unfold
+                }
+            })
+            .collect();
+        resolve_nesting(&infos, &mut decisions);
+
+        let to_unfold: HashSet<RepeatId> = infos
+            .iter()
+            .zip(&decisions)
+            .filter(|(_, d)| **d == Decision::Unfold)
+            .map(|(i, _)| i.id)
+            .collect();
+
+        if to_unfold.is_empty() {
+            let modules = decisions
+                .iter()
+                .map(|d| match d {
+                    Decision::Counter => ModuleKind::Counter,
+                    Decision::BitVector => ModuleKind::BitVector,
+                    Decision::Unfold => unreachable!("unfold set is empty"),
+                })
+                .collect::<Vec<_>>();
+            let network = codegen::emit(&nca, &modules, "regex");
+            return CompileOutput { network, normalized, nca, modules, analysis, report };
+        }
+        report.unfolded_occurrences += to_unfold.len() as u32;
+        current = unfold_by_ids(&normalized, &to_unfold);
+        if report.iterations >= max_iterations {
+            // Safety valve: unfold everything that is left.
+            current = unfold(&current, UnfoldPolicy::All);
+        }
+    }
+}
+
+fn exact_cfg(options: &CompileOptions) -> ExactConfig {
+    ExactConfig {
+        max_pairs: options.analysis_budget,
+        witness: false,
+        stop: StopPolicy::FullClassification,
+    }
+}
+
+/// Resolves nested module conflicts: a counter/bit-vector module cannot
+/// contain another module in its body (ports connect STEs), so for every
+/// module-decided ancestor/descendant pair the lighter one (smaller
+/// unfolding cost `bound × body_leaves`) is demoted to unfolding.
+fn resolve_nesting(infos: &[recama_syntax::RepeatInfo], decisions: &mut [Decision]) {
+    let weight = |i: usize| -> u64 {
+        let info = &infos[i];
+        u64::from(info.max.unwrap_or(info.min)) * info.body_leaves.max(1) as u64
+    };
+    let mut stack: Vec<usize> = Vec::new();
+    for i in 0..infos.len() {
+        while let Some(&top) = stack.last() {
+            if infos[top].depth >= infos[i].depth {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        if decisions[i] != Decision::Unfold {
+            if let Some(&anc) = stack
+                .iter()
+                .rev()
+                .find(|&&a| decisions[a] != Decision::Unfold)
+            {
+                if weight(i) > weight(anc) {
+                    decisions[anc] = Decision::Unfold;
+                } else {
+                    decisions[i] = Decision::Unfold;
+                }
+            }
+        }
+        stack.push(i);
+    }
+}
+
+/// Unfolds exactly the counting occurrences in `ids` (numbering per
+/// [`Regex::repeats`] of `regex`); language-preserving.
+fn unfold_by_ids(regex: &Regex, ids: &HashSet<RepeatId>) -> Regex {
+    fn walk(r: &Regex, next: &mut usize, ids: &HashSet<RepeatId>) -> Regex {
+        match r {
+            Regex::Empty | Regex::Void | Regex::Class(_) => r.clone(),
+            Regex::Concat(parts) => {
+                Regex::concat(parts.iter().map(|p| walk(p, next, ids)).collect())
+            }
+            Regex::Alt(parts) => Regex::alt(parts.iter().map(|p| walk(p, next, ids)).collect()),
+            Regex::Star(inner) => Regex::star(walk(inner, next, ids)),
+            Regex::Repeat { inner, min, max } => {
+                if Regex::is_plain_iteration(*min, *max) {
+                    return Regex::Repeat {
+                        inner: Box::new(walk(inner, next, ids)),
+                        min: *min,
+                        max: *max,
+                    };
+                }
+                let id = RepeatId(*next);
+                *next += 1;
+                let body = walk(inner, next, ids);
+                if ids.contains(&id) {
+                    unfold_one(body, *min, *max)
+                } else {
+                    Regex::Repeat { inner: Box::new(body), min: *min, max: *max }
+                }
+            }
+        }
+    }
+    let mut next = 0;
+    walk(regex, &mut next, ids)
+}
+
+/// Compiles a whole ruleset into one merged network (rule `i` gets node-id
+/// prefix `r{i}_`). Patterns that fail to parse are skipped and reported.
+pub struct RulesetOutput {
+    /// Merged network for the entire ruleset.
+    pub network: MnrlNetwork,
+    /// Per-rule outputs (same order as the accepted patterns).
+    pub rules: Vec<CompileOutput>,
+    /// (index, error message) of rejected patterns.
+    pub rejected: Vec<(usize, String)>,
+}
+
+/// Compiles every pattern of a ruleset in streaming form (`Σ*r`) and merges
+/// the networks — the machine image whose size Fig. 9 plots.
+pub fn compile_ruleset(patterns: &[String], options: &CompileOptions) -> RulesetOutput {
+    let mut network = MnrlNetwork::new("ruleset");
+    let mut rules = Vec::new();
+    let mut rejected = Vec::new();
+    for (i, p) in patterns.iter().enumerate() {
+        match recama_syntax::parse(p) {
+            Ok(parsed) => {
+                let out = compile(&parsed.for_stream(), options);
+                network.merge_prefixed(&out.network, &format!("r{i}_"));
+                rules.push(out);
+            }
+            Err(e) => rejected.push((i, e.to_string())),
+        }
+    }
+    RulesetOutput { network, rules, rejected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recama_syntax::parse;
+
+    fn stream(p: &str) -> Regex {
+        parse(p).unwrap().for_stream()
+    }
+
+    #[test]
+    fn unambiguous_gets_counter() {
+        let out = compile(&stream("^a(bc){5,9}d"), &CompileOptions::default());
+        assert_eq!(out.modules, vec![ModuleKind::Counter]);
+        let (states, counters, bvs) = out.network.counts_by_type();
+        assert_eq!(counters, 1);
+        assert_eq!(bvs, 0);
+        // a, b, c, d STEs only — no unfolding.
+        assert_eq!(states, 4);
+        assert!(out.network.validate().is_empty(), "{:?}", out.network.validate());
+    }
+
+    #[test]
+    fn ambiguous_single_class_gets_bitvector() {
+        let out = compile(&stream("a{50}"), &CompileOptions::default());
+        // Streaming form Σ*a{50} is ambiguous with a single-class body.
+        assert_eq!(out.modules, vec![ModuleKind::BitVector]);
+        let (states, counters, bvs) = out.network.counts_by_type();
+        assert_eq!((counters, bvs), (0, 1));
+        // Σ self-loop STE + one a STE.
+        assert_eq!(states, 2);
+        assert!(out.network.validate().is_empty(), "{:?}", out.network.validate());
+    }
+
+    #[test]
+    fn ambiguous_multi_class_body_unfolds() {
+        // Σ*(ab){3}: ambiguous, body not a single class → unfolded.
+        let out = compile(&stream("(ab){3}"), &CompileOptions::default());
+        assert!(out.modules.is_empty());
+        let (states, counters, bvs) = out.network.counts_by_type();
+        assert_eq!((counters, bvs), (0, 0));
+        assert_eq!(states, 1 + 6); // Σ + ababab
+        assert!(out.report.unfolded_occurrences >= 1);
+    }
+
+    #[test]
+    fn threshold_unfolds_small_bounds() {
+        let out = compile(
+            &stream("^x[ab]{3}y[cd]{100}z"),
+            &CompileOptions { unfold: UnfoldPolicy::UpTo(10), ..Default::default() },
+        );
+        // [ab]{3} unfolded by threshold; [cd]{100} counter (anchored, no Σ*).
+        assert_eq!(out.modules, vec![ModuleKind::Counter]);
+        let (states, _, _) = out.network.counts_by_type();
+        // x + three [ab] copies + y + one [cd] body STE + z.
+        assert_eq!(states, 7);
+    }
+
+    #[test]
+    fn unfold_all_produces_pure_nfa() {
+        let out = compile(
+            &stream("a{20}b{4,7}"),
+            &CompileOptions { unfold: UnfoldPolicy::All, ..Default::default() },
+        );
+        assert!(out.modules.is_empty());
+        assert!(out.nca.counters().is_empty());
+        let (states, counters, bvs) = out.network.counts_by_type();
+        assert_eq!((counters, bvs), (0, 0));
+        assert_eq!(states, 1 + 20 + 7);
+    }
+
+    #[test]
+    fn nested_counting_resolves_to_inner_module() {
+        // ^((ab){50}c){2}: outer weight 2×2=4... inner weight 50×2=100 —
+        // inner kept as module, outer unfolded (2 copies).
+        let out = compile(&stream("^((ab){50}c){2}"), &CompileOptions::default());
+        assert!(!out.modules.is_empty());
+        assert!(out.report.unfolded_occurrences >= 1);
+        // No state carries two counters in the final automaton.
+        for s in out.nca.states() {
+            assert!(s.counters.len() <= 1, "multi-counter state survived");
+        }
+        assert!(out.network.validate().is_empty());
+    }
+
+    #[test]
+    fn ruleset_merging_counts_nodes() {
+        let patterns: Vec<String> =
+            vec!["^a{30}".into(), "bad(".into(), "^[xy]{5}z".into()];
+        let out = compile_ruleset(&patterns, &CompileOptions::default());
+        assert_eq!(out.rules.len(), 2);
+        assert_eq!(out.rejected.len(), 1);
+        assert_eq!(out.rejected[0].0, 1);
+        assert!(out.network.node_count() > 0);
+        assert!(out.network.validate().is_empty());
+    }
+
+    #[test]
+    fn fig9_monotonicity_nodes_grow_with_threshold() {
+        let patterns: Vec<String> = vec!["^a[bc]{200}d".into(), "^e{64}f".into()];
+        let mut last = 0usize;
+        for k in [0u32, 10, 100, 1000] {
+            let policy = if k == 0 { UnfoldPolicy::None } else { UnfoldPolicy::UpTo(k) };
+            let out = compile_ruleset(&patterns, &CompileOptions { unfold: policy, ..Default::default() });
+            let n = out.network.node_count();
+            assert!(n >= last, "node count must not shrink: {last} -> {n} at k={k}");
+            last = n;
+        }
+        assert!(last >= 264, "full unfolding must dominate: {last}");
+    }
+}

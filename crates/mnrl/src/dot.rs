@@ -1,0 +1,133 @@
+//! Graphviz DOT export of MNRL networks — tooling for inspecting compiled
+//! automata (STEs as boxes, counter modules as diamonds, bit vectors as
+//! hexagons; module control edges dashed).
+
+use crate::network::{MnrlNetwork, NodeKind, Port};
+use std::fmt::Write as _;
+
+impl MnrlNetwork {
+    /// Renders the network in Graphviz DOT syntax.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use recama_mnrl::{Enable, MnrlNetwork, Node, NodeKind};
+    /// use recama_syntax::ByteClass;
+    /// let mut net = MnrlNetwork::new("g");
+    /// net.add_node(Node {
+    ///     id: "s0".into(),
+    ///     kind: NodeKind::State { symbol_set: ByteClass::digit() },
+    ///     enable: Enable::OnStartAndActivateIn,
+    ///     report: true,
+    ///     connections: vec![],
+    /// });
+    /// let dot = net.to_dot();
+    /// assert!(dot.starts_with("digraph"));
+    /// assert!(dot.contains("s0"));
+    /// ```
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph {:?} {{", self.id);
+        let _ = writeln!(out, "  rankdir=LR;");
+        let _ = writeln!(out, "  node [fontname=\"monospace\"];");
+        for node in self.nodes() {
+            let (shape, label) = match &node.kind {
+                NodeKind::State { symbol_set } => {
+                    ("box", format!("{}\\n[{}]", node.id, escape(&symbol_set.to_string())))
+                }
+                NodeKind::Counter { min, max } => (
+                    "diamond",
+                    format!(
+                        "{}\\ncnt{{{},{}}}",
+                        node.id,
+                        min,
+                        max.map_or("inf".to_string(), |n| n.to_string())
+                    ),
+                ),
+                NodeKind::BitVector { size, lo, hi } => {
+                    ("hexagon", format!("{}\\nbv[{lo},{hi}]/{size}", node.id))
+                }
+            };
+            let mut attrs = format!("shape={shape}, label=\"{label}\"");
+            if node.report {
+                attrs.push_str(", peripheries=2");
+            }
+            if node.enable == crate::network::Enable::OnStartAndActivateIn {
+                attrs.push_str(", style=bold");
+            }
+            let _ = writeln!(out, "  {:?} [{attrs}];", node.id);
+        }
+        for node in self.nodes() {
+            for conn in &node.connections {
+                let control = !matches!(
+                    (conn.from_port, conn.to_port),
+                    (Port::Main, Port::Main)
+                );
+                let style = if control { ", style=dashed" } else { "" };
+                let _ = writeln!(
+                    out,
+                    "  {:?} -> {:?} [label=\"{}>{}\"{style}];",
+                    node.id, conn.to, conn.from_port, conn.to_port
+                );
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{Connection, Enable, Node};
+    use recama_syntax::ByteClass;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut net = MnrlNetwork::new("t");
+        net.add_node(Node {
+            id: "s0".into(),
+            kind: NodeKind::State { symbol_set: ByteClass::singleton(b'a') },
+            enable: Enable::OnStartAndActivateIn,
+            report: false,
+            connections: vec![Connection {
+                from_port: Port::Main,
+                to: "c0".into(),
+                to_port: Port::Fst,
+            }],
+        });
+        net.add_node(Node {
+            id: "c0".into(),
+            kind: NodeKind::Counter { min: 2, max: Some(5) },
+            enable: Enable::OnActivateIn,
+            report: true,
+            connections: vec![],
+        });
+        let dot = net.to_dot();
+        assert!(dot.contains("\"s0\""));
+        assert!(dot.contains("\"c0\""));
+        assert!(dot.contains("diamond"));
+        assert!(dot.contains("style=dashed"), "port edges are dashed");
+        assert!(dot.contains("peripheries=2"), "reporting nodes doubled");
+        assert!(dot.contains("style=bold"), "start nodes bold");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_escapes_class_labels() {
+        let mut net = MnrlNetwork::new("t");
+        net.add_node(Node {
+            id: "s".into(),
+            kind: NodeKind::State { symbol_set: ByteClass::singleton(b'"') },
+            enable: Enable::OnActivateIn,
+            report: false,
+            connections: vec![],
+        });
+        let dot = net.to_dot();
+        assert!(!dot.contains("[\"]"), "quote must be escaped: {dot}");
+    }
+}

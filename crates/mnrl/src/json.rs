@@ -1,0 +1,398 @@
+//! JSON (de)serialization of [`MnrlNetwork`] in an MNRL-compatible schema.
+//!
+//! Layout follows MNRL: a network object with an `id` and a `nodes` array;
+//! each node has `id`, `type`, `enable`, `report`, an `attributes` object,
+//! and `outputDefs` with `activate` lists. Symbol sets are stored twice:
+//! human-readable (`symbolSet`, bracket syntax) and lossless
+//! (`symbolSet256`, 64 hex chars of the 256-bit membership mask) — the
+//! lossless field wins when both are present.
+
+use crate::network::{Connection, Enable, MnrlNetwork, Node, NodeKind, Port};
+use recama_syntax::ByteClass;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error deserializing or re-validating an MNRL document.
+#[derive(Debug)]
+pub enum MnrlError {
+    /// Underlying JSON syntax/shape problem.
+    Json(serde_json::Error),
+    /// Structurally invalid network content.
+    Invalid(String),
+}
+
+impl fmt::Display for MnrlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MnrlError::Json(e) => write!(f, "invalid MNRL JSON: {e}"),
+            MnrlError::Invalid(msg) => write!(f, "invalid MNRL network: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MnrlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MnrlError::Json(e) => Some(e),
+            MnrlError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for MnrlError {
+    fn from(e: serde_json::Error) -> Self {
+        MnrlError::Json(e)
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct SerNetwork {
+    id: String,
+    nodes: Vec<SerNode>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct SerNode {
+    id: String,
+    #[serde(rename = "type")]
+    node_type: String,
+    enable: String,
+    report: bool,
+    attributes: SerAttributes,
+    #[serde(rename = "outputDefs")]
+    output_defs: Vec<SerOutputDef>,
+}
+
+#[derive(Serialize, Deserialize, Default)]
+struct SerAttributes {
+    #[serde(rename = "symbolSet", skip_serializing_if = "Option::is_none")]
+    symbol_set: Option<String>,
+    #[serde(rename = "symbolSet256", skip_serializing_if = "Option::is_none")]
+    symbol_set_256: Option<String>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    min: Option<u32>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    max: Option<u32>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    unbounded: Option<bool>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    size: Option<u32>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    lo: Option<u32>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    hi: Option<u32>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct SerOutputDef {
+    #[serde(rename = "portId")]
+    port_id: String,
+    activate: Vec<SerActivate>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct SerActivate {
+    id: String,
+    #[serde(rename = "portId")]
+    port_id: String,
+}
+
+fn class_to_hex(c: &ByteClass) -> String {
+    c.words().iter().map(|w| format!("{w:016x}")).collect()
+}
+
+fn class_from_hex(s: &str) -> Result<ByteClass, MnrlError> {
+    if s.len() != 64 {
+        return Err(MnrlError::Invalid(format!("symbolSet256 must be 64 hex chars, got {}", s.len())));
+    }
+    let mut words = [0u64; 4];
+    for (i, w) in words.iter_mut().enumerate() {
+        *w = u64::from_str_radix(&s[i * 16..(i + 1) * 16], 16)
+            .map_err(|e| MnrlError::Invalid(format!("bad symbolSet256: {e}")))?;
+    }
+    let mut c = ByteClass::new();
+    for b in 0..=255u8 {
+        if words[(b >> 6) as usize] & (1u64 << (b & 63)) != 0 {
+            c.insert(b);
+        }
+    }
+    Ok(c)
+}
+
+impl MnrlNetwork {
+    /// Serializes to pretty-printed MNRL JSON.
+    pub fn to_json(&self) -> String {
+        let ser = SerNetwork {
+            id: self.id.clone(),
+            nodes: self.nodes().iter().map(node_to_ser).collect(),
+        };
+        serde_json::to_string_pretty(&ser).expect("MNRL serialization cannot fail")
+    }
+
+    /// Parses MNRL JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MnrlError`] on malformed JSON, unknown node types or
+    /// ports, or missing required attributes.
+    pub fn from_json(text: &str) -> Result<MnrlNetwork, MnrlError> {
+        let ser: SerNetwork = serde_json::from_str(text)?;
+        let mut net = MnrlNetwork::new(ser.id);
+        for sn in &ser.nodes {
+            if net.node(&sn.id).is_some() {
+                return Err(MnrlError::Invalid(format!("duplicate node id {:?}", sn.id)));
+            }
+            net.add_node(node_from_ser(sn)?);
+        }
+        Ok(net)
+    }
+}
+
+fn node_to_ser(node: &Node) -> SerNode {
+    let mut attributes = SerAttributes::default();
+    match &node.kind {
+        NodeKind::State { symbol_set } => {
+            attributes.symbol_set = Some(symbol_set.to_string());
+            attributes.symbol_set_256 = Some(class_to_hex(symbol_set));
+        }
+        NodeKind::Counter { min, max } => {
+            attributes.min = Some(*min);
+            attributes.max = *max;
+            attributes.unbounded = Some(max.is_none());
+        }
+        NodeKind::BitVector { size, lo, hi } => {
+            attributes.size = Some(*size);
+            attributes.lo = Some(*lo);
+            attributes.hi = Some(*hi);
+        }
+    }
+    // Group connections by output port, preserving order.
+    let mut defs: Vec<SerOutputDef> = Vec::new();
+    for conn in &node.connections {
+        let port_name = conn.from_port.name().to_string();
+        let act = SerActivate { id: conn.to.clone(), port_id: conn.to_port.name().to_string() };
+        match defs.iter_mut().find(|d| d.port_id == port_name) {
+            Some(def) => def.activate.push(act),
+            None => defs.push(SerOutputDef { port_id: port_name, activate: vec![act] }),
+        }
+    }
+    SerNode {
+        id: node.id.clone(),
+        node_type: node.kind.type_name().to_string(),
+        enable: match node.enable {
+            Enable::OnActivateIn => "onActivateIn".to_string(),
+            Enable::OnStartAndActivateIn => "onStartAndActivateIn".to_string(),
+        },
+        report: node.report,
+        attributes,
+        output_defs: defs,
+    }
+}
+
+fn node_from_ser(sn: &SerNode) -> Result<Node, MnrlError> {
+    let kind = match sn.node_type.as_str() {
+        "state" => {
+            let symbol_set = if let Some(hex) = &sn.attributes.symbol_set_256 {
+                class_from_hex(hex)?
+            } else if let Some(disp) = &sn.attributes.symbol_set {
+                parse_symbol_set(disp)?
+            } else {
+                return Err(MnrlError::Invalid(format!("state {} lacks a symbol set", sn.id)));
+            };
+            NodeKind::State { symbol_set }
+        }
+        "counter" | "upCounter" => {
+            let min = sn
+                .attributes
+                .min
+                .ok_or_else(|| MnrlError::Invalid(format!("counter {} lacks min", sn.id)))?;
+            let unbounded = sn.attributes.unbounded.unwrap_or(false);
+            let max = if unbounded { None } else { sn.attributes.max };
+            if !unbounded && max.is_none() {
+                return Err(MnrlError::Invalid(format!("counter {} lacks max", sn.id)));
+            }
+            NodeKind::Counter { min, max }
+        }
+        "bitVector" => {
+            let size = sn
+                .attributes
+                .size
+                .ok_or_else(|| MnrlError::Invalid(format!("bitVector {} lacks size", sn.id)))?;
+            let lo = sn
+                .attributes
+                .lo
+                .ok_or_else(|| MnrlError::Invalid(format!("bitVector {} lacks lo", sn.id)))?;
+            let hi = sn
+                .attributes
+                .hi
+                .ok_or_else(|| MnrlError::Invalid(format!("bitVector {} lacks hi", sn.id)))?;
+            NodeKind::BitVector { size, lo, hi }
+        }
+        other => return Err(MnrlError::Invalid(format!("unknown node type {other:?}"))),
+    };
+    let enable = match sn.enable.as_str() {
+        "onActivateIn" => Enable::OnActivateIn,
+        "onStartAndActivateIn" => Enable::OnStartAndActivateIn,
+        other => return Err(MnrlError::Invalid(format!("unknown enable mode {other:?}"))),
+    };
+    let mut connections = Vec::new();
+    for def in &sn.output_defs {
+        let from_port = Port::from_name(&def.port_id)
+            .ok_or_else(|| MnrlError::Invalid(format!("unknown port {:?}", def.port_id)))?;
+        for act in &def.activate {
+            let to_port = Port::from_name(&act.port_id)
+                .ok_or_else(|| MnrlError::Invalid(format!("unknown port {:?}", act.port_id)))?;
+            connections.push(Connection { from_port, to: act.id.clone(), to_port });
+        }
+    }
+    Ok(Node { id: sn.id.clone(), kind, enable, report: sn.report, connections })
+}
+
+/// Parses a human-readable symbol set (the subset of regex syntax a single
+/// class renders to: `a`, `.`, `\d`, `[a-f]`, `[^x]`, …).
+fn parse_symbol_set(s: &str) -> Result<ByteClass, MnrlError> {
+    let parsed = recama_syntax::parse(s)
+        .map_err(|e| MnrlError::Invalid(format!("bad symbolSet {s:?}: {e}")))?;
+    match parsed.regex {
+        recama_syntax::Regex::Class(c) => Ok(c),
+        _ => Err(MnrlError::Invalid(format!("symbolSet {s:?} is not a single class"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_network() -> MnrlNetwork {
+        let mut net = MnrlNetwork::new("demo");
+        net.add_node(Node {
+            id: "s0".into(),
+            kind: NodeKind::State { symbol_set: ByteClass::from_bytes(b"ab") },
+            enable: Enable::OnStartAndActivateIn,
+            report: false,
+            connections: vec![
+                Connection { from_port: Port::Main, to: "c0".into(), to_port: Port::Pre },
+                Connection { from_port: Port::Main, to: "s1".into(), to_port: Port::Main },
+            ],
+        });
+        net.add_node(Node {
+            id: "s1".into(),
+            kind: NodeKind::State { symbol_set: ByteClass::singleton(b'x').complement() },
+            enable: Enable::OnActivateIn,
+            report: false,
+            connections: vec![
+                Connection { from_port: Port::Main, to: "c0".into(), to_port: Port::Fst },
+                Connection { from_port: Port::Main, to: "c0".into(), to_port: Port::Lst },
+            ],
+        });
+        net.add_node(Node {
+            id: "c0".into(),
+            kind: NodeKind::Counter { min: 3, max: Some(9) },
+            enable: Enable::OnActivateIn,
+            report: true,
+            connections: vec![Connection { from_port: Port::EnFst, to: "s1".into(), to_port: Port::Main }],
+        });
+        net.add_node(Node {
+            id: "bv0".into(),
+            kind: NodeKind::BitVector { size: 2000, lo: 5, hi: 11 },
+            enable: Enable::OnActivateIn,
+            report: false,
+            connections: vec![],
+        });
+        net
+    }
+
+    #[test]
+    fn json_roundtrip_is_identity() {
+        let net = demo_network();
+        let json = net.to_json();
+        let back = MnrlNetwork::from_json(&json).expect("roundtrip parse");
+        assert_eq!(net, back);
+    }
+
+    #[test]
+    fn json_has_mnrl_shape() {
+        let json = demo_network().to_json();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["id"], "demo");
+        assert_eq!(v["nodes"][0]["type"], "state");
+        assert_eq!(v["nodes"][0]["attributes"]["symbolSet"], "[ab]");
+        assert_eq!(v["nodes"][0]["enable"], "onStartAndActivateIn");
+        assert_eq!(v["nodes"][2]["type"], "counter");
+        assert_eq!(v["nodes"][2]["attributes"]["min"], 3);
+        assert_eq!(v["nodes"][3]["type"], "bitVector");
+        assert_eq!(v["nodes"][3]["attributes"]["size"], 2000);
+        // outputDefs group by port.
+        let defs = v["nodes"][0]["outputDefs"].as_array().unwrap();
+        assert_eq!(defs.len(), 1);
+        assert_eq!(defs[0]["portId"], "main");
+        assert_eq!(defs[0]["activate"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn lossless_class_roundtrip_beats_display() {
+        // A class whose display form would be lossy-ish corner: full range.
+        let c = ByteClass::range(0, 255);
+        let hex = class_to_hex(&c);
+        assert_eq!(class_from_hex(&hex).unwrap(), c);
+        let c2 = ByteClass::from_bytes(&[0, 7, 63, 64, 128, 255]);
+        assert_eq!(class_from_hex(&class_to_hex(&c2)).unwrap(), c2);
+    }
+
+    #[test]
+    fn accepts_display_only_symbol_set() {
+        let json = r#"{
+            "id": "x",
+            "nodes": [{
+                "id": "s0", "type": "state", "enable": "onActivateIn",
+                "report": true,
+                "attributes": {"symbolSet": "[a-f]"},
+                "outputDefs": []
+            }]
+        }"#;
+        let net = MnrlNetwork::from_json(json).unwrap();
+        match &net.node("s0").unwrap().kind {
+            NodeKind::State { symbol_set } => {
+                assert_eq!(*symbol_set, ByteClass::range(b'a', b'f'))
+            }
+            _ => panic!("expected state"),
+        }
+    }
+
+    #[test]
+    fn accepts_plain_mnrl_upcounter() {
+        let json = r#"{
+            "id": "x",
+            "nodes": [{
+                "id": "c", "type": "upCounter", "enable": "onActivateIn",
+                "report": false,
+                "attributes": {"min": 2, "max": 5},
+                "outputDefs": []
+            }]
+        }"#;
+        let net = MnrlNetwork::from_json(json).unwrap();
+        assert_eq!(net.node("c").unwrap().kind, NodeKind::Counter { min: 2, max: Some(5) });
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(MnrlNetwork::from_json("{").is_err());
+        assert!(MnrlNetwork::from_json(r#"{"id":"x","nodes":[{"id":"a","type":"wormhole","enable":"onActivateIn","report":false,"attributes":{},"outputDefs":[]}]}"#).is_err());
+        let bad_enable = r#"{"id":"x","nodes":[{"id":"a","type":"state","enable":"sometimes","report":false,"attributes":{"symbolSet":"a"},"outputDefs":[]}]}"#;
+        assert!(MnrlNetwork::from_json(bad_enable).is_err());
+    }
+
+    #[test]
+    fn unbounded_counter_roundtrip() {
+        let mut net = MnrlNetwork::new("u");
+        net.add_node(Node {
+            id: "c".into(),
+            kind: NodeKind::Counter { min: 4, max: None },
+            enable: Enable::OnActivateIn,
+            report: false,
+            connections: vec![],
+        });
+        let back = MnrlNetwork::from_json(&net.to_json()).unwrap();
+        assert_eq!(back.node("c").unwrap().kind, NodeKind::Counter { min: 4, max: None });
+    }
+}

@@ -1,0 +1,223 @@
+//! DFA execution via (lazy) subset construction — the classical
+//! software baseline of the paper's introduction: DFAs process one byte
+//! with a single table lookup but can be **exponentially larger** than the
+//! NFA, and unfolded counting makes the blowup Θ(2ⁿ) for patterns like
+//! `Σ*a Σ{n}` (Meyer & Fischer [34]). [`full_dfa_size`] demonstrates
+//! exactly that blowup; [`DfaEngine`] builds states on demand so it stays
+//! usable as a matching baseline.
+
+use crate::engine::Engine;
+use crate::nca::{Nca, StateId};
+use std::collections::HashMap;
+
+/// A deterministic state: a sorted set of NCA states.
+type SubsetKey = Vec<u32>;
+
+/// Lazy-subset-construction DFA engine over a **counter-free** NCA.
+///
+/// States are discovered on demand and memoized; each input byte costs one
+/// transition-table lookup once the state is cached (the "single memory
+/// lookup" behavior of DFA matchers).
+///
+/// # Examples
+///
+/// ```
+/// use recama_nca::{unfold, DfaEngine, Engine, Nca, UnfoldPolicy};
+/// let r = recama_syntax::parse(".*ab{2,3}c").unwrap().regex;
+/// let nca = Nca::from_regex(&unfold(&r, UnfoldPolicy::All));
+/// let mut dfa = DfaEngine::new(&nca);
+/// assert!(dfa.matches(b"xxabbc"));
+/// assert!(!dfa.matches(b"xxabc"));
+/// ```
+pub struct DfaEngine<'a> {
+    nca: &'a Nca,
+    /// Subset → dense DFA state id.
+    ids: HashMap<SubsetKey, u32>,
+    /// Cached transitions: `transitions[state][byte]`; `u32::MAX` = not yet
+    /// computed.
+    transitions: Vec<[u32; 256]>,
+    accepting: Vec<bool>,
+    subsets: Vec<SubsetKey>,
+    current: u32,
+    start: u32,
+}
+
+impl<'a> DfaEngine<'a> {
+    /// Builds the engine (start state only; the rest is lazy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nca` has counters — unfold first ([`crate::unfold`]).
+    pub fn new(nca: &'a Nca) -> DfaEngine<'a> {
+        assert!(
+            nca.counters().is_empty(),
+            "DfaEngine requires a counter-free automaton; unfold the regex first"
+        );
+        let mut engine = DfaEngine {
+            nca,
+            ids: HashMap::new(),
+            transitions: Vec::new(),
+            accepting: Vec::new(),
+            subsets: Vec::new(),
+            current: 0,
+            start: 0,
+        };
+        engine.start = engine.intern(vec![0]);
+        engine.current = engine.start;
+        engine
+    }
+
+    fn intern(&mut self, subset: SubsetKey) -> u32 {
+        if let Some(&id) = self.ids.get(&subset) {
+            return id;
+        }
+        let id = self.subsets.len() as u32;
+        let accepting = subset
+            .iter()
+            .any(|&q| self.nca.state(StateId(q)).is_final());
+        self.ids.insert(subset.clone(), id);
+        self.subsets.push(subset);
+        self.transitions.push([u32::MAX; 256]);
+        self.accepting.push(accepting);
+        id
+    }
+
+    fn successor(&mut self, state: u32, byte: u8) -> u32 {
+        let cached = self.transitions[state as usize][byte as usize];
+        if cached != u32::MAX {
+            return cached;
+        }
+        let mut next: Vec<u32> = Vec::new();
+        for &q in &self.subsets[state as usize].clone() {
+            for t in self.nca.transitions_from(StateId(q)) {
+                if self.nca.state(t.to).class.contains(byte) {
+                    next.push(t.to.0);
+                }
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        let id = self.intern(next);
+        self.transitions[state as usize][byte as usize] = id;
+        id
+    }
+
+    /// Number of DFA states materialized so far.
+    pub fn discovered_states(&self) -> usize {
+        self.subsets.len()
+    }
+}
+
+impl Engine for DfaEngine<'_> {
+    fn reset(&mut self) {
+        self.current = self.start;
+    }
+
+    fn step(&mut self, byte: u8) {
+        self.current = self.successor(self.current, byte);
+    }
+
+    fn is_accepting(&self) -> bool {
+        self.accepting[self.current as usize]
+    }
+}
+
+/// Exhaustive subset construction: the number of *reachable* DFA states, or
+/// `None` once more than `cap` states exist — used to demonstrate the
+/// memory blowup that motivates NCAs (`Σ*aΣ{n}` reaches 2ⁿ⁺¹ states).
+pub fn full_dfa_size(nca: &Nca, cap: usize) -> Option<usize> {
+    assert!(nca.counters().is_empty(), "determinization requires a counter-free automaton");
+    let mut engine = DfaEngine::new(nca);
+    let mut frontier = vec![engine.start];
+    while let Some(state) = frontier.pop() {
+        // Group Σ by distinct successor sets cheaply: probe all 256 bytes
+        // (classes make most lookups hit the same cached successor).
+        for byte in 0..=255u8 {
+            let before = engine.discovered_states();
+            let next = engine.successor(state, byte);
+            if engine.discovered_states() > before {
+                frontier.push(next);
+                if engine.discovered_states() > cap {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(engine.discovered_states())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::TokenSetEngine;
+    use crate::unfold::{unfold, UnfoldPolicy};
+    use recama_syntax::parse;
+
+    fn unfolded(p: &str) -> Nca {
+        Nca::from_regex(&unfold(&parse(p).unwrap().regex, UnfoldPolicy::All))
+    }
+
+    #[test]
+    #[should_panic(expected = "counter-free")]
+    fn rejects_counters() {
+        let nca = Nca::from_regex(&parse("a{3}").unwrap().regex);
+        let _ = DfaEngine::new(&nca);
+    }
+
+    #[test]
+    fn agrees_with_reference_engine() {
+        for p in ["a{2,4}b", ".*a{3}", "(ab){2,3}", "x(y|z){2}w", ".*[ab][^a]{2}"] {
+            let nca = unfolded(p);
+            let mut dfa = DfaEngine::new(&nca);
+            let mut reference = TokenSetEngine::new(&nca);
+            let mut queue: Vec<Vec<u8>> = vec![vec![]];
+            while let Some(w) = queue.pop() {
+                assert_eq!(dfa.matches(&w), reference.matches(&w), "{p} on {w:?}");
+                if w.len() < 6 {
+                    for &c in b"abxyzw" {
+                        let mut w2 = w.clone();
+                        w2.push(c);
+                        queue.push(w2);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_construction_discovers_few_states_on_narrow_inputs() {
+        let nca = unfolded(".*a.{12}");
+        let mut dfa = DfaEngine::new(&nca);
+        dfa.matches(b"bbbbbbbbbbbbbbbbbbbb");
+        // Only the all-b path was explored: far fewer than 2^12 states.
+        assert!(dfa.discovered_states() < 64, "{}", dfa.discovered_states());
+    }
+
+    #[test]
+    fn counting_blowup_is_exponential() {
+        // Σ*aΣ{n}: the DFA must remember which of the last n+1 positions
+        // held an 'a' → 2^n-ish reachable states.
+        let size_4 = full_dfa_size(&unfolded(".*a.{4}"), 1 << 14).expect("fits");
+        let size_8 = full_dfa_size(&unfolded(".*a.{8}"), 1 << 14).expect("fits");
+        assert!(size_4 >= 1 << 4, "n=4: {size_4}");
+        assert!(size_8 >= 1 << 8, "n=8: {size_8}");
+        let growth = size_8 as f64 / size_4 as f64;
+        assert!(growth > 8.0, "exponential growth expected, got {growth:.1}x");
+        // The NCA for the same pattern is constant-size.
+        let nca = Nca::from_regex(&parse(".*a.{8}").unwrap().regex);
+        assert!(nca.state_count() < 8);
+    }
+
+    #[test]
+    fn unambiguous_counting_determinizes_linearly() {
+        // ^a{n}b: the DFA just counts — size Θ(n), no blowup.
+        let size_8 = full_dfa_size(&unfolded("^a{8}b"), 1 << 14).expect("fits");
+        let size_16 = full_dfa_size(&unfolded("^a{16}b"), 1 << 14).expect("fits");
+        assert!(size_16 < 2 * size_8 + 8, "{size_8} -> {size_16}");
+    }
+
+    #[test]
+    fn cap_is_respected() {
+        assert_eq!(full_dfa_size(&unfolded(".*a.{14}"), 100), None);
+    }
+}

@@ -1,0 +1,165 @@
+//! Bitset execution of counter-free NCAs — the classical homogeneous-NFA
+//! engine that models how the unfolding baseline (AP/CA/Impala/CAMA without
+//! counter modules) executes: an active-state bit vector ANDed with the
+//! match results each cycle.
+
+use crate::engine::Engine;
+use crate::nca::{Nca, StateId};
+
+/// Word-packed bitset over states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct StateBits(Vec<u64>);
+
+impl StateBits {
+    fn new(n: usize) -> StateBits {
+        StateBits(vec![0; n.div_ceil(64)])
+    }
+    fn clear(&mut self) {
+        self.0.iter_mut().for_each(|w| *w = 0);
+    }
+    fn set(&mut self, i: usize) {
+        self.0[i / 64] |= 1 << (i % 64);
+    }
+    fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.0.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+    fn intersects(&self, other: &StateBits) -> bool {
+        self.0.iter().zip(&other.0).any(|(a, b)| a & b != 0)
+    }
+}
+
+/// Bitset NFA engine over a **counter-free** NCA.
+///
+/// # Examples
+///
+/// ```
+/// use recama_nca::{unfold, Engine, Nca, NfaEngine, UnfoldPolicy};
+/// let r = recama_syntax::parse("a{2,3}").unwrap().regex;
+/// let nfa = Nca::from_regex(&unfold(&r, UnfoldPolicy::All));
+/// let mut e = NfaEngine::new(&nfa);
+/// assert!(e.matches(b"aa"));
+/// assert!(!e.matches(b"a"));
+/// ```
+pub struct NfaEngine<'a> {
+    nca: &'a Nca,
+    /// Deduplicated successor lists.
+    succ: Vec<Vec<u32>>,
+    finals: StateBits,
+    active: StateBits,
+    next: StateBits,
+}
+
+impl<'a> NfaEngine<'a> {
+    /// Builds the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nca` has counters — unfold first ([`crate::unfold`]).
+    pub fn new(nca: &'a Nca) -> NfaEngine<'a> {
+        assert!(
+            nca.counters().is_empty(),
+            "NfaEngine requires a counter-free automaton; unfold the regex first"
+        );
+        let n = nca.state_count();
+        let succ = (0..n)
+            .map(|qi| {
+                let mut s: Vec<u32> = nca
+                    .transitions_from(StateId(qi as u32))
+                    .map(|t| t.to.0)
+                    .collect();
+                s.sort_unstable();
+                s.dedup();
+                s
+            })
+            .collect();
+        let mut finals = StateBits::new(n);
+        for (qi, s) in nca.states().iter().enumerate() {
+            if s.is_final() {
+                finals.set(qi);
+            }
+        }
+        let mut e = NfaEngine { nca, succ, finals, active: StateBits::new(n), next: StateBits::new(n) };
+        e.reset();
+        e
+    }
+
+    /// Number of currently active states (for activity statistics).
+    pub fn active_count(&self) -> usize {
+        self.active.iter_ones().count()
+    }
+}
+
+impl Engine for NfaEngine<'_> {
+    fn reset(&mut self) {
+        self.active.clear();
+        self.active.set(0);
+    }
+
+    fn step(&mut self, byte: u8) {
+        self.next.clear();
+        for p in self.active.iter_ones() {
+            for &q in &self.succ[p] {
+                if self.nca.state(StateId(q)).class.contains(byte) {
+                    self.next.set(q as usize);
+                }
+            }
+        }
+        std::mem::swap(&mut self.active, &mut self.next);
+    }
+
+    fn is_accepting(&self) -> bool {
+        self.active.intersects(&self.finals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::TokenSetEngine;
+    use crate::unfold::{unfold, UnfoldPolicy};
+    use recama_syntax::parse;
+
+    #[test]
+    #[should_panic(expected = "counter-free")]
+    fn rejects_counted_automata() {
+        let nca = Nca::from_regex(&parse("a{2,3}").unwrap().regex);
+        let _ = NfaEngine::new(&nca);
+    }
+
+    #[test]
+    fn agrees_with_token_engine_on_unfolded() {
+        for p in ["a{2,4}", "(ab){2,3}", ".*a{3}", "(a|b){2}c*", "a{2,}b"] {
+            let r = unfold(&parse(p).unwrap().regex, UnfoldPolicy::All);
+            let nca = Nca::from_regex(&r);
+            let mut nfa = NfaEngine::new(&nca);
+            let mut tok = TokenSetEngine::new(&nca);
+            for w in [
+                &b""[..], b"a", b"aa", b"aaa", b"aaaa", b"aaaaa", b"ab", b"abab", b"ababab",
+                b"abc", b"ababc", b"bc", b"bbc", b"xaaa", b"aab",
+            ] {
+                assert_eq!(nfa.matches(w), tok.matches(w), "{p} on {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn match_ends_and_activity() {
+        let p = parse("ab").unwrap();
+        let nca = Nca::from_regex(&p.for_stream());
+        let mut e = NfaEngine::new(&nca);
+        assert_eq!(e.match_ends(b"abxab"), vec![2, 5]);
+        e.reset();
+        assert_eq!(e.active_count(), 1);
+    }
+}

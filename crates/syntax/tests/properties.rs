@@ -1,0 +1,115 @@
+//! Property-based tests for the syntax layer: boolean-algebra laws of
+//! byte classes, display/reparse round trips, and language preservation of
+//! the rewriting passes.
+
+use proptest::prelude::*;
+use recama_syntax::{naive, normalize_for_nca, parse, simplify, ByteClass, Regex};
+
+fn arb_class() -> impl Strategy<Value = ByteClass> {
+    prop::collection::vec(any::<u8>(), 0..12).prop_map(|v| ByteClass::from_bytes(&v))
+}
+
+fn arb_regex() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        prop::sample::select(vec![
+            Regex::byte(b'a'),
+            Regex::byte(b'b'),
+            Regex::Class(ByteClass::from_bytes(b"ab")),
+            Regex::Class(ByteClass::singleton(b'b').complement()),
+        ]),
+        Just(Regex::Empty),
+    ];
+    leaf.prop_recursive(3, 20, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Regex::concat),
+            prop::collection::vec(inner.clone(), 2..3).prop_map(Regex::alt),
+            inner.clone().prop_map(Regex::star),
+            inner.clone().prop_map(Regex::opt),
+            (inner, 0u32..3, 0u32..4).prop_map(|(r, m, e)| Regex::repeat(r, m, Some(m + e))),
+        ]
+    })
+}
+
+fn arb_input() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(b"abx".to_vec()), 0..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn class_union_is_commutative_and_associative(a in arb_class(), b in arb_class(), c in arb_class()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+    }
+
+    #[test]
+    fn class_de_morgan(a in arb_class(), b in arb_class()) {
+        prop_assert_eq!(a.union(&b).complement(), a.complement().intersect(&b.complement()));
+        prop_assert_eq!(a.intersect(&b).complement(), a.complement().union(&b.complement()));
+    }
+
+    #[test]
+    fn class_absorption_and_idempotence(a in arb_class(), b in arb_class()) {
+        prop_assert_eq!(a.union(&a), a);
+        prop_assert_eq!(a.intersect(&a), a);
+        prop_assert_eq!(a.union(&a.intersect(&b)), a);
+        prop_assert_eq!(a.intersect(&a.union(&b)), a);
+    }
+
+    #[test]
+    fn class_len_inclusion_exclusion(a in arb_class(), b in arb_class()) {
+        prop_assert_eq!(
+            a.union(&b).len() + a.intersect(&b).len(),
+            a.len() + b.len()
+        );
+    }
+
+    #[test]
+    fn class_display_reparses(a in arb_class()) {
+        prop_assume!(!a.is_empty());
+        let rendered = a.to_string();
+        let parsed = parse(&rendered).unwrap_or_else(|e| panic!("{rendered}: {e}"));
+        match parsed.regex {
+            Regex::Class(back) => prop_assert_eq!(back, a, "render {}", rendered),
+            other => prop_assert!(false, "{} reparsed as {:?}", rendered, other),
+        }
+    }
+
+    #[test]
+    fn regex_display_reparse_is_language_preserving(r in arb_regex(), w in arb_input()) {
+        let rendered = r.to_string();
+        let reparsed = parse(&rendered).unwrap_or_else(|e| panic!("{rendered}: {e}")).regex;
+        prop_assert_eq!(
+            naive::matches(&reparsed, &w),
+            naive::matches(&r, &w),
+            "display {} changed the language", rendered
+        );
+    }
+
+    #[test]
+    fn simplify_is_idempotent_and_language_preserving(r in arb_regex(), w in arb_input()) {
+        let s = simplify(&r);
+        prop_assert_eq!(simplify(&s).clone(), s.clone(), "simplify not idempotent");
+        prop_assert_eq!(naive::matches(&s, &w), naive::matches(&r, &w));
+    }
+
+    #[test]
+    fn normalize_is_idempotent_and_language_preserving(r in arb_regex(), w in arb_input()) {
+        let n = normalize_for_nca(&r);
+        prop_assert_eq!(normalize_for_nca(&n).clone(), n.clone(), "normalize not idempotent");
+        prop_assert_eq!(naive::matches(&n, &w), naive::matches(&r, &w));
+    }
+
+    #[test]
+    fn mu_never_shrinks_under_display_roundtrip(r in arb_regex()) {
+        let reparsed = parse(&r.to_string()).unwrap().regex;
+        prop_assert_eq!(reparsed.mu(), r.mu());
+        prop_assert_eq!(reparsed.has_counting(), r.has_counting());
+    }
+
+    #[test]
+    fn nullable_agrees_with_naive_on_empty(r in arb_regex()) {
+        prop_assert_eq!(r.nullable(), naive::matches(&r, b""));
+    }
+}

@@ -1,0 +1,166 @@
+//! Statistical profiles of the paper's five rulesets (Table 1) that the
+//! synthetic generators are tuned to reproduce.
+
+/// The five application benchmarks of §3.3 / §4.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BenchmarkId {
+    /// Snort network-intrusion rules.
+    Snort,
+    /// Suricata network-intrusion rules.
+    Suricata,
+    /// Protomata protein motifs (PROSITE-derived).
+    Protomata,
+    /// SpamAssassin anti-spam patterns.
+    SpamAssassin,
+    /// ClamAV virus signatures.
+    ClamAv,
+}
+
+impl BenchmarkId {
+    /// All five benchmarks, in the paper's Table 1 order.
+    pub const ALL: [BenchmarkId; 5] = [
+        BenchmarkId::Protomata,
+        BenchmarkId::Snort,
+        BenchmarkId::Suricata,
+        BenchmarkId::SpamAssassin,
+        BenchmarkId::ClamAv,
+    ];
+
+    /// The four benchmarks used in the hardware evaluation (Fig. 9/10:
+    /// ClamAV is excluded there).
+    pub const HARDWARE: [BenchmarkId; 4] = [
+        BenchmarkId::Protomata,
+        BenchmarkId::SpamAssassin,
+        BenchmarkId::Snort,
+        BenchmarkId::Suricata,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchmarkId::Snort => "Snort",
+            BenchmarkId::Suricata => "Suricata",
+            BenchmarkId::Protomata => "Protomata",
+            BenchmarkId::SpamAssassin => "SpamAssassin",
+            BenchmarkId::ClamAv => "ClamAV",
+        }
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table1Row {
+    /// Total number of regexes in the ruleset.
+    pub total: usize,
+    /// Regexes using only supported (regular) operators.
+    pub supported: usize,
+    /// Regexes with at least one counting occurrence.
+    pub counting: usize,
+    /// Counter-ambiguous regexes.
+    pub ambiguous: usize,
+}
+
+/// The published Table 1 numbers, for paper-vs-measured comparisons.
+pub fn paper_table1(id: BenchmarkId) -> Table1Row {
+    match id {
+        BenchmarkId::Protomata => {
+            Table1Row { total: 2338, supported: 2338, counting: 1675, ambiguous: 1675 }
+        }
+        BenchmarkId::Snort => {
+            Table1Row { total: 5839, supported: 5315, counting: 1934, ambiguous: 282 }
+        }
+        BenchmarkId::Suricata => {
+            Table1Row { total: 4480, supported: 3728, counting: 1510, ambiguous: 246 }
+        }
+        BenchmarkId::SpamAssassin => {
+            Table1Row { total: 3786, supported: 3690, counting: 459, ambiguous: 279 }
+        }
+        BenchmarkId::ClamAv => {
+            Table1Row { total: 100472, supported: 100472, counting: 4823, ambiguous: 3626 }
+        }
+    }
+}
+
+/// Generator tuning knobs per benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Profile {
+    /// Target Table 1 row at scale 1.0.
+    pub table1: Table1Row,
+    /// Range of repetition bounds (log-uniform-ish sampling).
+    pub bound_range: (u32, u32),
+    /// Fraction of counting regexes that use `{m,n}` (vs exact `{n}`).
+    pub range_fraction: f64,
+    /// Number of "expensive exact analysis" instances of the
+    /// `Σ*(σ̄₁σ₁{m}+σ̄₂σ₂{n}+···)` family (§3.3, Fig. 3 outliers).
+    pub expensive_instances: usize,
+}
+
+/// The tuned profile for a benchmark.
+pub fn profile(id: BenchmarkId) -> Profile {
+    match id {
+        BenchmarkId::Snort => Profile {
+            table1: paper_table1(id),
+            bound_range: (8, 2048),
+            range_fraction: 0.45,
+            expensive_instances: 12,
+        },
+        BenchmarkId::Suricata => Profile {
+            table1: paper_table1(id),
+            bound_range: (8, 2048),
+            range_fraction: 0.45,
+            expensive_instances: 10,
+        },
+        BenchmarkId::Protomata => Profile {
+            table1: paper_table1(id),
+            bound_range: (2, 30),
+            range_fraction: 0.7,
+            expensive_instances: 0,
+        },
+        BenchmarkId::SpamAssassin => Profile {
+            table1: paper_table1(id),
+            bound_range: (4, 120),
+            range_fraction: 0.5,
+            expensive_instances: 0,
+        },
+        BenchmarkId::ClamAv => Profile {
+            table1: paper_table1(id),
+            bound_range: (8, 400),
+            range_fraction: 0.6,
+            expensive_instances: 0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rows_match_publication() {
+        let p = paper_table1(BenchmarkId::Protomata);
+        assert_eq!((p.total, p.counting, p.ambiguous), (2338, 1675, 1675));
+        let s = paper_table1(BenchmarkId::Snort);
+        assert_eq!(s.total - s.supported, 524); // backreference rules
+        assert_eq!(paper_table1(BenchmarkId::ClamAv).total, 100472);
+    }
+
+    #[test]
+    fn profiles_are_consistent() {
+        for id in BenchmarkId::ALL {
+            let p = profile(id);
+            assert!(p.table1.supported <= p.table1.total);
+            assert!(p.table1.counting <= p.table1.supported);
+            assert!(p.table1.ambiguous <= p.table1.counting);
+            assert!(p.bound_range.0 >= 2 && p.bound_range.0 <= p.bound_range.1);
+            assert!((0.0..=1.0).contains(&p.range_fraction));
+        }
+    }
+
+    #[test]
+    fn names_match() {
+        assert_eq!(BenchmarkId::Snort.name(), "Snort");
+        assert_eq!(BenchmarkId::ClamAv.name(), "ClamAV");
+        assert_eq!(BenchmarkId::ALL.len(), 5);
+        assert_eq!(BenchmarkId::HARDWARE.len(), 4);
+    }
+}

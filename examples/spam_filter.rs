@@ -1,0 +1,58 @@
+//! Spam filtering: SpamAssassin-like patterns over email-ish text, showing
+//! the per-occurrence module decisions the analysis-driven compiler makes
+//! (counter vs bit vector vs unfolding).
+//!
+//! ```sh
+//! cargo run --release --example spam_filter
+//! ```
+
+use recama::analysis::Verdict;
+use recama::compiler::{compile, CompileOptions, ModuleKind};
+use recama::workloads::{generate, BenchmarkId, PatternClass};
+use recama::Pattern;
+
+fn main() {
+    let ruleset = generate(BenchmarkId::SpamAssassin, 0.02, 3786);
+    println!("SpamAssassin-like ruleset at 2% scale: {} patterns\n", ruleset.patterns.len());
+
+    // Show the compiler's decision for a handful of counting rules.
+    let mut shown = 0;
+    for (pattern, class) in &ruleset.patterns {
+        if !matches!(class, PatternClass::CountingAmbiguous | PatternClass::CountingUnambiguous) {
+            continue;
+        }
+        let parsed = match recama::syntax::parse(pattern) {
+            Ok(p) => p,
+            Err(_) => continue,
+        };
+        let out = compile(&parsed.for_stream(), &CompileOptions::default());
+        let decision = if out.modules.contains(&ModuleKind::Counter) {
+            "counter module"
+        } else if out.modules.contains(&ModuleKind::BitVector) {
+            "bit-vector module"
+        } else {
+            "unfolded"
+        };
+        let verdict = match out.analysis.nca_ambiguous() {
+            Some(true) => Verdict::Ambiguous,
+            Some(false) => Verdict::Unambiguous,
+            None => Verdict::Unknown,
+        };
+        println!("  {pattern:42} -> {verdict:?}, realized as {decision}");
+        shown += 1;
+        if shown >= 10 {
+            break;
+        }
+    }
+
+    // End-to-end: match one rule against a crafted email body.
+    let needle = "prize";
+    let pattern = Pattern::compile(&format!("{needle}[a-z ]{{4,30}}claim")).expect("compiles");
+    let email = b"Subject: you won!\n\nYour prize is waiting to claim today. prize now claim.";
+    let ends = pattern.find_ends(email);
+    println!("\nmatch ends in the demo email: {ends:?}");
+    assert!(!ends.is_empty());
+    let mut hw = pattern.hardware();
+    assert_eq!(hw.match_ends(email), ends, "hardware agrees with software");
+    println!("hardware simulation agrees ({} reports)", ends.len());
+}

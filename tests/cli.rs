@@ -1,0 +1,94 @@
+//! Integration tests for the `recama` command-line tool, run against the
+//! actual binary.
+
+use std::process::Command;
+
+fn recama() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_recama"))
+}
+
+#[test]
+fn analyze_reports_verdict_and_occurrences() {
+    // Anchored, so the streaming form keeps the first occurrence
+    // unambiguous: a{3}.*b{3}.
+    let out = recama()
+        .args(["analyze", "^a{3}.*b{3}", "--method", "exact"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("counter-AMBIGUOUS"), "{stdout}");
+    assert!(stdout.contains("occurrence #0 {3}: unambiguous"), "{stdout}");
+    assert!(stdout.contains("occurrence #1 {3}: AMBIGUOUS"), "{stdout}");
+    assert!(stdout.contains("token pairs"), "{stdout}");
+}
+
+#[test]
+fn analyze_unambiguous_regex() {
+    let out = recama().args(["analyze", "^x[ab]{40}y"]).output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("counter-unambiguous"), "{stdout}");
+}
+
+#[test]
+fn analyze_witness_variant_prints_witness() {
+    let out = recama()
+        .args(["analyze", ".*a{4}", "--method", "hybrid-witness"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("witness:"), "{stdout}");
+}
+
+#[test]
+fn compile_emits_valid_mnrl_json() {
+    let out = recama().args(["compile", "x[ab]{3,5}y"]).output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let net = recama::mnrl::MnrlNetwork::from_json(&stdout).expect("valid MNRL JSON");
+    assert!(net.validate().is_empty());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bit-vector"), "{stderr}");
+}
+
+#[test]
+fn compile_threshold_unfolds() {
+    let out = recama()
+        .args(["compile", "^a{4}b", "--threshold", "10"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("0 counter modules"), "{stderr}");
+    assert!(stderr.contains("5 STEs"), "{stderr}");
+}
+
+#[test]
+fn run_reports_matches_and_costs() {
+    let out = recama()
+        .args(["run", "ab{2,3}c", "--text", "zabbcz"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("matches end:  [5]"), "{stdout}");
+    assert!(stdout.contains("nJ/byte"), "{stdout}");
+    assert!(stdout.contains("mm²"), "{stdout}");
+}
+
+#[test]
+fn bad_pattern_fails_cleanly() {
+    let out = recama().args(["analyze", "a(b"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("parse error"), "{stderr}");
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = recama().output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
