@@ -40,17 +40,17 @@ pub fn relax_except(regex: &Regex, keep: RepeatId) -> Regex {
 /// Returns [`Verdict::Unambiguous`] (a proof) or [`Verdict::Unknown`]
 /// (inconclusive — the relaxed automaton was ambiguous or the pair budget
 /// ran out), plus exploration statistics.
-pub fn approx_occurrence(
-    regex: &Regex,
-    occ: RepeatId,
-    max_pairs: u64,
-) -> (Verdict, AnalysisStats) {
+pub fn approx_occurrence(regex: &Regex, occ: RepeatId, max_pairs: u64) -> (Verdict, AnalysisStats) {
     let relaxed = relax_except(regex, occ);
     let normalized = normalize_for_nca(&relaxed);
     let nca = crate::glushkov_build(&normalized);
     let result = analyze_nca(
         &nca,
-        &ExactConfig { max_pairs, witness: false, stop: StopPolicy::FirstAmbiguity },
+        &ExactConfig {
+            max_pairs,
+            witness: false,
+            stop: StopPolicy::FirstAmbiguity,
+        },
     );
     let verdict = match result.nca_ambiguous() {
         Some(false) => Verdict::Unambiguous,

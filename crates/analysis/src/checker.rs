@@ -36,7 +36,9 @@ pub struct CheckConfig {
 
 impl Default for CheckConfig {
     fn default() -> Self {
-        CheckConfig { max_pairs: 2_000_000 }
+        CheckConfig {
+            max_pairs: 2_000_000,
+        }
     }
 }
 
@@ -111,7 +113,12 @@ pub fn check(regex: &Regex, method: Method, config: &CheckConfig) -> RegexCheck 
     let mut stats = AnalysisStats::default();
     let mut occurrences: Vec<OccurrenceVerdict> = occ_infos
         .iter()
-        .map(|i| OccurrenceVerdict { id: i.id, min: i.min, max: i.max, verdict: Verdict::Unknown })
+        .map(|i| OccurrenceVerdict {
+            id: i.id,
+            min: i.min,
+            max: i.max,
+            verdict: Verdict::Unknown,
+        })
         .collect();
 
     match method {
@@ -119,7 +126,12 @@ pub fn check(regex: &Regex, method: Method, config: &CheckConfig) -> RegexCheck 
             let analysis = exact_whole(&simplified, config, false, &mut stats);
             let ambiguous = analysis.nca_ambiguous();
             fill_from_exact(&simplified, &analysis, &mut occurrences);
-            RegexCheck { ambiguous, witness: None, occurrences, stats }
+            RegexCheck {
+                ambiguous,
+                witness: None,
+                occurrences,
+                stats,
+            }
         }
         Method::Approximate => {
             let mut all_proven = true;
@@ -130,7 +142,12 @@ pub fn check(regex: &Regex, method: Method, config: &CheckConfig) -> RegexCheck 
                 all_proven &= v == Verdict::Unambiguous;
             }
             let ambiguous = if all_proven { Some(false) } else { None };
-            RegexCheck { ambiguous, witness: None, occurrences, stats }
+            RegexCheck {
+                ambiguous,
+                witness: None,
+                occurrences,
+                stats,
+            }
         }
         Method::Hybrid | Method::HybridWitness => {
             let want_witness = method == Method::HybridWitness;
@@ -145,13 +162,23 @@ pub fn check(regex: &Regex, method: Method, config: &CheckConfig) -> RegexCheck 
                 }
             }
             if !inconclusive {
-                return RegexCheck { ambiguous: Some(false), witness: None, occurrences, stats };
+                return RegexCheck {
+                    ambiguous: Some(false),
+                    witness: None,
+                    occurrences,
+                    stats,
+                };
             }
             let analysis = exact_whole(&simplified, config, want_witness, &mut stats);
             let ambiguous = analysis.nca_ambiguous();
             let witness = analysis.witness.clone();
             fill_from_exact(&simplified, &analysis, &mut occurrences);
-            RegexCheck { ambiguous, witness, occurrences, stats }
+            RegexCheck {
+                ambiguous,
+                witness,
+                occurrences,
+                stats,
+            }
         }
     }
 }
@@ -226,14 +253,24 @@ pub fn check_occurrence(
 ) -> OccurrenceCheck {
     let simplified = simplify(regex);
     let n_occs = simplified.repeats().len();
-    assert!(occ.0 < n_occs, "occurrence {occ} out of range (regex has {n_occs})");
+    assert!(
+        occ.0 < n_occs,
+        "occurrence {occ} out of range (regex has {n_occs})"
+    );
     let mut stats = AnalysisStats::default();
 
-    if matches!(method, Method::Approximate | Method::Hybrid | Method::HybridWitness) {
+    if matches!(
+        method,
+        Method::Approximate | Method::Hybrid | Method::HybridWitness
+    ) {
         let (v, s) = approx_occurrence(&simplified, occ, config.max_pairs);
         stats += s;
         if v == Verdict::Unambiguous || method == Method::Approximate {
-            return OccurrenceCheck { verdict: v, witness: None, stats };
+            return OccurrenceCheck {
+                verdict: v,
+                witness: None,
+                stats,
+            };
         }
     }
 
@@ -255,7 +292,11 @@ pub fn check_occurrence(
         Some(false) => Verdict::Unambiguous,
         None => Verdict::Unknown,
     };
-    OccurrenceCheck { verdict, witness: analysis.witness, stats }
+    OccurrenceCheck {
+        verdict,
+        witness: analysis.witness,
+        stats,
+    }
 }
 
 /// Unfolds every counting occurrence except `keep` (language-preserving).
@@ -280,7 +321,11 @@ fn unfold_except(regex: &Regex, keep: RepeatId) -> Regex {
                 *next += 1;
                 let body = walk(inner, next, keep);
                 if id == keep {
-                    Regex::Repeat { inner: Box::new(body), min: *min, max: *max }
+                    Regex::Repeat {
+                        inner: Box::new(body),
+                        min: *min,
+                        max: *max,
+                    }
                 } else {
                     recama_nca::unfold_one(body, *min, *max)
                 }
@@ -372,7 +417,10 @@ mod tests {
         let mut eng = recama_nca::TokenSetEngine::new(&nca);
         use recama_nca::Engine;
         eng.matches(&w);
-        assert!(eng.observed_degree() >= 2, "witness {w:?} failed to show two tokens");
+        assert!(
+            eng.observed_degree() >= 2,
+            "witness {w:?} failed to show two tokens"
+        );
     }
 
     #[test]

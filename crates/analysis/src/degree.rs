@@ -38,7 +38,10 @@ pub fn degree_at_least(nca: &Nca, state: StateId, d: usize, max_tuples: u64) -> 
     assert!(d >= 1, "degree queries start at 1");
     let start_time = Instant::now();
     let prepared = Prepared::new(nca);
-    let mut stats = AnalysisStats { explorations: 1, ..Default::default() };
+    let mut stats = AnalysisStats {
+        explorations: 1,
+        ..Default::default()
+    };
 
     let init: Vec<Token> = vec![Token::initial(); d];
     let mut visited: HashSet<Vec<Token>> = HashSet::new();
@@ -49,7 +52,8 @@ pub fn degree_at_least(nca: &Nca, state: StateId, d: usize, max_tuples: u64) -> 
 
     let witnesses = |tuple: &[Token]| -> bool {
         tuple.iter().all(|t| t.state == state)
-            && (0..tuple.len()).all(|i| (i + 1..tuple.len()).all(|j| tuple[i].values != tuple[j].values))
+            && (0..tuple.len())
+                .all(|i| (i + 1..tuple.len()).all(|j| tuple[i].values != tuple[j].values))
     };
 
     // Degree ≥ 1 just asks for reachability of the state.
@@ -123,7 +127,12 @@ pub fn degree_at_least(nca: &Nca, state: StateId, d: usize, max_tuples: u64) -> 
         }
     }
     stats.duration = start_time.elapsed();
-    DegreeAnalysis { state, degree: d, reached, stats }
+    DegreeAnalysis {
+        state,
+        degree: d,
+        reached,
+        stats,
+    }
 }
 
 /// The exact degree of `state`, up to `cap`: the largest d ≤ cap with

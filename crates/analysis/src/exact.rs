@@ -129,7 +129,10 @@ pub fn analyze_nca(nca: &Nca, config: &ExactConfig) -> NcaAnalysis {
     let mut visited: HashSet<(Token, Token)> = HashSet::new();
     let mut parents: HashMap<(Token, Token), ((Token, Token), u8)> = HashMap::new();
     let mut queue: VecDeque<(Token, Token)> = VecDeque::new();
-    let mut stats = AnalysisStats { explorations: 1, ..AnalysisStats::default() };
+    let mut stats = AnalysisStats {
+        explorations: 1,
+        ..AnalysisStats::default()
+    };
 
     let init = (Token::initial(), Token::initial());
     visited.insert(init.clone());
@@ -262,10 +265,11 @@ pub fn analyze_nca(nca: &Nca, config: &ExactConfig) -> NcaAnalysis {
     }
 }
 
-fn reconstruct_witness(
-    parents: &HashMap<(Token, Token), ((Token, Token), u8)>,
-    found: &(Token, Token),
-) -> Vec<u8> {
+/// Predecessor links of the pair exploration: child pair -> (parent pair,
+/// input byte), enough to replay the path from the initial pair.
+type ParentLinks = HashMap<(Token, Token), ((Token, Token), u8)>;
+
+fn reconstruct_witness(parents: &ParentLinks, found: &(Token, Token)) -> Vec<u8> {
     let mut bytes = Vec::new();
     let mut cur = found.clone();
     while let Some((parent, byte)) = parents.get(&cur) {
@@ -371,9 +375,15 @@ mod tests {
                 }
             }
             if max_deg >= 2 {
-                assert!(any_flagged, "{p}: dynamic degree {max_deg} but no state flagged");
+                assert!(
+                    any_flagged,
+                    "{p}: dynamic degree {max_deg} but no state flagged"
+                );
             } else {
-                assert!(!any_flagged, "{p}: flagged ambiguous but degree stayed {max_deg}");
+                assert!(
+                    !any_flagged,
+                    "{p}: flagged ambiguous but degree stayed {max_deg}"
+                );
             }
         }
     }
@@ -383,19 +393,32 @@ mod tests {
         let a = nca(".*a{3}");
         let res = analyze_nca(
             &a,
-            &ExactConfig { witness: true, stop: StopPolicy::FirstAmbiguity, ..Default::default() },
+            &ExactConfig {
+                witness: true,
+                stop: StopPolicy::FirstAmbiguity,
+                ..Default::default()
+            },
         );
         let w = res.witness.expect("ambiguous regex must yield witness");
         // Replaying the witness must put ≥ 2 tokens on some state.
         let mut eng = TokenSetEngine::new(&a);
         eng.matches(&w);
-        assert!(eng.observed_degree() >= 2, "witness {w:?} does not exhibit ambiguity");
+        assert!(
+            eng.observed_degree() >= 2,
+            "witness {w:?} does not exhibit ambiguity"
+        );
     }
 
     #[test]
     fn budget_degrades_gracefully() {
         let a = nca(".*[^a]a{100}");
-        let res = analyze_nca(&a, &ExactConfig { max_pairs: 10, ..Default::default() });
+        let res = analyze_nca(
+            &a,
+            &ExactConfig {
+                max_pairs: 10,
+                ..Default::default()
+            },
+        );
         assert!(!res.complete);
         assert!(res.stats.budget_exhausted);
         assert_eq!(res.nca_ambiguous(), None);

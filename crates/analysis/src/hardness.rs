@@ -21,8 +21,14 @@ use recama_syntax::{Regex, RepeatId};
 /// Panics when `set` is empty or any element / the target is 0 (degenerate
 /// instances the reduction does not need).
 pub fn subset_sum_regex(set: &[u32], target: u32) -> Regex {
-    assert!(!set.is_empty(), "subset-sum instance needs at least one element");
-    assert!(set.iter().all(|&n| n > 0), "subset-sum elements must be positive");
+    assert!(
+        !set.is_empty(),
+        "subset-sum instance needs at least one element"
+    );
+    assert!(
+        set.iter().all(|&n| n > 0),
+        "subset-sum elements must be positive"
+    );
     assert!(target > 0, "subset-sum target must be positive");
     let a = Regex::byte(b'a');
     let hash = Regex::byte(b'#');
@@ -43,7 +49,10 @@ pub fn subset_sum_regex(set: &[u32], target: u32) -> Regex {
         b.clone(),
     ]);
 
-    Regex::concat(vec![Regex::alt(vec![left, right]), Regex::repeat(b, 2, Some(2))])
+    Regex::concat(vec![
+        Regex::alt(vec![left, right]),
+        Regex::repeat(b, 2, Some(2)),
+    ])
 }
 
 /// The occurrence id of the rightmost `b{2}` in [`subset_sum_regex`]'s
@@ -59,8 +68,13 @@ mod tests {
 
     fn solve(set: &[u32], target: u32) -> Verdict {
         let r = subset_sum_regex(set, target);
-        check_occurrence(&r, target_occurrence(set.len()), Method::Exact, &CheckConfig::default())
-            .verdict
+        check_occurrence(
+            &r,
+            target_occurrence(set.len()),
+            Method::Exact,
+            &CheckConfig::default(),
+        )
+        .verdict
     }
 
     #[test]

@@ -48,10 +48,10 @@ pub mod hardness;
 mod stats;
 
 pub use approx::{approx_occurrence, approx_occurrence_nca, relax_except};
-pub use degree::{degree, degree_at_least, DegreeAnalysis};
 pub use checker::{
     check, check_occurrence, CheckConfig, Method, OccurrenceCheck, OccurrenceVerdict, RegexCheck,
 };
+pub use degree::{degree, degree_at_least, DegreeAnalysis};
 pub use exact::{analyze_nca, ExactConfig, NcaAnalysis, StopPolicy};
 pub use stats::{AnalysisStats, Verdict};
 

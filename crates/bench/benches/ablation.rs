@@ -29,9 +29,8 @@ fn bench_storage_plans(c: &mut Criterion) {
         .collect();
     group.throughput(Throughput::Bytes(input.len() as u64));
     group.bench_function("analysis_informed_single_value", |b| {
-        let plan = CompilePlan::with_unambiguous_states(&nca, |q: StateId| {
-            analysis.state_unambiguous(q)
-        });
+        let plan =
+            CompilePlan::with_unambiguous_states(&nca, |q: StateId| analysis.state_unambiguous(q));
         let mut e = CompiledEngine::new(&nca, plan);
         b.iter(|| e.match_ends(&input).len())
     });
@@ -50,7 +49,9 @@ fn bench_counting_representations(c: &mut Criterion) {
     group.sample_size(20);
     let r = recama::syntax::parse("k.{500,1500}").unwrap().for_stream();
     let nca = Nca::from_regex(&r);
-    let input: Vec<u8> = (0..16384u32).map(|i| if i % 97 == 0 { b'k' } else { b'.' }).collect();
+    let input: Vec<u8> = (0..16384u32)
+        .map(|i| if i % 97 == 0 { b'k' } else { b'.' })
+        .collect();
     group.throughput(Throughput::Bytes(input.len() as u64));
     group.bench_function("bit_vector_shift", |b| {
         let mut e = CompiledEngine::conservative(&nca);
@@ -69,7 +70,9 @@ fn bench_dfa_baseline(c: &mut Criterion) {
     let r = recama::syntax::parse(".*a[ab]{10}").unwrap().regex;
     let unfolded = Nca::from_regex(&unfold(&r, UnfoldPolicy::All));
     let counted = Nca::from_regex(&r);
-    let input: Vec<u8> = (0..8192u32).map(|i| if i % 3 == 0 { b'a' } else { b'b' }).collect();
+    let input: Vec<u8> = (0..8192u32)
+        .map(|i| if i % 3 == 0 { b'a' } else { b'b' })
+        .collect();
     group.throughput(Throughput::Bytes(input.len() as u64));
     group.bench_function("lazy_dfa", |b| {
         let mut e = DfaEngine::new(&unfolded);
@@ -90,18 +93,30 @@ fn bench_switch_model(c: &mut Criterion) {
     let parsed = recama::syntax::parse("^a{1200}").unwrap();
     let out = compile(
         &parsed.for_stream(),
-        &CompileOptions { unfold: UnfoldPolicy::All, ..Default::default() },
+        &CompileOptions {
+            unfold: UnfoldPolicy::All,
+            ..Default::default()
+        },
     );
     let input: Vec<u8> = std::iter::repeat_n(b'a', 4096).collect();
     group.bench_function("without_switch_energy", |b| {
-        b.iter(|| run_with(&out.network, &input, AreaGranularity::ProRata, None).energy.total_fj())
+        b.iter(|| {
+            run_with(&out.network, &input, AreaGranularity::ProRata, None)
+                .energy
+                .total_fj()
+        })
     });
     group.bench_function("with_switch_energy", |b| {
         let params = SwitchParams::default();
         b.iter(|| {
-            run_with(&out.network, &input, AreaGranularity::ProRata, Some(&params))
-                .energy
-                .total_fj()
+            run_with(
+                &out.network,
+                &input,
+                AreaGranularity::ProRata,
+                Some(&params),
+            )
+            .energy
+            .total_fj()
         })
     });
     group.finish();

@@ -11,7 +11,10 @@ fn bench_variants(c: &mut Criterion) {
     let cases = [
         ("ambiguous_sigma_star", ".*a{64}".to_string()),
         ("anchored_unambiguous", "^a[bc]{64}d".to_string()),
-        ("expensive_two_branch", ".*([^ac][ac]{64}|[^bc][bc]{64})".to_string()),
+        (
+            "expensive_two_branch",
+            ".*([^ac][ac]{64}|[^bc][bc]{64})".to_string(),
+        ),
         ("nested", "(ab{2,5}c){2,4}".to_string()),
     ];
     for (name, pattern) in &cases {

@@ -3,9 +3,7 @@
 //! bitset NFA, on the same pattern and input.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use recama::nca::{
-    unfold, CompiledEngine, Engine, Nca, NfaEngine, TokenSetEngine, UnfoldPolicy,
-};
+use recama::nca::{unfold, CompiledEngine, Engine, Nca, NfaEngine, TokenSetEngine, UnfoldPolicy};
 
 fn bench_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("software_engines");

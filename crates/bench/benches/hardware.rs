@@ -14,13 +14,20 @@ fn bench_ruleset_compile(c: &mut Criterion) {
         let ruleset = generate(id, 0.005, 2022);
         let patterns = ruleset.pattern_strings();
         group.bench_with_input(CritId::new("augmented", id.name()), &patterns, |b, p| {
-            b.iter(|| compile_ruleset(p, &CompileOptions::default()).network.node_count())
+            b.iter(|| {
+                compile_ruleset(p, &CompileOptions::default())
+                    .network
+                    .node_count()
+            })
         });
         group.bench_with_input(CritId::new("unfold_all", id.name()), &patterns, |b, p| {
             b.iter(|| {
                 compile_ruleset(
                     p,
-                    &CompileOptions { unfold: UnfoldPolicy::All, ..Default::default() },
+                    &CompileOptions {
+                        unfold: UnfoldPolicy::All,
+                        ..Default::default()
+                    },
                 )
                 .network
                 .node_count()

@@ -12,13 +12,20 @@ fn bench_simulation_throughput(c: &mut Criterion) {
     let input: Vec<u8> = std::iter::repeat_n(b'a', 4096).collect();
     group.throughput(Throughput::Bytes(input.len() as u64));
     for n in [64u32, 512] {
-        let anchored = recama::syntax::parse(&format!("^a{{{n}}}")).unwrap().for_stream();
-        let streaming = recama::syntax::parse(&format!("a{{{n}}}")).unwrap().for_stream();
+        let anchored = recama::syntax::parse(&format!("^a{{{n}}}"))
+            .unwrap()
+            .for_stream();
+        let streaming = recama::syntax::parse(&format!("a{{{n}}}"))
+            .unwrap()
+            .for_stream();
         let counter_net = compile(&anchored, &CompileOptions::default()).network;
         let bv_net = compile(&streaming, &CompileOptions::default()).network;
         let unfolded_net = compile(
             &streaming,
-            &CompileOptions { unfold: UnfoldPolicy::All, ..Default::default() },
+            &CompileOptions {
+                unfold: UnfoldPolicy::All,
+                ..Default::default()
+            },
         )
         .network;
         group.bench_with_input(CritId::new("counter_module", n), &counter_net, |b, net| {
@@ -41,15 +48,23 @@ fn bench_compile_time(c: &mut Criterion) {
     let mut group = c.benchmark_group("compile_micro");
     group.sample_size(20);
     for n in [64u32, 512] {
-        let stream = recama::syntax::parse(&format!("a{{{n}}}")).unwrap().for_stream();
+        let stream = recama::syntax::parse(&format!("a{{{n}}}"))
+            .unwrap()
+            .for_stream();
         group.bench_with_input(CritId::new("modules", n), &stream, |b, r| {
             b.iter(|| compile(r, &CompileOptions::default()).network.node_count())
         });
         group.bench_with_input(CritId::new("unfold_all", n), &stream, |b, r| {
             b.iter(|| {
-                compile(r, &CompileOptions { unfold: UnfoldPolicy::All, ..Default::default() })
-                    .network
-                    .node_count()
+                compile(
+                    r,
+                    &CompileOptions {
+                        unfold: UnfoldPolicy::All,
+                        ..Default::default()
+                    },
+                )
+                .network
+                .node_count()
             })
         });
     }

@@ -41,7 +41,10 @@ fn main() {
         for (label, policy) in &thresholds {
             let out = compile_ruleset(
                 &patterns,
-                &CompileOptions { unfold: *policy, ..Default::default() },
+                &CompileOptions {
+                    unfold: *policy,
+                    ..Default::default()
+                },
             );
             let report = run(&out.network, &input, AreaGranularity::WholeModule);
             let energy = report.energy.nj_per_byte();

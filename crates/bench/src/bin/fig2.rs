@@ -15,21 +15,28 @@ use recama_bench::{analyze_patterns, banner, ms, scale, seed};
 
 fn main() {
     let scale = scale();
-    banner(&format!("Fig. 2: static analysis cost vs mu(r)  (scale {scale})"));
+    banner(&format!(
+        "Fig. 2: static analysis cost vs mu(r)  (scale {scale})"
+    ));
     let variants = [
         (Method::Exact, "E"),
         (Method::Approximate, "A"),
         (Method::Hybrid, "H"),
         (Method::HybridWitness, "HW"),
     ];
-    println!("{:<12} {:>3} {:>8} {:>12} {:>12}", "benchmark", "var", "mu", "time_ms", "pairs");
+    println!(
+        "{:<12} {:>3} {:>8} {:>12} {:>12}",
+        "benchmark", "var", "mu", "time_ms", "pairs"
+    );
     for id in BenchmarkId::ALL {
         let ruleset = generate(id, scale, seed());
         let patterns: Vec<String> = ruleset
             .pattern_strings()
             .into_iter()
             .filter(|p| {
-                recama::syntax::parse(p).map(|x| x.regex.has_counting()).unwrap_or(false)
+                recama::syntax::parse(p)
+                    .map(|x| x.regex.has_counting())
+                    .unwrap_or(false)
             })
             .collect();
         for (method, tag) in variants {

@@ -13,15 +13,22 @@ use recama_bench::{analyze_patterns, banner, ms, scale, seed};
 
 fn main() {
     let scale = scale();
-    banner(&format!("Fig. 3: exact vs hybrid analysis time, Snort + Suricata (scale {scale})"));
-    println!("{:<10} {:>8} {:>12} {:>12} {:>9}", "benchmark", "mu", "exact_ms", "hybrid_ms", "speedup");
+    banner(&format!(
+        "Fig. 3: exact vs hybrid analysis time, Snort + Suricata (scale {scale})"
+    ));
+    println!(
+        "{:<10} {:>8} {:>12} {:>12} {:>9}",
+        "benchmark", "mu", "exact_ms", "hybrid_ms", "speedup"
+    );
     for id in [BenchmarkId::Snort, BenchmarkId::Suricata] {
         let ruleset = generate(id, scale, seed());
         let patterns: Vec<String> = ruleset
             .pattern_strings()
             .into_iter()
             .filter(|p| {
-                recama::syntax::parse(p).map(|x| x.regex.has_counting()).unwrap_or(false)
+                recama::syntax::parse(p)
+                    .map(|x| x.regex.has_counting())
+                    .unwrap_or(false)
             })
             .collect();
         let exact = analyze_patterns(&patterns, Method::Exact, &CheckConfig::default());

@@ -32,7 +32,9 @@ fn main() {
     );
     for n in ns {
         // Left: a{n} anchored — counter module vs unfolding.
-        let counter_pat = recama::syntax::parse(&format!("^a{{{n}}}")).unwrap().for_stream();
+        let counter_pat = recama::syntax::parse(&format!("^a{{{n}}}"))
+            .unwrap()
+            .for_stream();
         let counter = run(
             &compile(&counter_pat, &CompileOptions::default()).network,
             &input,
@@ -41,22 +43,33 @@ fn main() {
         let counter_unf = run(
             &compile(
                 &counter_pat,
-                &CompileOptions { unfold: UnfoldPolicy::All, ..Default::default() },
+                &CompileOptions {
+                    unfold: UnfoldPolicy::All,
+                    ..Default::default()
+                },
             )
             .network,
             &input,
             AreaGranularity::ProRata,
         );
         // Right: Σ*a{n} — bit vector vs unfolding.
-        let bv_pat = recama::syntax::parse(&format!("a{{{n}}}")).unwrap().for_stream();
+        let bv_pat = recama::syntax::parse(&format!("a{{{n}}}"))
+            .unwrap()
+            .for_stream();
         let bv = run(
             &compile(&bv_pat, &CompileOptions::default()).network,
             &input,
             AreaGranularity::ProRata,
         );
         let bv_unf = run(
-            &compile(&bv_pat, &CompileOptions { unfold: UnfoldPolicy::All, ..Default::default() })
-                .network,
+            &compile(
+                &bv_pat,
+                &CompileOptions {
+                    unfold: UnfoldPolicy::All,
+                    ..Default::default()
+                },
+            )
+            .network,
             &input,
             AreaGranularity::ProRata,
         );

@@ -14,7 +14,9 @@ use recama_bench::{banner, scale, seed};
 
 fn main() {
     let scale = scale();
-    banner(&format!("Fig. 9: # MNRL nodes vs unfolding threshold (scale {scale})"));
+    banner(&format!(
+        "Fig. 9: # MNRL nodes vs unfolding threshold (scale {scale})"
+    ));
     let thresholds: [(&str, UnfoldPolicy); 9] = [
         ("none", UnfoldPolicy::None),
         ("5", UnfoldPolicy::UpTo(5)),
@@ -38,7 +40,10 @@ fn main() {
         for (_, policy) in &thresholds {
             let out = compile_ruleset(
                 &patterns,
-                &CompileOptions { unfold: *policy, ..Default::default() },
+                &CompileOptions {
+                    unfold: *policy,
+                    ..Default::default()
+                },
             );
             print!(" {:>9}", out.network.node_count());
         }

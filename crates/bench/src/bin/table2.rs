@@ -11,24 +11,44 @@ use recama_bench::banner;
 
 fn main() {
     banner("Table 2: hardware component parameters (TSMC 28 nm, SPICE-derived)");
-    println!("{:<22} {:>12} {:>11} {:>11}", "Component", "Energy (fJ)", "Delay (ps)", "Area (um2)");
+    println!(
+        "{:<22} {:>12} {:>11} {:>11}",
+        "Component", "Energy (fJ)", "Delay (ps)", "Area (um2)"
+    );
     for (name, p) in [
         ("CAMA bank (256 STE)", params::CAM_BLOCK),
         ("17-bit counter", params::COUNTER_MODULE),
         ("2000-bit vector", params::BITVECTOR_MODULE),
     ] {
-        println!("{:<22} {:>12.0} {:>11.0} {:>11.0}", name, p.energy_fj, p.delay_ps, p.area_um2);
+        println!(
+            "{:<22} {:>12.0} {:>11.0} {:>11.0}",
+            name, p.energy_fj, p.delay_ps, p.area_um2
+        );
     }
     println!();
-    println!("clock:                 {:.2} GHz ({:.0} ps cycle)", params::CLOCK_GHZ, params::CYCLE_PS);
-    println!("per-STE match energy:  {:.2} fJ/byte", params::match_energy_per_column_fj());
-    println!("per-STE area:          {:.2} um2", params::area_per_column_um2());
+    println!(
+        "clock:                 {:.2} GHz ({:.0} ps cycle)",
+        params::CLOCK_GHZ,
+        params::CYCLE_PS
+    );
+    println!(
+        "per-STE match energy:  {:.2} fJ/byte",
+        params::match_energy_per_column_fj()
+    );
+    println!(
+        "per-STE area:          {:.2} um2",
+        params::area_per_column_um2()
+    );
     println!(
         "single-cycle feasible: {} (CAM {:.0} ps + module {:.0} ps <= {:.0} ps)",
         params::single_cycle_feasible(),
         params::CAM_BLOCK.delay_ps,
-        params::COUNTER_MODULE.delay_ps.max(params::BITVECTOR_MODULE.delay_ps),
+        params::COUNTER_MODULE
+            .delay_ps
+            .max(params::BITVECTOR_MODULE.delay_ps),
         params::CYCLE_PS
     );
-    println!("=> counter/bit-vector operations add no performance penalty at CAMA-T's clock (§4.3)");
+    println!(
+        "=> counter/bit-vector operations add no performance penalty at CAMA-T's clock (§4.3)"
+    );
 }

@@ -14,24 +14,33 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use parking_lot::Mutex;
 use recama::analysis::{check, CheckConfig, Method, RegexCheck};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// Ruleset scale factor from `RECAMA_SCALE` (default 0.02).
 pub fn scale() -> f64 {
-    std::env::var("RECAMA_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.02)
+    std::env::var("RECAMA_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.02)
 }
 
 /// Generator seed from `RECAMA_SEED` (default 2022).
 pub fn seed() -> u64 {
-    std::env::var("RECAMA_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(2022)
+    std::env::var("RECAMA_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2022)
 }
 
 /// Traffic length from `RECAMA_TRAFFIC` (default 16 KiB).
 pub fn traffic_len() -> usize {
-    std::env::var("RECAMA_TRAFFIC").ok().and_then(|v| v.parse().ok()).unwrap_or(16 * 1024)
+    std::env::var("RECAMA_TRAFFIC")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16 * 1024)
 }
 
 /// Worker thread count from `RECAMA_THREADS` (default: hardware).
@@ -39,7 +48,11 @@ pub fn threads() -> usize {
     std::env::var("RECAMA_THREADS")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
         .max(1)
 }
 
@@ -58,8 +71,8 @@ pub struct PatternAnalysis {
     pub time: Duration,
 }
 
-/// Analyzes a whole pattern list in parallel (crossbeam scoped workers) in
-/// the streaming form `Σ*r`, with the given checker method.
+/// Analyzes a whole pattern list in parallel (std scoped workers) in the
+/// streaming form `Σ*r`, with the given checker method.
 pub fn analyze_patterns(
     patterns: &[String],
     method: Method,
@@ -67,23 +80,32 @@ pub fn analyze_patterns(
 ) -> Vec<PatternAnalysis> {
     let results: Mutex<Vec<Option<PatternAnalysis>>> = Mutex::new(vec![None; patterns.len()]);
     let cursor = AtomicUsize::new(0);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads() {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= patterns.len() {
                     break;
                 }
                 let record = analyze_one(i, &patterns[i], method, config);
-                results.lock()[i] = Some(record);
+                results.lock().expect("no poisoned workers")[i] = Some(record);
             });
         }
-    })
-    .expect("analysis workers");
-    results.into_inner().into_iter().map(|r| r.expect("all indices filled")).collect()
+    });
+    results
+        .into_inner()
+        .expect("no poisoned workers")
+        .into_iter()
+        .map(|r| r.expect("all indices filled"))
+        .collect()
 }
 
-fn analyze_one(index: usize, pattern: &str, method: Method, config: &CheckConfig) -> PatternAnalysis {
+fn analyze_one(
+    index: usize,
+    pattern: &str,
+    method: Method,
+    config: &CheckConfig,
+) -> PatternAnalysis {
     let start = std::time::Instant::now();
     match recama::syntax::parse(pattern) {
         Ok(parsed) => {
@@ -91,9 +113,21 @@ fn analyze_one(index: usize, pattern: &str, method: Method, config: &CheckConfig
             let mu = stream.mu();
             let counting = stream.has_counting();
             let check = check(&stream, method, config);
-            PatternAnalysis { index, mu, counting, check: Some(check), time: start.elapsed() }
+            PatternAnalysis {
+                index,
+                mu,
+                counting,
+                check: Some(check),
+                time: start.elapsed(),
+            }
         }
-        Err(_) => PatternAnalysis { index, mu: 0, counting: false, check: None, time: start.elapsed() },
+        Err(_) => PatternAnalysis {
+            index,
+            mu: 0,
+            counting: false,
+            check: None,
+            time: start.elapsed(),
+        },
     }
 }
 

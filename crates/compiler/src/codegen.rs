@@ -49,11 +49,17 @@ fn classify(t: &Transition) -> EdgeShape {
         match op {
             ActionOp::Set(c, v) => {
                 debug_assert_eq!(*v, 1, "entry actions set counters to 1");
-                debug_assert!(entered.is_none(), "multiple entries per edge (nested modules?)");
+                debug_assert!(
+                    entered.is_none(),
+                    "multiple entries per edge (nested modules?)"
+                );
                 entered = Some(*c);
             }
             ActionOp::Inc(c) | ActionOp::IncSat(c, _) => {
-                debug_assert!(looped.is_none(), "multiple loops per edge (nested modules?)");
+                debug_assert!(
+                    looped.is_none(),
+                    "multiple loops per edge (nested modules?)"
+                );
                 looped = Some(*c);
             }
         }
@@ -77,7 +83,11 @@ fn classify(t: &Transition) -> EdgeShape {
             }
         }
     }
-    EdgeShape { entered, looped, exited }
+    EdgeShape {
+        entered,
+        looped,
+        exited,
+    }
 }
 
 /// Emits the MNRL network for `nca`, realizing counter `k` with
@@ -88,7 +98,11 @@ fn classify(t: &Transition) -> EdgeShape {
 /// Panics if `modules.len() != nca.counters().len()` or if the automaton
 /// violates the no-nested-modules precondition (debug builds).
 pub fn emit(nca: &Nca, modules: &[ModuleKind], id: &str) -> MnrlNetwork {
-    assert_eq!(modules.len(), nca.counters().len(), "one module kind per counter");
+    assert_eq!(
+        modules.len(),
+        nca.counters().len(),
+        "one module kind per counter"
+    );
     let mut net = MnrlNetwork::new(id);
 
     // Shells for STEs (skip q0).
@@ -126,7 +140,13 @@ pub fn emit(nca: &Nca, modules: &[ModuleKind], id: &str) -> MnrlNetwork {
                 );
                 module_shell[c.index()].report = true;
                 // The accepting state is a `lst` source for the module.
-                module_port_in(&mut ste[qi].connections, StateId(qi as u32), c, modules, true);
+                module_port_in(
+                    &mut ste[qi].connections,
+                    StateId(qi as u32),
+                    c,
+                    modules,
+                    true,
+                );
             }
         }
     }
@@ -159,7 +179,13 @@ pub fn emit(nca: &Nca, modules: &[ModuleKind], id: &str) -> MnrlNetwork {
                 to_port: Port::Main,
             });
             // Loop source is `lst`, loop target is `fst`.
-            module_port_in(&mut ste[t.from.index()].connections, t.from, c, modules, true);
+            module_port_in(
+                &mut ste[t.from.index()].connections,
+                t.from,
+                c,
+                modules,
+                true,
+            );
             module_port_in(&mut ste[t.to.index()].connections, t.to, c, modules, false);
             continue;
         }
@@ -169,7 +195,13 @@ pub fn emit(nca: &Nca, modules: &[ModuleKind], id: &str) -> MnrlNetwork {
                 to: ste_id(t.to),
                 to_port: Port::Main,
             });
-            module_port_in(&mut ste[t.from.index()].connections, t.from, c, modules, true);
+            module_port_in(
+                &mut ste[t.from.index()].connections,
+                t.from,
+                c,
+                modules,
+                true,
+            );
             continue;
         }
         // Direct STE→STE activation (includes entry edges).
@@ -187,31 +219,46 @@ pub fn emit(nca: &Nca, modules: &[ModuleKind], id: &str) -> MnrlNetwork {
     for (qi, state) in nca.states().iter().enumerate().skip(1) {
         let shell = &ste[qi];
         let mut connections: Vec<Connection> = shell.connections.iter().cloned().collect();
-        connections.sort_by(|a, b| (a.to.clone(), a.to_port.name()).cmp(&(b.to.clone(), b.to_port.name())));
+        connections.sort_by(|a, b| {
+            (a.to.clone(), a.to_port.name()).cmp(&(b.to.clone(), b.to_port.name()))
+        });
         net.add_node(Node {
             id: ste_id(StateId(qi as u32)),
-            kind: NodeKind::State { symbol_set: state.class },
+            kind: NodeKind::State {
+                symbol_set: state.class,
+            },
             enable: shell.enable,
             report: shell.report,
+            report_id: None,
             connections,
         });
     }
     for (k, info) in nca.counters().iter().enumerate() {
         let shell = &module_shell[k];
         let kind = match modules[k] {
-            ModuleKind::Counter => NodeKind::Counter { min: info.min, max: info.max },
+            ModuleKind::Counter => NodeKind::Counter {
+                min: info.min,
+                max: info.max,
+            },
             ModuleKind::BitVector => {
                 let n = info.max.expect("bit vectors require bounded repetition");
-                NodeKind::BitVector { size: n, lo: info.min, hi: n }
+                NodeKind::BitVector {
+                    size: n,
+                    lo: info.min,
+                    hi: n,
+                }
             }
         };
         let mut connections: Vec<Connection> = shell.connections.iter().cloned().collect();
-        connections.sort_by(|a, b| (a.to.clone(), a.to_port.name()).cmp(&(b.to.clone(), b.to_port.name())));
+        connections.sort_by(|a, b| {
+            (a.to.clone(), a.to_port.name()).cmp(&(b.to.clone(), b.to_port.name()))
+        });
         net.add_node(Node {
             id: module_id(CounterId(k as u32)),
             kind,
             enable: shell.enable,
             report: shell.report,
+            report_id: None,
             connections,
         });
     }
@@ -236,7 +283,11 @@ fn module_port_in(
             }
         }
     };
-    connections.insert(Connection { from_port: Port::Main, to: module_id(c), to_port });
+    connections.insert(Connection {
+        from_port: Port::Main,
+        to: module_id(c),
+        to_port,
+    });
 }
 
 #[cfg(test)]
@@ -260,15 +311,19 @@ mod tests {
             .iter()
             .find(|n| matches!(n.kind, NK::Counter { .. }))
             .expect("counter module");
-        assert_eq!(module.kind, NK::Counter { min: 3, max: Some(7) });
+        assert_eq!(
+            module.kind,
+            NK::Counter {
+                min: 3,
+                max: Some(7)
+            }
+        );
         // a drives pre; b is fst (from a's entry and the loop); c is lst.
         let find_ste = |byte: u8| {
             net.nodes()
                 .iter()
                 .find(|n| match &n.kind {
-                    NK::State { symbol_set } => {
-                        symbol_set.len() == 1 && symbol_set.contains(byte)
-                    }
+                    NK::State { symbol_set } => symbol_set.len() == 1 && symbol_set.contains(byte),
                     _ => false,
                 })
                 .unwrap_or_else(|| panic!("STE for {}", byte as char))
@@ -277,10 +332,22 @@ mod tests {
         let b = find_ste(b'b');
         let c = find_ste(b'c');
         let d = find_ste(b'd');
-        assert!(a.connections.iter().any(|x| x.to == module.id && x.to_port == Port::Pre));
-        assert!(a.connections.iter().any(|x| x.to == b.id && x.to_port == Port::Main));
-        assert!(b.connections.iter().any(|x| x.to == module.id && x.to_port == Port::Fst));
-        assert!(c.connections.iter().any(|x| x.to == module.id && x.to_port == Port::Lst));
+        assert!(a
+            .connections
+            .iter()
+            .any(|x| x.to == module.id && x.to_port == Port::Pre));
+        assert!(a
+            .connections
+            .iter()
+            .any(|x| x.to == b.id && x.to_port == Port::Main));
+        assert!(b
+            .connections
+            .iter()
+            .any(|x| x.to == module.id && x.to_port == Port::Fst));
+        assert!(c
+            .connections
+            .iter()
+            .any(|x| x.to == module.id && x.to_port == Port::Lst));
         // Module outputs: en_fst → b, en_out → d.
         assert!(module
             .connections
@@ -309,12 +376,23 @@ mod tests {
             .iter()
             .find(|n| matches!(n.kind, NK::BitVector { .. }))
             .expect("bit vector module");
-        assert_eq!(bv.kind, NK::BitVector { size: 5, lo: 3, hi: 5 });
+        assert_eq!(
+            bv.kind,
+            NK::BitVector {
+                size: 5,
+                lo: 3,
+                hi: 5
+            }
+        );
         // The [ab] body STE feeds `body`, en_body loops back to it.
         let body = net
             .nodes()
             .iter()
-            .find(|n| n.connections.iter().any(|c| c.to == bv.id && c.to_port == Port::Body))
+            .find(|n| {
+                n.connections
+                    .iter()
+                    .any(|c| c.to == bv.id && c.to_port == Port::Body)
+            })
             .expect("body STE");
         assert!(bv
             .connections

@@ -140,8 +140,7 @@ pub fn compile(regex: &Regex, options: &CompileOptions) -> CompileOutput {
             .enumerate()
             .map(|(k, info)| {
                 let bound = info.max.unwrap_or(info.min);
-                let block_unambiguous =
-                    analysis.complete && !analysis.block_ambiguous_counters[k];
+                let block_unambiguous = analysis.complete && !analysis.block_ambiguous_counters[k];
                 if block_unambiguous && bound <= COUNTER_MAX_BOUND {
                     Decision::Counter
                 } else if info.single_class_body.is_some()
@@ -173,7 +172,14 @@ pub fn compile(regex: &Regex, options: &CompileOptions) -> CompileOutput {
                 })
                 .collect::<Vec<_>>();
             let network = codegen::emit(&nca, &modules, "regex");
-            return CompileOutput { network, normalized, nca, modules, analysis, report };
+            return CompileOutput {
+                network,
+                normalized,
+                nca,
+                modules,
+                analysis,
+                report,
+            };
         }
         report.unfolded_occurrences += to_unfold.len() as u32;
         current = unfold_by_ids(&normalized, &to_unfold);
@@ -252,7 +258,11 @@ fn unfold_by_ids(regex: &Regex, ids: &HashSet<RepeatId>) -> Regex {
                 if ids.contains(&id) {
                     unfold_one(body, *min, *max)
                 } else {
-                    Regex::Repeat { inner: Box::new(body), min: *min, max: *max }
+                    Regex::Repeat {
+                        inner: Box::new(body),
+                        min: *min,
+                        max: *max,
+                    }
                 }
             }
         }
@@ -268,27 +278,41 @@ pub struct RulesetOutput {
     pub network: MnrlNetwork,
     /// Per-rule outputs (same order as the accepted patterns).
     pub rules: Vec<CompileOutput>,
+    /// Original pattern index of each accepted rule (parallel to
+    /// `rules`); reporting nodes of rule `k` carry `report_id = k`.
+    pub rule_sources: Vec<usize>,
     /// (index, error message) of rejected patterns.
     pub rejected: Vec<(usize, String)>,
 }
 
 /// Compiles every pattern of a ruleset in streaming form (`Σ*r`) and merges
-/// the networks — the machine image whose size Fig. 9 plots.
+/// the networks — the machine image whose size Fig. 9 plots. Every
+/// reporting node of rule `k` (numbering the *accepted* rules) is stamped
+/// with `report_id = k`, so simulator reports attribute to rules without
+/// node-id parsing.
 pub fn compile_ruleset(patterns: &[String], options: &CompileOptions) -> RulesetOutput {
     let mut network = MnrlNetwork::new("ruleset");
     let mut rules = Vec::new();
+    let mut rule_sources = Vec::new();
     let mut rejected = Vec::new();
     for (i, p) in patterns.iter().enumerate() {
         match recama_syntax::parse(p) {
             Ok(parsed) => {
                 let out = compile(&parsed.for_stream(), options);
-                network.merge_prefixed(&out.network, &format!("r{i}_"));
+                let rule_id = rules.len() as u32;
+                network.merge_as_rule(&out.network, &format!("r{i}_"), rule_id);
                 rules.push(out);
+                rule_sources.push(i);
             }
             Err(e) => rejected.push((i, e.to_string())),
         }
     }
-    RulesetOutput { network, rules, rejected }
+    RulesetOutput {
+        network,
+        rules,
+        rule_sources,
+        rejected,
+    }
 }
 
 #[cfg(test)]
@@ -309,7 +333,11 @@ mod tests {
         assert_eq!(bvs, 0);
         // a, b, c, d STEs only — no unfolding.
         assert_eq!(states, 4);
-        assert!(out.network.validate().is_empty(), "{:?}", out.network.validate());
+        assert!(
+            out.network.validate().is_empty(),
+            "{:?}",
+            out.network.validate()
+        );
     }
 
     #[test]
@@ -321,7 +349,11 @@ mod tests {
         assert_eq!((counters, bvs), (0, 1));
         // Σ self-loop STE + one a STE.
         assert_eq!(states, 2);
-        assert!(out.network.validate().is_empty(), "{:?}", out.network.validate());
+        assert!(
+            out.network.validate().is_empty(),
+            "{:?}",
+            out.network.validate()
+        );
     }
 
     #[test]
@@ -339,7 +371,10 @@ mod tests {
     fn threshold_unfolds_small_bounds() {
         let out = compile(
             &stream("^x[ab]{3}y[cd]{100}z"),
-            &CompileOptions { unfold: UnfoldPolicy::UpTo(10), ..Default::default() },
+            &CompileOptions {
+                unfold: UnfoldPolicy::UpTo(10),
+                ..Default::default()
+            },
         );
         // [ab]{3} unfolded by threshold; [cd]{100} counter (anchored, no Σ*).
         assert_eq!(out.modules, vec![ModuleKind::Counter]);
@@ -352,7 +387,10 @@ mod tests {
     fn unfold_all_produces_pure_nfa() {
         let out = compile(
             &stream("a{20}b{4,7}"),
-            &CompileOptions { unfold: UnfoldPolicy::All, ..Default::default() },
+            &CompileOptions {
+                unfold: UnfoldPolicy::All,
+                ..Default::default()
+            },
         );
         assert!(out.modules.is_empty());
         assert!(out.nca.counters().is_empty());
@@ -377,8 +415,7 @@ mod tests {
 
     #[test]
     fn ruleset_merging_counts_nodes() {
-        let patterns: Vec<String> =
-            vec!["^a{30}".into(), "bad(".into(), "^[xy]{5}z".into()];
+        let patterns: Vec<String> = vec!["^a{30}".into(), "bad(".into(), "^[xy]{5}z".into()];
         let out = compile_ruleset(&patterns, &CompileOptions::default());
         assert_eq!(out.rules.len(), 2);
         assert_eq!(out.rejected.len(), 1);
@@ -392,10 +429,23 @@ mod tests {
         let patterns: Vec<String> = vec!["^a[bc]{200}d".into(), "^e{64}f".into()];
         let mut last = 0usize;
         for k in [0u32, 10, 100, 1000] {
-            let policy = if k == 0 { UnfoldPolicy::None } else { UnfoldPolicy::UpTo(k) };
-            let out = compile_ruleset(&patterns, &CompileOptions { unfold: policy, ..Default::default() });
+            let policy = if k == 0 {
+                UnfoldPolicy::None
+            } else {
+                UnfoldPolicy::UpTo(k)
+            };
+            let out = compile_ruleset(
+                &patterns,
+                &CompileOptions {
+                    unfold: policy,
+                    ..Default::default()
+                },
+            );
             let n = out.network.node_count();
-            assert!(n >= last, "node count must not shrink: {last} -> {n} at k={k}");
+            assert!(
+                n >= last,
+                "node count must not shrink: {last} -> {n} at k={k}"
+            );
             last = n;
         }
         assert!(last >= 264, "full unfolding must dominate: {last}");

@@ -43,9 +43,14 @@ pub use recama_nca as nca;
 pub use recama_syntax as syntax;
 pub use recama_workloads as workloads;
 
+mod set;
+
+pub use set::{PatternSet, SetCompileError, SetMatch, SetStream};
+
 use recama_compiler::{compile, CompileOptions, CompileOutput};
-use recama_nca::{CompilePlan, CompiledEngine, Engine, StateId};
+use recama_nca::{CompilePlan, CompiledEngine, Engine, Nca, StateId};
 use recama_syntax::{ParseError, Parsed};
+use std::sync::OnceLock;
 
 /// A compiled pattern: the full software–hardware pipeline applied to one
 /// regex, ready for matching (software twin) and for hardware simulation.
@@ -58,6 +63,9 @@ use recama_syntax::{ParseError, Parsed};
 pub struct Pattern {
     parsed: Parsed,
     compiled: CompileOutput,
+    /// Reversed automaton for span location, built on first use (repeated
+    /// `find_spans` calls must not re-run the Glushkov construction).
+    reversed: OnceLock<Nca>,
 }
 
 impl Pattern {
@@ -81,7 +89,11 @@ impl Pattern {
     pub fn compile_with(pattern: &str, options: &CompileOptions) -> Result<Pattern, ParseError> {
         let parsed = recama_syntax::parse(pattern)?;
         let compiled = compile(&parsed.for_stream(), options);
-        Ok(Pattern { parsed, compiled })
+        Ok(Pattern {
+            parsed,
+            compiled,
+            reversed: OnceLock::new(),
+        })
     }
 
     /// The parse result (AST + anchors).
@@ -194,8 +206,8 @@ impl Pattern {
         if ends.is_empty() {
             return Vec::new();
         }
-        let reversed = recama_nca::Nca::from_regex(&self.parsed.regex.reverse());
-        let mut engine = recama_nca::TokenSetEngine::new(&reversed);
+        let reversed = self.reversed_nca();
+        let mut engine = recama_nca::TokenSetEngine::new(reversed);
         ends.into_iter()
             .map(|end| {
                 // Feed haystack[..end] reversed; accepting after k bytes
@@ -215,6 +227,13 @@ impl Pattern {
             })
             .collect()
     }
+
+    /// The reversed automaton, constructed lazily on first span query and
+    /// cached for the pattern's lifetime.
+    fn reversed_nca(&self) -> &Nca {
+        self.reversed
+            .get_or_init(|| Nca::from_regex(&self.parsed.regex.reverse()))
+    }
 }
 
 #[cfg(test)]
@@ -227,7 +246,10 @@ mod span_tests {
         let spans = p.find_spans(b"zzabbc..abbbc");
         assert_eq!(
             spans,
-            vec![MatchSpan { start: 2, end: 6 }, MatchSpan { start: 8, end: 13 }]
+            vec![
+                MatchSpan { start: 2, end: 6 },
+                MatchSpan { start: 8, end: 13 }
+            ]
         );
     }
 
@@ -242,7 +264,7 @@ mod span_tests {
     }
 
     #[test]
-    fn span_contents_rematch(){
+    fn span_contents_rematch() {
         let p = Pattern::compile("k[ab]{2,5}z").unwrap();
         let hay = b"..kabz..kababz..";
         for span in p.find_spans(hay) {

@@ -1,0 +1,419 @@
+//! [`PatternSet`]: a whole ruleset compiled into one shared machine image
+//! and one software engine.
+//!
+//! The paper's evaluation operates on rulesets (Snort, Suricata,
+//! Protomata, SpamAssassin, ClamAV — Table 1), and deployments of this
+//! class of matcher always compile the full set into a single automaton
+//! scanned once per input stream. `PatternSet` is that subsystem:
+//!
+//! * each pattern runs the ordinary per-pattern pipeline (parse →
+//!   analysis → module selection), so the counter/bit-vector decisions of
+//!   §4.2 are reused unchanged;
+//! * the per-pattern MNRL networks merge into **one** network whose
+//!   reporting nodes carry per-pattern report ids;
+//! * the per-pattern NCAs merge into **one** shared automaton executed by
+//!   the batched [`MultiEngine`](recama_nca::MultiEngine) (shared
+//!   byte-class alphabet, dense state frontiers);
+//! * [`PatternSet::stream`] processes traffic in chunks without
+//!   re-scanning — the ingestion shape of a production deployment.
+
+use crate::Pattern;
+use recama_compiler::{compile, CompileOptions, CompileOutput};
+use recama_mnrl::MnrlNetwork;
+use recama_nca::{CompilePlan, MultiEngine, MultiNca, StateId};
+use recama_syntax::ParseError;
+use std::fmt;
+
+/// A match reported by a [`PatternSet`]: pattern `pattern` (index into
+/// the compiled set) matched ending at 1-based byte offset `end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SetMatch {
+    /// Index of the matching pattern in the set.
+    pub pattern: usize,
+    /// 1-based end offset of the match.
+    pub end: usize,
+}
+
+/// Error from [`PatternSet::compile_many`]: pattern `index` failed.
+#[derive(Debug)]
+pub struct SetCompileError {
+    /// Index of the offending pattern in the input list.
+    pub index: usize,
+    /// The underlying parse/support error.
+    pub error: ParseError,
+}
+
+impl fmt::Display for SetCompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pattern #{}: {}", self.index, self.error)
+    }
+}
+
+impl std::error::Error for SetCompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// A compiled ruleset: one merged extended-MNRL network and one shared
+/// software engine for the entire set.
+///
+/// Mirrors [`Pattern`]'s API at set granularity: [`compile_many`] /
+/// [`find_ends`] / [`stream`] / [`network`] / [`hardware`].
+///
+/// [`compile_many`]: PatternSet::compile_many
+/// [`find_ends`]: PatternSet::find_ends
+/// [`stream`]: PatternSet::stream
+/// [`network`]: PatternSet::network
+/// [`hardware`]: PatternSet::hardware
+///
+/// # Examples
+///
+/// ```
+/// use recama::PatternSet;
+///
+/// let set = PatternSet::compile_many(&["ab{2,3}c", "xyz", "k\\d{4}"]).unwrap();
+/// let matches = set.find_ends(b"zabbc..xyz..k1234");
+/// let hits: Vec<(usize, usize)> = matches.iter().map(|m| (m.pattern, m.end)).collect();
+/// assert_eq!(hits, vec![(0, 5), (1, 10), (2, 17)]);
+/// // One merged network with per-pattern report ids:
+/// assert_eq!(set.network().report_ids(), vec![0, 1, 2]);
+/// ```
+#[derive(Debug)]
+pub struct PatternSet {
+    sources: Vec<String>,
+    outputs: Vec<CompileOutput>,
+    anchored_end: Vec<bool>,
+    network: MnrlNetwork,
+    multi: MultiNca,
+}
+
+impl PatternSet {
+    /// Compiles all `patterns` with default options.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first pattern that does not parse (or is outside the
+    /// supported fragment), identifying its index. Use
+    /// [`PatternSet::compile_filtered`] to skip bad patterns instead.
+    pub fn compile_many<S: AsRef<str>>(patterns: &[S]) -> Result<PatternSet, SetCompileError> {
+        PatternSet::compile_many_with(patterns, &CompileOptions::default())
+    }
+
+    /// Compiles all `patterns` with explicit [`CompileOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PatternSet::compile_many`].
+    pub fn compile_many_with<S: AsRef<str>>(
+        patterns: &[S],
+        options: &CompileOptions,
+    ) -> Result<PatternSet, SetCompileError> {
+        let mut accepted = Vec::with_capacity(patterns.len());
+        for (index, p) in patterns.iter().enumerate() {
+            match recama_syntax::parse(p.as_ref()) {
+                Ok(parsed) => accepted.push((p.as_ref().to_string(), parsed)),
+                Err(error) => return Err(SetCompileError { index, error }),
+            }
+        }
+        Ok(PatternSet::build(accepted, options))
+    }
+
+    /// Compiles the parseable subset of `patterns`, returning the set and
+    /// the rejected `(index, error)` pairs — the tolerant entry point for
+    /// real rulesets, which always contain out-of-fragment rules
+    /// (Table 1's unsupported rows).
+    pub fn compile_filtered<S: AsRef<str>>(
+        patterns: &[S],
+        options: &CompileOptions,
+    ) -> (PatternSet, Vec<(usize, ParseError)>) {
+        let mut accepted = Vec::with_capacity(patterns.len());
+        let mut rejected = Vec::new();
+        for (index, p) in patterns.iter().enumerate() {
+            match recama_syntax::parse(p.as_ref()) {
+                Ok(parsed) => accepted.push((p.as_ref().to_string(), parsed)),
+                Err(error) => rejected.push((index, error)),
+            }
+        }
+        (PatternSet::build(accepted, options), rejected)
+    }
+
+    fn build(
+        accepted: Vec<(String, recama_syntax::Parsed)>,
+        options: &CompileOptions,
+    ) -> PatternSet {
+        let mut sources = Vec::with_capacity(accepted.len());
+        let mut outputs = Vec::with_capacity(accepted.len());
+        let mut anchored_end = Vec::with_capacity(accepted.len());
+        let mut network = MnrlNetwork::new("pattern-set");
+        for (i, (source, parsed)) in accepted.into_iter().enumerate() {
+            let out = compile(&parsed.for_stream(), options);
+            network.merge_as_rule(&out.network, &format!("r{i}_"), i as u32);
+            sources.push(source);
+            anchored_end.push(parsed.anchored_end);
+            outputs.push(out);
+        }
+        let parts: Vec<(&recama_nca::Nca, CompilePlan)> = outputs
+            .iter()
+            .map(|out| {
+                let analysis = &out.analysis;
+                let plan = CompilePlan::with_unambiguous_states(&out.nca, |q: StateId| {
+                    analysis.state_unambiguous(q)
+                });
+                (&out.nca, plan)
+            })
+            .collect();
+        let multi = MultiNca::merge(&parts);
+        PatternSet {
+            sources,
+            outputs,
+            anchored_end,
+            network,
+            multi,
+        }
+    }
+
+    /// Number of compiled patterns.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// The source text of pattern `i`.
+    pub fn pattern(&self, i: usize) -> &str {
+        &self.sources[i]
+    }
+
+    /// Per-pattern compiler outputs (module decisions, analyses, NCAs),
+    /// indexed like the patterns.
+    pub fn outputs(&self) -> &[CompileOutput] {
+        &self.outputs
+    }
+
+    /// The merged extended-MNRL network for the whole set. Reporting
+    /// nodes of pattern `i` carry `report_id = i`.
+    pub fn network(&self) -> &MnrlNetwork {
+        &self.network
+    }
+
+    /// The merged shared automaton (one `q0`, shared byte-class
+    /// alphabet, per-pattern state ranges).
+    pub fn multi(&self) -> &MultiNca {
+        &self.multi
+    }
+
+    /// All matches in `haystack`, in stream order (ascending end offset).
+    ///
+    /// Semantics per pattern match [`Pattern::find_ends`]: search form
+    /// `Σ*·r` unless `^`-anchored, one report per (pattern, end), and a
+    /// trailing `$` keeps only that pattern's matches ending at the end
+    /// of the haystack.
+    pub fn find_ends(&self, haystack: &[u8]) -> Vec<SetMatch> {
+        let mut engine = self.multi.engine();
+        engine
+            .match_reports(haystack)
+            .into_iter()
+            .filter(|r| !self.anchored_end[r.pattern as usize] || r.end == haystack.len() as u64)
+            .map(|r| SetMatch {
+                pattern: r.pattern as usize,
+                end: r.end as usize,
+            })
+            .collect()
+    }
+
+    /// Whether any pattern matches in `haystack`.
+    pub fn is_match(&self, haystack: &[u8]) -> bool {
+        !self.find_ends(haystack).is_empty()
+    }
+
+    /// A resumable streaming matcher: feed traffic in chunks and drain
+    /// reports incrementally, without re-scanning previous chunks.
+    ///
+    /// Note that a stream has no "end", so trailing-`$` anchors are not
+    /// applied: `$`-anchored patterns report every candidate end offset.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use recama::PatternSet;
+    ///
+    /// let set = PatternSet::compile_many(&["ab{2}c"]).unwrap();
+    /// let mut stream = set.stream();
+    /// // The match straddles the chunk boundary.
+    /// assert!(stream.feed(b"..ab").next().is_none());
+    /// let hits: Vec<_> = stream.feed(b"bc..").collect();
+    /// assert_eq!(hits.len(), 1);
+    /// assert_eq!((hits[0].pattern, hits[0].end), (0, 6));
+    /// ```
+    pub fn stream(&self) -> SetStream<'_> {
+        SetStream {
+            engine: self.multi.engine(),
+            buf: Vec::new(),
+        }
+    }
+
+    /// A hardware simulator for the merged network; its report vector
+    /// attributes events to patterns via the stamped report ids.
+    pub fn hardware(&self) -> recama_hw::HwSimulator<'_> {
+        recama_hw::HwSimulator::new(&self.network)
+    }
+}
+
+/// A resumable chunk-at-a-time matcher over a [`PatternSet`]; create one
+/// with [`PatternSet::stream`].
+pub struct SetStream<'a> {
+    engine: MultiEngine<'a>,
+    buf: Vec<recama_nca::MultiReport>,
+}
+
+impl SetStream<'_> {
+    /// Consumes `chunk` and returns the matches it completed, in stream
+    /// order. End offsets are 1-based and *absolute* (counted from the
+    /// start of the stream, across all chunks fed so far).
+    pub fn feed(&mut self, chunk: &[u8]) -> impl Iterator<Item = SetMatch> + '_ {
+        self.buf.clear();
+        self.engine.feed_into(chunk, &mut self.buf);
+        self.buf.iter().map(|r| SetMatch {
+            pattern: r.pattern as usize,
+            end: r.end as usize,
+        })
+    }
+
+    /// Total bytes consumed since creation (or the last reset).
+    pub fn position(&self) -> u64 {
+        self.engine.position()
+    }
+
+    /// Restarts the stream at position 0.
+    pub fn reset(&mut self) {
+        self.engine.reset();
+    }
+}
+
+impl fmt::Debug for SetStream<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SetStream(position = {})", self.position())
+    }
+}
+
+/// [`Pattern`]-compatibility helpers on the set.
+impl PatternSet {
+    /// Compiles each pattern independently (the loop-over-patterns
+    /// baseline the shared engine is benchmarked against).
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`PatternSet::compile_many`] on the first bad pattern.
+    pub fn compile_baseline<S: AsRef<str>>(
+        patterns: &[S],
+    ) -> Result<Vec<Pattern>, SetCompileError> {
+        patterns
+            .iter()
+            .enumerate()
+            .map(|(index, p)| {
+                Pattern::compile(p.as_ref()).map_err(|error| SetCompileError { index, error })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirrors_per_pattern_find_ends() {
+        let patterns = ["ab{2,3}c", "a{3}", "cab", "x[yz]{2}"];
+        let set = PatternSet::compile_many(&patterns).unwrap();
+        let baseline = PatternSet::compile_baseline(&patterns).unwrap();
+        let haystack = b"abbc.aaa.cab.xyz.abbbc";
+        let mut expected: Vec<SetMatch> = Vec::new();
+        for (pi, p) in baseline.iter().enumerate() {
+            for end in p.find_ends(haystack) {
+                expected.push(SetMatch { pattern: pi, end });
+            }
+        }
+        expected.sort();
+        let mut got = set.find_ends(haystack);
+        got.sort();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn compile_many_reports_offending_index() {
+        let err = PatternSet::compile_many(&["ok", "bad(", "ok2"]).unwrap_err();
+        assert_eq!(err.index, 1);
+        assert!(err.to_string().contains("#1"));
+    }
+
+    #[test]
+    fn compile_filtered_skips_bad_patterns() {
+        let (set, rejected) =
+            PatternSet::compile_filtered(&["a{2}", r"(x)\1", "b{3}"], &CompileOptions::default());
+        assert_eq!(set.len(), 2);
+        assert_eq!(rejected.len(), 1);
+        assert_eq!(rejected[0].0, 1);
+        assert!(set.is_match(b"bbb"));
+    }
+
+    #[test]
+    fn network_is_merged_and_valid_with_report_ids() {
+        let set = PatternSet::compile_many(&["^a{30}", "[xy]{5}z"]).unwrap();
+        assert!(
+            set.network().validate().is_empty(),
+            "{:?}",
+            set.network().validate()
+        );
+        assert_eq!(set.network().report_ids(), vec![0, 1]);
+        // Module decisions surface per pattern.
+        assert_eq!(set.outputs().len(), 2);
+    }
+
+    #[test]
+    fn dollar_anchor_filters_set_matches() {
+        let set = PatternSet::compile_many(&["ab$", "ab"]).unwrap();
+        let got = set.find_ends(b"ab.ab");
+        // "ab$" only at the final position; "ab" at both.
+        assert_eq!(
+            got,
+            vec![
+                SetMatch { pattern: 1, end: 2 },
+                SetMatch { pattern: 0, end: 5 },
+                SetMatch { pattern: 1, end: 5 },
+            ]
+        );
+    }
+
+    #[test]
+    fn stream_positions_are_absolute() {
+        let set = PatternSet::compile_many(&["kk"]).unwrap();
+        let mut stream = set.stream();
+        assert_eq!(stream.feed(b"....").count(), 0);
+        let hits: Vec<SetMatch> = stream.feed(b"kk").collect();
+        assert_eq!(hits, vec![SetMatch { pattern: 0, end: 6 }]);
+        assert_eq!(stream.position(), 6);
+        stream.reset();
+        let hits: Vec<SetMatch> = stream.feed(b"kk").collect();
+        assert_eq!(hits, vec![SetMatch { pattern: 0, end: 2 }]);
+    }
+
+    #[test]
+    fn hardware_simulator_attributes_reports() {
+        let set = PatternSet::compile_many(&["^ab{2}c", "xyz"]).unwrap();
+        let mut hw = set.hardware();
+        let ends = hw.match_ends(b"abbc..xyz");
+        assert_eq!(ends, vec![4, 9]);
+    }
+
+    #[test]
+    fn empty_set_is_well_formed() {
+        let set = PatternSet::compile_many::<&str>(&[]).unwrap();
+        assert!(set.is_empty());
+        assert!(set.find_ends(b"anything").is_empty());
+        assert!(set.network().validate().is_empty());
+    }
+}

@@ -63,14 +63,16 @@ pub fn columns_for_class(class: &ByteClass) -> Vec<CamColumn> {
     }
     // Group identical nonzero patterns.
     let mut columns: Vec<CamColumn> = Vec::new();
-    for h in 0..16 {
-        let lo = lo_patterns[h];
+    for (h, &lo) in lo_patterns.iter().enumerate() {
         if lo == 0 {
             continue;
         }
         match columns.iter_mut().find(|c| c.lo_mask == lo) {
             Some(col) => col.hi_mask |= 1 << h,
-            None => columns.push(CamColumn { hi_mask: 1 << h, lo_mask: lo }),
+            None => columns.push(CamColumn {
+                hi_mask: 1 << h,
+                lo_mask: lo,
+            }),
         }
     }
     columns

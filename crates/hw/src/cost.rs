@@ -18,7 +18,7 @@
 
 use crate::params::{
     area_per_column_um2, bitvector_area_um2, bitvector_energy_fj, match_energy_per_column_fj,
-    BITS_PER_BITVECTOR, BITVECTOR_MODULE, CAM_BLOCKS_PER_PE, CAM_BLOCK, COUNTER_MODULE,
+    BITS_PER_BITVECTOR, BITVECTOR_MODULE, CAM_BLOCK, CAM_BLOCKS_PER_PE, COUNTER_MODULE,
 };
 use crate::place::{place, Placement};
 use crate::sim::HwSimulator;
@@ -104,18 +104,22 @@ pub fn energy_report(placement: &Placement, sim: &HwSimulator) -> EnergyReport {
             bitvector_fj += active_cycles as f64 * bitvector_energy_fj(bits as usize);
         }
     }
-    EnergyReport { cycles, match_fj, counter_fj, bitvector_fj, switch_fj: 0.0 }
+    EnergyReport {
+        cycles,
+        match_fj,
+        counter_fj,
+        bitvector_fj,
+        switch_fj: 0.0,
+    }
 }
 
 /// Computes the area of a placed network.
 pub fn area_report(placement: &Placement, granularity: AreaGranularity) -> AreaReport {
     match granularity {
         AreaGranularity::WholeModule => {
-            let cam_um2 =
-                placement.pe_count as f64 * CAM_BLOCKS_PER_PE as f64 * CAM_BLOCK.area_um2;
+            let cam_um2 = placement.pe_count as f64 * CAM_BLOCKS_PER_PE as f64 * CAM_BLOCK.area_um2;
             let counter_um2 = placement.counter_count as f64 * COUNTER_MODULE.area_um2;
-            let allocated =
-                placement.bitvector_modules as f64 * BITVECTOR_MODULE.area_um2;
+            let allocated = placement.bitvector_modules as f64 * BITVECTOR_MODULE.area_um2;
             let used_fraction = if placement.bitvector_modules == 0 {
                 0.0
             } else {
@@ -174,7 +178,12 @@ pub fn run_with(
             crate::switch::switch_energy_fj(network, &placement, &sim.activation_counts(), params);
     }
     let area = area_report(&placement, granularity);
-    HwRun { placement, energy, area, match_ends }
+    HwRun {
+        placement,
+        energy,
+        area,
+        match_ends,
+    }
 }
 
 #[cfg(test)]
@@ -186,7 +195,14 @@ mod tests {
 
     fn network(pattern: &str, unfold: UnfoldPolicy) -> recama_mnrl::MnrlNetwork {
         let parsed = parse(pattern).unwrap();
-        compile(&parsed.for_stream(), &CompileOptions { unfold, ..Default::default() }).network
+        compile(
+            &parsed.for_stream(),
+            &CompileOptions {
+                unfold,
+                ..Default::default()
+            },
+        )
+        .network
     }
 
     #[test]

@@ -45,7 +45,13 @@ impl CounterModule {
     /// Creates the module for a `{min,max}` repetition (`max = None` for
     /// the unbounded `{min,}`).
     pub fn new(min: u32, max: Option<u32>, start_enabled: bool) -> CounterModule {
-        CounterModule { min, max, cnt: 0, pre_prev: start_enabled, active_cycles: 0 }
+        CounterModule {
+            min,
+            max,
+            cnt: 0,
+            pre_prev: start_enabled,
+            active_cycles: 0,
+        }
     }
 
     /// Resets to the power-on state (`start_enabled` as at construction is
@@ -118,7 +124,10 @@ impl BitVectorModule {
     ///
     /// Panics unless `1 ≤ lo ≤ hi ≤ size`.
     pub fn new(size: u32, lo: u32, hi: u32, start_enabled: bool) -> BitVectorModule {
-        assert!(1 <= lo && lo <= hi && hi <= size, "bad window {lo}..={hi} of {size}");
+        assert!(
+            1 <= lo && lo <= hi && hi <= size,
+            "bad window {lo}..={hi} of {size}"
+        );
         BitVectorModule {
             size,
             lo,

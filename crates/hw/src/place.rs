@@ -116,8 +116,11 @@ impl PeLoad {
 pub fn place(network: &MnrlNetwork) -> Placement {
     let nodes = network.nodes();
     let n = nodes.len();
-    let index: HashMap<&str, usize> =
-        nodes.iter().enumerate().map(|(i, node)| (node.id.as_str(), i)).collect();
+    let index: HashMap<&str, usize> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, node)| (node.id.as_str(), i))
+        .collect();
 
     // Union-find over module port edges: module + its port STEs cluster.
     let mut parent: Vec<usize> = (0..n).collect();
@@ -138,10 +141,9 @@ pub fn place(network: &MnrlNetwork) -> Placement {
     for (i, node) in nodes.iter().enumerate() {
         for conn in &node.connections {
             let j = index[conn.to.as_str()];
-            let is_port_edge = matches!(
-                conn.to_port,
-                Port::Pre | Port::Fst | Port::Lst | Port::Body
-            ) || matches!(conn.from_port, Port::EnFst | Port::EnOut | Port::EnBody);
+            let is_port_edge =
+                matches!(conn.to_port, Port::Pre | Port::Fst | Port::Lst | Port::Body)
+                    || matches!(conn.from_port, Port::EnFst | Port::EnOut | Port::EnBody);
             if is_port_edge {
                 union(&mut parent, i, j);
             }
@@ -151,13 +153,21 @@ pub fn place(network: &MnrlNetwork) -> Placement {
     // Cluster loads.
     let node_load = |i: usize| -> PeLoad {
         match &nodes[i].kind {
-            NodeKind::State { symbol_set } => {
-                PeLoad { columns: column_cost(symbol_set), counters: 0, bv_bits: 0 }
-            }
-            NodeKind::Counter { .. } => PeLoad { columns: 0, counters: 1, bv_bits: 0 },
-            NodeKind::BitVector { size, .. } => {
-                PeLoad { columns: 0, counters: 0, bv_bits: u64::from(*size) }
-            }
+            NodeKind::State { symbol_set } => PeLoad {
+                columns: column_cost(symbol_set),
+                counters: 0,
+                bv_bits: 0,
+            },
+            NodeKind::Counter { .. } => PeLoad {
+                columns: 0,
+                counters: 1,
+                bv_bits: 0,
+            },
+            NodeKind::BitVector { size, .. } => PeLoad {
+                columns: 0,
+                counters: 0,
+                bv_bits: u64::from(*size),
+            },
         }
     };
     let mut cluster_members: HashMap<usize, Vec<usize>> = HashMap::new();
@@ -178,7 +188,10 @@ pub fn place(network: &MnrlNetwork) -> Placement {
             load.add(&node_load(m));
         }
         let is_atomic = members.len() > 1
-            || matches!(nodes[members[0]].kind, NodeKind::Counter { .. } | NodeKind::BitVector { .. });
+            || matches!(
+                nodes[members[0]].kind,
+                NodeKind::Counter { .. } | NodeKind::BitVector { .. }
+            );
         if is_atomic {
             assert!(
                 load.fits(&PeLoad::default()),
@@ -288,7 +301,10 @@ mod tests {
         let p = place(&net);
         assert_eq!(p.pe_count, 1);
         assert_eq!(p.counter_count, 1);
-        assert_eq!(p.edges.intra_array + p.edges.intra_bank + p.edges.inter_bank, 0);
+        assert_eq!(
+            p.edges.intra_array + p.edges.intra_bank + p.edges.inter_bank,
+            0
+        );
         assert!(p.edges.intra_pe > 0);
     }
 
@@ -318,7 +334,10 @@ mod tests {
         let parsed = parse("^a{1500}").unwrap();
         let out = compile(
             &parsed.for_stream(),
-            &CompileOptions { unfold: UnfoldPolicy::All, ..Default::default() },
+            &CompileOptions {
+                unfold: UnfoldPolicy::All,
+                ..Default::default()
+            },
         );
         let p = place(&out.network);
         assert!(p.total_columns >= 1500);
@@ -339,9 +358,7 @@ mod tests {
     #[test]
     fn segments_share_physical_module() {
         // Two small bit vectors in one PE share the 2000-bit module.
-        let mut patterns: Vec<String> = Vec::new();
-        patterns.push("a{40}".into());
-        patterns.push("b{60}".into());
+        let patterns: Vec<String> = vec!["a{40}".into(), "b{60}".into()];
         let ruleset = recama_compiler::compile_ruleset(&patterns, &CompileOptions::default());
         let p = place(&ruleset.network);
         assert_eq!(p.bitvector_segments, 2);
@@ -361,10 +378,31 @@ mod tests {
     #[test]
     fn hierarchy_rollup() {
         let loc = Loc::from_pe_index(0);
-        assert_eq!(loc, Loc { bank: 0, array: 0, pe: 0 });
+        assert_eq!(
+            loc,
+            Loc {
+                bank: 0,
+                array: 0,
+                pe: 0
+            }
+        );
         let loc = Loc::from_pe_index(PES_PER_ARRAY);
-        assert_eq!(loc, Loc { bank: 0, array: 1, pe: 0 });
+        assert_eq!(
+            loc,
+            Loc {
+                bank: 0,
+                array: 1,
+                pe: 0
+            }
+        );
         let loc = Loc::from_pe_index(PES_PER_ARRAY * ARRAYS_PER_BANK);
-        assert_eq!(loc, Loc { bank: 1, array: 0, pe: 0 });
+        assert_eq!(
+            loc,
+            Loc {
+                bank: 1,
+                array: 0,
+                pe: 0
+            }
+        );
     }
 }

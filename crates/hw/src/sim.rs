@@ -87,6 +87,10 @@ pub struct HwSimulator<'a> {
     /// Node ids parallel to `stes` / `modules` (for attribution).
     ste_ids: Vec<String>,
     mod_ids: Vec<String>,
+    /// MNRL report codes parallel to `stes` / `modules` (rule ids in
+    /// multi-pattern images).
+    ste_report_ids: Vec<Option<u32>>,
+    mod_report_ids: Vec<Option<u32>>,
     /// Per-STE / per-module-output activation counts (switch model input).
     ste_activations: Vec<u64>,
     mod_output_events: Vec<u64>,
@@ -110,17 +114,21 @@ impl<'a> HwSimulator<'a> {
         let mut mod_index: HashMap<&str, usize> = HashMap::new();
         let mut ste_ids: Vec<String> = Vec::new();
         let mut mod_ids: Vec<String> = Vec::new();
+        let mut ste_report_ids: Vec<Option<u32>> = Vec::new();
+        let mut mod_report_ids: Vec<Option<u32>> = Vec::new();
         for node in network.nodes() {
             match node.kind {
                 NodeKind::State { .. } => {
                     let i = ste_index.len();
                     ste_index.insert(node.id.as_str(), i);
                     ste_ids.push(node.id.clone());
+                    ste_report_ids.push(node.report_id);
                 }
                 _ => {
                     let i = mod_index.len();
                     mod_index.insert(node.id.as_str(), i);
                     mod_ids.push(node.id.clone());
+                    mod_report_ids.push(node.report_id);
                 }
             }
         }
@@ -187,6 +195,8 @@ impl<'a> HwSimulator<'a> {
             bv_sizes,
             ste_ids,
             mod_ids,
+            ste_report_ids,
+            mod_report_ids,
             ste_activations: vec![0; n],
             mod_output_events: vec![0; m],
             last_ste_reports: Vec::new(),
@@ -205,9 +215,7 @@ impl<'a> HwSimulator<'a> {
         };
         for conn in &node.connections {
             match conn.from_port {
-                Port::EnFst | Port::EnBody => {
-                    info.loop_targets.push(ste_index[conn.to.as_str()])
-                }
+                Port::EnFst | Port::EnBody => info.loop_targets.push(ste_index[conn.to.as_str()]),
                 Port::EnOut => info.out_targets.push(ste_index[conn.to.as_str()]),
                 other => panic!("module output on port {other}"),
             }
@@ -337,9 +345,46 @@ impl<'a> HwSimulator<'a> {
             .last_ste_reports
             .iter()
             .map(|&i| self.ste_ids[i].as_str())
-            .chain(self.last_mod_reports.iter().map(|&i| self.mod_ids[i].as_str()))
+            .chain(
+                self.last_mod_reports
+                    .iter()
+                    .map(|&i| self.mod_ids[i].as_str()),
+            )
             .collect();
         out.sort_unstable();
+        out
+    }
+
+    /// The MNRL report codes (rule ids) that fired in the most recent
+    /// cycle, deduplicated and ascending — the accelerator's report
+    /// vector for multi-pattern machine images, whose reporting nodes are
+    /// stamped with their rule id at merge time.
+    pub fn last_report_ids(&self) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .last_ste_reports
+            .iter()
+            .filter_map(|&i| self.ste_report_ids[i])
+            .chain(
+                self.last_mod_reports
+                    .iter()
+                    .filter_map(|&i| self.mod_report_ids[i]),
+            )
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Runs `input` and returns `(rule id, end offset)` report events in
+    /// stream order — the per-rule view of the report stream.
+    pub fn match_ends_by_rule(&mut self, input: &[u8]) -> Vec<(u32, usize)> {
+        self.reset();
+        let mut out = Vec::new();
+        for (i, &b) in input.iter().enumerate() {
+            if self.step(b) {
+                out.extend(self.last_report_ids().into_iter().map(|rid| (rid, i + 1)));
+            }
+        }
         out
     }
 
@@ -350,7 +395,13 @@ impl<'a> HwSimulator<'a> {
         let mut out = Vec::new();
         for (i, &b) in input.iter().enumerate() {
             if self.step(b) {
-                out.push((i + 1, self.last_reporters().iter().map(|s| s.to_string()).collect()));
+                out.push((
+                    i + 1,
+                    self.last_reporters()
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect(),
+                ));
             }
         }
         out
@@ -403,10 +454,14 @@ mod tests {
         let mut sw = CompiledEngine::conservative(&out.nca);
         for input in inputs {
             let hw_ends = hw.match_ends(input);
-            let sw_ends: Vec<usize> =
-                sw.match_ends(input).into_iter().filter(|&e| e > 0).collect();
+            let sw_ends: Vec<usize> = sw
+                .match_ends(input)
+                .into_iter()
+                .filter(|&e| e > 0)
+                .collect();
             assert_eq!(
-                hw_ends, sw_ends,
+                hw_ends,
+                sw_ends,
                 "{pattern} diverges on {:?}",
                 String::from_utf8_lossy(input)
             );
@@ -425,7 +480,14 @@ mod tests {
     fn bitvector_path_matches_reference() {
         check_equivalence(
             "a{3,5}",
-            &[b"aaa", b"aaaa", b"aaaaaa", b"xxaaa", b"aaxaaa", b"aaaaaaaaaa"],
+            &[
+                b"aaa",
+                b"aaaa",
+                b"aaaaaa",
+                b"xxaaa",
+                b"aaxaaa",
+                b"aaaaaaaaaa",
+            ],
         );
     }
 
@@ -443,13 +505,19 @@ mod tests {
         let parsed = parse("a{3,5}").unwrap();
         let out = compile(
             &parsed.for_stream(),
-            &CompileOptions { unfold: UnfoldPolicy::All, ..Default::default() },
+            &CompileOptions {
+                unfold: UnfoldPolicy::All,
+                ..Default::default()
+            },
         );
         let mut hw = HwSimulator::new(&out.network);
         let mut sw = CompiledEngine::conservative(&out.nca);
         for input in [&b"aaa"[..], b"aaaaa", b"xaaaax", b"aa"] {
-            let sw_ends: Vec<usize> =
-                sw.match_ends(input).into_iter().filter(|&e| e > 0).collect();
+            let sw_ends: Vec<usize> = sw
+                .match_ends(input)
+                .into_iter()
+                .filter(|&e| e > 0)
+                .collect();
             assert_eq!(hw.match_ends(input), sw_ends);
         }
     }
@@ -466,6 +534,22 @@ mod tests {
         let mut hw = HwSimulator::new(&rs.network);
         let ends = hw.match_ends(b"abbc..xyz");
         assert_eq!(ends, vec![4, 9]);
+    }
+
+    #[test]
+    fn report_ids_attribute_rules() {
+        let patterns: Vec<String> = vec![
+            "^ab{2}c".into(),
+            "xyz".into(),
+            "a{10}".into(),
+            "c..x".into(),
+        ];
+        let rs = recama_compiler::compile_ruleset(&patterns, &CompileOptions::default());
+        let mut hw = HwSimulator::new(&rs.network);
+        let by_rule = hw.match_ends_by_rule(b"abbc..xyz");
+        // Rule 0 at 4 (counter module report); rule 3 spans the boundary
+        // (c..x at 7); rule 1 at 9.
+        assert_eq!(by_rule, vec![(0, 4), (3, 7), (1, 9)]);
     }
 
     #[test]

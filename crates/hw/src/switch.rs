@@ -61,7 +61,11 @@ impl SwitchParams {
 /// Per-STE routing cost of one activation: the sum of per-signal energies
 /// over the node's outgoing connections, resolved against a placement.
 /// Multiply by the observed activation counts for total switch energy.
-pub fn per_activation_cost(network: &MnrlNetwork, placement: &Placement, params: &SwitchParams) -> HashMap<String, f64> {
+pub fn per_activation_cost(
+    network: &MnrlNetwork,
+    placement: &Placement,
+    params: &SwitchParams,
+) -> HashMap<String, f64> {
     let mut costs = HashMap::new();
     for node in network.nodes() {
         // Modules signal through the same network as STEs.
@@ -109,11 +113,45 @@ mod tests {
     #[test]
     fn signal_cost_by_level() {
         let p = SwitchParams::default();
-        let a = Loc { bank: 0, array: 0, pe: 0 };
+        let a = Loc {
+            bank: 0,
+            array: 0,
+            pe: 0,
+        };
         assert_eq!(p.signal_fj(a, a), p.local_fj);
-        assert_eq!(p.signal_fj(a, Loc { bank: 0, array: 0, pe: 1 }), p.intra_array_fj);
-        assert_eq!(p.signal_fj(a, Loc { bank: 0, array: 1, pe: 0 }), p.intra_bank_fj);
-        assert_eq!(p.signal_fj(a, Loc { bank: 1, array: 0, pe: 0 }), p.inter_bank_fj);
+        assert_eq!(
+            p.signal_fj(
+                a,
+                Loc {
+                    bank: 0,
+                    array: 0,
+                    pe: 1
+                }
+            ),
+            p.intra_array_fj
+        );
+        assert_eq!(
+            p.signal_fj(
+                a,
+                Loc {
+                    bank: 0,
+                    array: 1,
+                    pe: 0
+                }
+            ),
+            p.intra_bank_fj
+        );
+        assert_eq!(
+            p.signal_fj(
+                a,
+                Loc {
+                    bank: 1,
+                    array: 0,
+                    pe: 0
+                }
+            ),
+            p.inter_bank_fj
+        );
     }
 
     #[test]
@@ -136,7 +174,10 @@ mod tests {
         let parsed = recama_syntax::parse("^a{1500}").unwrap();
         let out = compile(
             &parsed.for_stream(),
-            &CompileOptions { unfold: UnfoldPolicy::All, ..Default::default() },
+            &CompileOptions {
+                unfold: UnfoldPolicy::All,
+                ..Default::default()
+            },
         );
         let placement = place(&out.network);
         assert!(placement.pe_count > 1);

@@ -22,7 +22,11 @@ pub struct ThroughputReport {
 /// Throughput of a run of `cycles` bytes at the accelerator clock.
 pub fn throughput(cycles: u64) -> ThroughputReport {
     let seconds = cycles as f64 / (CLOCK_GHZ * 1e9);
-    ThroughputReport { cycles, seconds, gbytes_per_second: CLOCK_GHZ }
+    ThroughputReport {
+        cycles,
+        seconds,
+        gbytes_per_second: CLOCK_GHZ,
+    }
 }
 
 #[cfg(test)]
@@ -43,6 +47,9 @@ mod tests {
         // Same cycles → same throughput, by construction of the model: the
         // counter/bit-vector ops fit the cycle (params::single_cycle_feasible).
         assert!(crate::params::single_cycle_feasible());
-        assert_eq!(throughput(10).gbytes_per_second, throughput(1 << 30).gbytes_per_second);
+        assert_eq!(
+            throughput(10).gbytes_per_second,
+            throughput(1 << 30).gbytes_per_second
+        );
     }
 }

@@ -19,6 +19,7 @@ impl MnrlNetwork {
     ///     kind: NodeKind::State { symbol_set: ByteClass::digit() },
     ///     enable: Enable::OnStartAndActivateIn,
     ///     report: true,
+    ///     report_id: None,
     ///     connections: vec![],
     /// });
     /// let dot = net.to_dot();
@@ -32,9 +33,10 @@ impl MnrlNetwork {
         let _ = writeln!(out, "  node [fontname=\"monospace\"];");
         for node in self.nodes() {
             let (shape, label) = match &node.kind {
-                NodeKind::State { symbol_set } => {
-                    ("box", format!("{}\\n[{}]", node.id, escape(&symbol_set.to_string())))
-                }
+                NodeKind::State { symbol_set } => (
+                    "box",
+                    format!("{}\\n[{}]", node.id, escape(&symbol_set.to_string())),
+                ),
                 NodeKind::Counter { min, max } => (
                     "diamond",
                     format!(
@@ -59,10 +61,7 @@ impl MnrlNetwork {
         }
         for node in self.nodes() {
             for conn in &node.connections {
-                let control = !matches!(
-                    (conn.from_port, conn.to_port),
-                    (Port::Main, Port::Main)
-                );
+                let control = !matches!((conn.from_port, conn.to_port), (Port::Main, Port::Main));
                 let style = if control { ", style=dashed" } else { "" };
                 let _ = writeln!(
                     out,
@@ -91,9 +90,12 @@ mod tests {
         let mut net = MnrlNetwork::new("t");
         net.add_node(Node {
             id: "s0".into(),
-            kind: NodeKind::State { symbol_set: ByteClass::singleton(b'a') },
+            kind: NodeKind::State {
+                symbol_set: ByteClass::singleton(b'a'),
+            },
             enable: Enable::OnStartAndActivateIn,
             report: false,
+            report_id: None,
             connections: vec![Connection {
                 from_port: Port::Main,
                 to: "c0".into(),
@@ -102,9 +104,13 @@ mod tests {
         });
         net.add_node(Node {
             id: "c0".into(),
-            kind: NodeKind::Counter { min: 2, max: Some(5) },
+            kind: NodeKind::Counter {
+                min: 2,
+                max: Some(5),
+            },
             enable: Enable::OnActivateIn,
             report: true,
+            report_id: None,
             connections: vec![],
         });
         let dot = net.to_dot();
@@ -122,9 +128,12 @@ mod tests {
         let mut net = MnrlNetwork::new("t");
         net.add_node(Node {
             id: "s".into(),
-            kind: NodeKind::State { symbol_set: ByteClass::singleton(b'"') },
+            kind: NodeKind::State {
+                symbol_set: ByteClass::singleton(b'"'),
+            },
             enable: Enable::OnActivateIn,
             report: false,
+            report_id: None,
             connections: vec![],
         });
         let dot = net.to_dot();

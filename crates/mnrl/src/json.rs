@@ -5,18 +5,20 @@
 //! and `outputDefs` with `activate` lists. Symbol sets are stored twice:
 //! human-readable (`symbolSet`, bracket syntax) and lossless
 //! (`symbolSet256`, 64 hex chars of the 256-bit membership mask) — the
-//! lossless field wins when both are present.
+//! lossless field wins when both are present. Reporting nodes may carry a
+//! `reportId` attribute (MNRL report codes), which multi-pattern networks
+//! use to attribute reports to rules.
 
+use crate::jsonval::Value;
 use crate::network::{Connection, Enable, MnrlNetwork, Node, NodeKind, Port};
 use recama_syntax::ByteClass;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Error deserializing or re-validating an MNRL document.
 #[derive(Debug)]
 pub enum MnrlError {
     /// Underlying JSON syntax/shape problem.
-    Json(serde_json::Error),
+    Json(String),
     /// Structurally invalid network content.
     Invalid(String),
 }
@@ -30,72 +32,7 @@ impl fmt::Display for MnrlError {
     }
 }
 
-impl std::error::Error for MnrlError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            MnrlError::Json(e) => Some(e),
-            MnrlError::Invalid(_) => None,
-        }
-    }
-}
-
-impl From<serde_json::Error> for MnrlError {
-    fn from(e: serde_json::Error) -> Self {
-        MnrlError::Json(e)
-    }
-}
-
-#[derive(Serialize, Deserialize)]
-struct SerNetwork {
-    id: String,
-    nodes: Vec<SerNode>,
-}
-
-#[derive(Serialize, Deserialize)]
-struct SerNode {
-    id: String,
-    #[serde(rename = "type")]
-    node_type: String,
-    enable: String,
-    report: bool,
-    attributes: SerAttributes,
-    #[serde(rename = "outputDefs")]
-    output_defs: Vec<SerOutputDef>,
-}
-
-#[derive(Serialize, Deserialize, Default)]
-struct SerAttributes {
-    #[serde(rename = "symbolSet", skip_serializing_if = "Option::is_none")]
-    symbol_set: Option<String>,
-    #[serde(rename = "symbolSet256", skip_serializing_if = "Option::is_none")]
-    symbol_set_256: Option<String>,
-    #[serde(skip_serializing_if = "Option::is_none")]
-    min: Option<u32>,
-    #[serde(skip_serializing_if = "Option::is_none")]
-    max: Option<u32>,
-    #[serde(skip_serializing_if = "Option::is_none")]
-    unbounded: Option<bool>,
-    #[serde(skip_serializing_if = "Option::is_none")]
-    size: Option<u32>,
-    #[serde(skip_serializing_if = "Option::is_none")]
-    lo: Option<u32>,
-    #[serde(skip_serializing_if = "Option::is_none")]
-    hi: Option<u32>,
-}
-
-#[derive(Serialize, Deserialize)]
-struct SerOutputDef {
-    #[serde(rename = "portId")]
-    port_id: String,
-    activate: Vec<SerActivate>,
-}
-
-#[derive(Serialize, Deserialize)]
-struct SerActivate {
-    id: String,
-    #[serde(rename = "portId")]
-    port_id: String,
-}
+impl std::error::Error for MnrlError {}
 
 fn class_to_hex(c: &ByteClass) -> String {
     c.words().iter().map(|w| format!("{w:016x}")).collect()
@@ -103,7 +40,10 @@ fn class_to_hex(c: &ByteClass) -> String {
 
 fn class_from_hex(s: &str) -> Result<ByteClass, MnrlError> {
     if s.len() != 64 {
-        return Err(MnrlError::Invalid(format!("symbolSet256 must be 64 hex chars, got {}", s.len())));
+        return Err(MnrlError::Invalid(format!(
+            "symbolSet256 must be 64 hex chars, got {}",
+            s.len()
+        )));
     }
     let mut words = [0u64; 4];
     for (i, w) in words.iter_mut().enumerate() {
@@ -122,11 +62,14 @@ fn class_from_hex(s: &str) -> Result<ByteClass, MnrlError> {
 impl MnrlNetwork {
     /// Serializes to pretty-printed MNRL JSON.
     pub fn to_json(&self) -> String {
-        let ser = SerNetwork {
-            id: self.id.clone(),
-            nodes: self.nodes().iter().map(node_to_ser).collect(),
-        };
-        serde_json::to_string_pretty(&ser).expect("MNRL serialization cannot fail")
+        let doc = Value::Object(vec![
+            ("id".into(), Value::Str(self.id.clone())),
+            (
+                "nodes".into(),
+                Value::Array(self.nodes().iter().map(node_to_value).collect()),
+            ),
+        ]);
+        doc.pretty()
     }
 
     /// Parses MNRL JSON.
@@ -136,116 +79,200 @@ impl MnrlNetwork {
     /// Returns [`MnrlError`] on malformed JSON, unknown node types or
     /// ports, or missing required attributes.
     pub fn from_json(text: &str) -> Result<MnrlNetwork, MnrlError> {
-        let ser: SerNetwork = serde_json::from_str(text)?;
-        let mut net = MnrlNetwork::new(ser.id);
-        for sn in &ser.nodes {
-            if net.node(&sn.id).is_some() {
-                return Err(MnrlError::Invalid(format!("duplicate node id {:?}", sn.id)));
+        let doc = Value::parse(text).map_err(MnrlError::Json)?;
+        let id = doc
+            .get("id")
+            .and_then(Value::as_str)
+            .ok_or_else(|| MnrlError::Invalid("network lacks an id".into()))?;
+        let nodes = doc
+            .get("nodes")
+            .and_then(Value::as_array)
+            .ok_or_else(|| MnrlError::Invalid("network lacks a nodes array".into()))?;
+        let mut net = MnrlNetwork::new(id);
+        for sn in nodes {
+            let node = node_from_value(sn)?;
+            if net.node(&node.id).is_some() {
+                return Err(MnrlError::Invalid(format!(
+                    "duplicate node id {:?}",
+                    node.id
+                )));
             }
-            net.add_node(node_from_ser(sn)?);
+            net.add_node(node);
         }
         Ok(net)
     }
 }
 
-fn node_to_ser(node: &Node) -> SerNode {
-    let mut attributes = SerAttributes::default();
+fn node_to_value(node: &Node) -> Value {
+    let mut attributes: Vec<(String, Value)> = Vec::new();
     match &node.kind {
         NodeKind::State { symbol_set } => {
-            attributes.symbol_set = Some(symbol_set.to_string());
-            attributes.symbol_set_256 = Some(class_to_hex(symbol_set));
+            attributes.push(("symbolSet".into(), Value::Str(symbol_set.to_string())));
+            attributes.push(("symbolSet256".into(), Value::Str(class_to_hex(symbol_set))));
         }
         NodeKind::Counter { min, max } => {
-            attributes.min = Some(*min);
-            attributes.max = *max;
-            attributes.unbounded = Some(max.is_none());
+            attributes.push(("min".into(), Value::Num(f64::from(*min))));
+            if let Some(max) = max {
+                attributes.push(("max".into(), Value::Num(f64::from(*max))));
+            }
+            attributes.push(("unbounded".into(), Value::Bool(max.is_none())));
         }
         NodeKind::BitVector { size, lo, hi } => {
-            attributes.size = Some(*size);
-            attributes.lo = Some(*lo);
-            attributes.hi = Some(*hi);
+            attributes.push(("size".into(), Value::Num(f64::from(*size))));
+            attributes.push(("lo".into(), Value::Num(f64::from(*lo))));
+            attributes.push(("hi".into(), Value::Num(f64::from(*hi))));
         }
+    }
+    if let Some(rid) = node.report_id {
+        attributes.push(("reportId".into(), Value::Num(f64::from(rid))));
     }
     // Group connections by output port, preserving order.
-    let mut defs: Vec<SerOutputDef> = Vec::new();
+    let mut defs: Vec<(String, Vec<Value>)> = Vec::new();
     for conn in &node.connections {
-        let port_name = conn.from_port.name().to_string();
-        let act = SerActivate { id: conn.to.clone(), port_id: conn.to_port.name().to_string() };
-        match defs.iter_mut().find(|d| d.port_id == port_name) {
-            Some(def) => def.activate.push(act),
-            None => defs.push(SerOutputDef { port_id: port_name, activate: vec![act] }),
+        let port_name = conn.from_port.name();
+        let act = Value::Object(vec![
+            ("id".into(), Value::Str(conn.to.clone())),
+            ("portId".into(), Value::Str(conn.to_port.name().into())),
+        ]);
+        match defs.iter_mut().find(|(p, _)| p == port_name) {
+            Some((_, activate)) => activate.push(act),
+            None => defs.push((port_name.to_string(), vec![act])),
         }
     }
-    SerNode {
-        id: node.id.clone(),
-        node_type: node.kind.type_name().to_string(),
-        enable: match node.enable {
-            Enable::OnActivateIn => "onActivateIn".to_string(),
-            Enable::OnStartAndActivateIn => "onStartAndActivateIn".to_string(),
-        },
-        report: node.report,
-        attributes,
-        output_defs: defs,
-    }
+    let output_defs: Vec<Value> = defs
+        .into_iter()
+        .map(|(port_id, activate)| {
+            Value::Object(vec![
+                ("portId".into(), Value::Str(port_id)),
+                ("activate".into(), Value::Array(activate)),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        ("id".into(), Value::Str(node.id.clone())),
+        ("type".into(), Value::Str(node.kind.type_name().into())),
+        (
+            "enable".into(),
+            Value::Str(
+                match node.enable {
+                    Enable::OnActivateIn => "onActivateIn",
+                    Enable::OnStartAndActivateIn => "onStartAndActivateIn",
+                }
+                .into(),
+            ),
+        ),
+        ("report".into(), Value::Bool(node.report)),
+        ("attributes".into(), Value::Object(attributes)),
+        ("outputDefs".into(), Value::Array(output_defs)),
+    ])
 }
 
-fn node_from_ser(sn: &SerNode) -> Result<Node, MnrlError> {
-    let kind = match sn.node_type.as_str() {
+fn attr_u32(sn: &Value, name: &str, node: &str, kind: &str) -> Result<u32, MnrlError> {
+    sn["attributes"]
+        .get(name)
+        .and_then(Value::as_u64)
+        .and_then(|v| u32::try_from(v).ok())
+        .ok_or_else(|| MnrlError::Invalid(format!("{kind} {node} lacks {name}")))
+}
+
+fn node_from_value(sn: &Value) -> Result<Node, MnrlError> {
+    let id = sn
+        .get("id")
+        .and_then(Value::as_str)
+        .ok_or_else(|| MnrlError::Invalid("node lacks an id".into()))?
+        .to_string();
+    let node_type = sn
+        .get("type")
+        .and_then(Value::as_str)
+        .ok_or_else(|| MnrlError::Invalid(format!("node {id} lacks a type")))?;
+    let attributes = &sn["attributes"];
+    let kind = match node_type {
         "state" => {
-            let symbol_set = if let Some(hex) = &sn.attributes.symbol_set_256 {
-                class_from_hex(hex)?
-            } else if let Some(disp) = &sn.attributes.symbol_set {
-                parse_symbol_set(disp)?
-            } else {
-                return Err(MnrlError::Invalid(format!("state {} lacks a symbol set", sn.id)));
-            };
+            let symbol_set =
+                if let Some(hex) = attributes.get("symbolSet256").and_then(Value::as_str) {
+                    class_from_hex(hex)?
+                } else if let Some(disp) = attributes.get("symbolSet").and_then(Value::as_str) {
+                    parse_symbol_set(disp)?
+                } else {
+                    return Err(MnrlError::Invalid(format!("state {id} lacks a symbol set")));
+                };
             NodeKind::State { symbol_set }
         }
         "counter" | "upCounter" => {
-            let min = sn
-                .attributes
-                .min
-                .ok_or_else(|| MnrlError::Invalid(format!("counter {} lacks min", sn.id)))?;
-            let unbounded = sn.attributes.unbounded.unwrap_or(false);
-            let max = if unbounded { None } else { sn.attributes.max };
-            if !unbounded && max.is_none() {
-                return Err(MnrlError::Invalid(format!("counter {} lacks max", sn.id)));
-            }
+            let min = attr_u32(sn, "min", &id, "counter")?;
+            let unbounded = attributes
+                .get("unbounded")
+                .and_then(Value::as_bool)
+                .unwrap_or(false);
+            let max = if unbounded {
+                None
+            } else {
+                Some(attr_u32(sn, "max", &id, "counter")?)
+            };
             NodeKind::Counter { min, max }
         }
-        "bitVector" => {
-            let size = sn
-                .attributes
-                .size
-                .ok_or_else(|| MnrlError::Invalid(format!("bitVector {} lacks size", sn.id)))?;
-            let lo = sn
-                .attributes
-                .lo
-                .ok_or_else(|| MnrlError::Invalid(format!("bitVector {} lacks lo", sn.id)))?;
-            let hi = sn
-                .attributes
-                .hi
-                .ok_or_else(|| MnrlError::Invalid(format!("bitVector {} lacks hi", sn.id)))?;
-            NodeKind::BitVector { size, lo, hi }
-        }
+        "bitVector" => NodeKind::BitVector {
+            size: attr_u32(sn, "size", &id, "bitVector")?,
+            lo: attr_u32(sn, "lo", &id, "bitVector")?,
+            hi: attr_u32(sn, "hi", &id, "bitVector")?,
+        },
         other => return Err(MnrlError::Invalid(format!("unknown node type {other:?}"))),
     };
-    let enable = match sn.enable.as_str() {
-        "onActivateIn" => Enable::OnActivateIn,
-        "onStartAndActivateIn" => Enable::OnStartAndActivateIn,
+    let enable = match sn.get("enable").and_then(Value::as_str) {
+        Some("onActivateIn") => Enable::OnActivateIn,
+        Some("onStartAndActivateIn") => Enable::OnStartAndActivateIn,
         other => return Err(MnrlError::Invalid(format!("unknown enable mode {other:?}"))),
     };
+    let report = sn
+        .get("report")
+        .and_then(Value::as_bool)
+        .ok_or_else(|| MnrlError::Invalid(format!("node {id} lacks report")))?;
+    let report_id = attributes
+        .get("reportId")
+        .and_then(Value::as_u64)
+        .and_then(|v| u32::try_from(v).ok());
     let mut connections = Vec::new();
-    for def in &sn.output_defs {
-        let from_port = Port::from_name(&def.port_id)
-            .ok_or_else(|| MnrlError::Invalid(format!("unknown port {:?}", def.port_id)))?;
-        for act in &def.activate {
-            let to_port = Port::from_name(&act.port_id)
-                .ok_or_else(|| MnrlError::Invalid(format!("unknown port {:?}", act.port_id)))?;
-            connections.push(Connection { from_port, to: act.id.clone(), to_port });
+    let defs = sn
+        .get("outputDefs")
+        .and_then(Value::as_array)
+        .ok_or_else(|| MnrlError::Invalid(format!("node {id} lacks outputDefs")))?;
+    for def in defs {
+        let port_name = def
+            .get("portId")
+            .and_then(Value::as_str)
+            .ok_or_else(|| MnrlError::Invalid(format!("outputDef of {id} lacks portId")))?;
+        let from_port = Port::from_name(port_name)
+            .ok_or_else(|| MnrlError::Invalid(format!("unknown port {port_name:?}")))?;
+        let activate = def
+            .get("activate")
+            .and_then(Value::as_array)
+            .ok_or_else(|| MnrlError::Invalid(format!("outputDef of {id} lacks activate")))?;
+        for act in activate {
+            let to = act
+                .get("id")
+                .and_then(Value::as_str)
+                .ok_or_else(|| MnrlError::Invalid(format!("activation of {id} lacks id")))?;
+            let to_port_name = act
+                .get("portId")
+                .and_then(Value::as_str)
+                .ok_or_else(|| MnrlError::Invalid(format!("activation of {id} lacks portId")))?;
+            let to_port = Port::from_name(to_port_name)
+                .ok_or_else(|| MnrlError::Invalid(format!("unknown port {to_port_name:?}")))?;
+            connections.push(Connection {
+                from_port,
+                to: to.to_string(),
+                to_port,
+            });
         }
     }
-    Ok(Node { id: sn.id.clone(), kind, enable, report: sn.report, connections })
+    Ok(Node {
+        id,
+        kind,
+        enable,
+        report,
+        report_id,
+        connections,
+    })
 }
 
 /// Parses a human-readable symbol set (the subset of regex syntax a single
@@ -255,7 +282,9 @@ fn parse_symbol_set(s: &str) -> Result<ByteClass, MnrlError> {
         .map_err(|e| MnrlError::Invalid(format!("bad symbolSet {s:?}: {e}")))?;
     match parsed.regex {
         recama_syntax::Regex::Class(c) => Ok(c),
-        _ => Err(MnrlError::Invalid(format!("symbolSet {s:?} is not a single class"))),
+        _ => Err(MnrlError::Invalid(format!(
+            "symbolSet {s:?} is not a single class"
+        ))),
     }
 }
 
@@ -267,36 +296,71 @@ mod tests {
         let mut net = MnrlNetwork::new("demo");
         net.add_node(Node {
             id: "s0".into(),
-            kind: NodeKind::State { symbol_set: ByteClass::from_bytes(b"ab") },
+            kind: NodeKind::State {
+                symbol_set: ByteClass::from_bytes(b"ab"),
+            },
             enable: Enable::OnStartAndActivateIn,
             report: false,
+            report_id: None,
             connections: vec![
-                Connection { from_port: Port::Main, to: "c0".into(), to_port: Port::Pre },
-                Connection { from_port: Port::Main, to: "s1".into(), to_port: Port::Main },
+                Connection {
+                    from_port: Port::Main,
+                    to: "c0".into(),
+                    to_port: Port::Pre,
+                },
+                Connection {
+                    from_port: Port::Main,
+                    to: "s1".into(),
+                    to_port: Port::Main,
+                },
             ],
         });
         net.add_node(Node {
             id: "s1".into(),
-            kind: NodeKind::State { symbol_set: ByteClass::singleton(b'x').complement() },
+            kind: NodeKind::State {
+                symbol_set: ByteClass::singleton(b'x').complement(),
+            },
             enable: Enable::OnActivateIn,
             report: false,
+            report_id: None,
             connections: vec![
-                Connection { from_port: Port::Main, to: "c0".into(), to_port: Port::Fst },
-                Connection { from_port: Port::Main, to: "c0".into(), to_port: Port::Lst },
+                Connection {
+                    from_port: Port::Main,
+                    to: "c0".into(),
+                    to_port: Port::Fst,
+                },
+                Connection {
+                    from_port: Port::Main,
+                    to: "c0".into(),
+                    to_port: Port::Lst,
+                },
             ],
         });
         net.add_node(Node {
             id: "c0".into(),
-            kind: NodeKind::Counter { min: 3, max: Some(9) },
+            kind: NodeKind::Counter {
+                min: 3,
+                max: Some(9),
+            },
             enable: Enable::OnActivateIn,
             report: true,
-            connections: vec![Connection { from_port: Port::EnFst, to: "s1".into(), to_port: Port::Main }],
+            report_id: Some(17),
+            connections: vec![Connection {
+                from_port: Port::EnFst,
+                to: "s1".into(),
+                to_port: Port::Main,
+            }],
         });
         net.add_node(Node {
             id: "bv0".into(),
-            kind: NodeKind::BitVector { size: 2000, lo: 5, hi: 11 },
+            kind: NodeKind::BitVector {
+                size: 2000,
+                lo: 5,
+                hi: 11,
+            },
             enable: Enable::OnActivateIn,
             report: false,
+            report_id: None,
             connections: vec![],
         });
         net
@@ -313,13 +377,14 @@ mod tests {
     #[test]
     fn json_has_mnrl_shape() {
         let json = demo_network().to_json();
-        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let v = Value::parse(&json).unwrap();
         assert_eq!(v["id"], "demo");
         assert_eq!(v["nodes"][0]["type"], "state");
         assert_eq!(v["nodes"][0]["attributes"]["symbolSet"], "[ab]");
         assert_eq!(v["nodes"][0]["enable"], "onStartAndActivateIn");
         assert_eq!(v["nodes"][2]["type"], "counter");
         assert_eq!(v["nodes"][2]["attributes"]["min"], 3);
+        assert_eq!(v["nodes"][2]["attributes"]["reportId"], 17);
         assert_eq!(v["nodes"][3]["type"], "bitVector");
         assert_eq!(v["nodes"][3]["attributes"]["size"], 2000);
         // outputDefs group by port.
@@ -371,7 +436,13 @@ mod tests {
             }]
         }"#;
         let net = MnrlNetwork::from_json(json).unwrap();
-        assert_eq!(net.node("c").unwrap().kind, NodeKind::Counter { min: 2, max: Some(5) });
+        assert_eq!(
+            net.node("c").unwrap().kind,
+            NodeKind::Counter {
+                min: 2,
+                max: Some(5)
+            }
+        );
     }
 
     #[test]
@@ -390,9 +461,13 @@ mod tests {
             kind: NodeKind::Counter { min: 4, max: None },
             enable: Enable::OnActivateIn,
             report: false,
+            report_id: None,
             connections: vec![],
         });
         let back = MnrlNetwork::from_json(&net.to_json()).unwrap();
-        assert_eq!(back.node("c").unwrap().kind, NodeKind::Counter { min: 4, max: None });
+        assert_eq!(
+            back.node("c").unwrap().kind,
+            NodeKind::Counter { min: 4, max: None }
+        );
     }
 }

@@ -22,6 +22,7 @@
 //!     kind: NodeKind::State { symbol_set: ByteClass::digit() },
 //!     enable: Enable::OnStartAndActivateIn,
 //!     report: true,
+//!     report_id: None,
 //!     connections: vec![],
 //! });
 //! let json = net.to_json();
@@ -33,6 +34,7 @@
 
 mod dot;
 mod json;
+pub mod jsonval;
 mod network;
 
 pub use json::MnrlError;

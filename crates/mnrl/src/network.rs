@@ -159,6 +159,11 @@ pub struct Node {
     /// Whether activation of this node (for states) or of its `en_out`
     /// (for modules) raises a report.
     pub report: bool,
+    /// MNRL report code. Multi-pattern networks stamp every reporting node
+    /// with the index of the source pattern so the accelerator's report
+    /// vector attributes each event to its rule; single-pattern networks
+    /// leave it `None`.
+    pub report_id: Option<u32>,
     /// Outgoing connections.
     pub connections: Vec<Connection>,
 }
@@ -177,6 +182,7 @@ pub struct Node {
 ///     kind: NodeKind::State { symbol_set: ByteClass::singleton(b'a') },
 ///     enable: Enable::OnStartAndActivateIn,
 ///     report: false,
+///     report_id: None,
 ///     connections: vec![Connection { from_port: Port::Main, to: "s1".into(), to_port: Port::Main }],
 /// });
 /// net.add_node(Node {
@@ -184,6 +190,7 @@ pub struct Node {
 ///     kind: NodeKind::State { symbol_set: ByteClass::singleton(b'b') },
 ///     enable: Enable::OnActivateIn,
 ///     report: true,
+///     report_id: None,
 ///     connections: vec![],
 /// });
 /// assert!(net.validate().is_empty());
@@ -200,7 +207,11 @@ pub struct MnrlNetwork {
 impl MnrlNetwork {
     /// Creates an empty network.
     pub fn new(id: impl Into<String>) -> MnrlNetwork {
-        MnrlNetwork { id: id.into(), nodes: Vec::new(), index: HashMap::new() }
+        MnrlNetwork {
+            id: id.into(),
+            nodes: Vec::new(),
+            index: HashMap::new(),
+        }
     }
 
     /// Adds a node.
@@ -252,14 +263,45 @@ impl MnrlNetwork {
     /// `prefix` to keep them unique (used to compile whole rulesets into a
     /// single machine image).
     pub fn merge_prefixed(&mut self, other: &MnrlNetwork, prefix: &str) {
+        self.merge_impl(other, prefix, None);
+    }
+
+    /// Merges another network as rule `rule_id`: node ids are prefixed
+    /// with `prefix` and every *reporting* node is stamped with
+    /// `report_id = rule_id`, so downstream consumers (hardware report
+    /// vectors, the multi-pattern engine) can attribute reports to the
+    /// source pattern without parsing node-id prefixes.
+    pub fn merge_as_rule(&mut self, other: &MnrlNetwork, prefix: &str, rule_id: u32) {
+        self.merge_impl(other, prefix, Some(rule_id));
+    }
+
+    fn merge_impl(&mut self, other: &MnrlNetwork, prefix: &str, rule_id: Option<u32>) {
         for node in &other.nodes {
             let mut n = node.clone();
             n.id = format!("{prefix}{}", n.id);
             for c in &mut n.connections {
                 c.to = format!("{prefix}{}", c.to);
             }
+            if n.report {
+                if let Some(rid) = rule_id {
+                    n.report_id = Some(rid);
+                }
+            }
             self.add_node(n);
         }
+    }
+
+    /// All report ids present on reporting nodes, deduplicated, ascending.
+    pub fn report_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self
+            .nodes
+            .iter()
+            .filter(|n| n.report)
+            .filter_map(|n| n.report_id)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
     }
 
     /// Structural validation; returns a list of problems (empty = valid):
@@ -359,6 +401,7 @@ mod tests {
             kind: NodeKind::State { symbol_set: class },
             enable: Enable::OnActivateIn,
             report: false,
+            report_id: None,
             connections: vec![],
         }
     }
@@ -384,7 +427,11 @@ mod tests {
     fn validate_catches_dangling_connection() {
         let mut net = MnrlNetwork::new("t");
         let mut n = ste("a", ByteClass::ANY);
-        n.connections.push(Connection { from_port: Port::Main, to: "ghost".into(), to_port: Port::Main });
+        n.connections.push(Connection {
+            from_port: Port::Main,
+            to: "ghost".into(),
+            to_port: Port::Main,
+        });
         net.add_node(n);
         let problems = net.validate();
         assert_eq!(problems.len(), 1);
@@ -396,7 +443,11 @@ mod tests {
         let mut net = MnrlNetwork::new("t");
         let mut n = ste("a", ByteClass::ANY);
         // STEs have no en_out output.
-        n.connections.push(Connection { from_port: Port::EnOut, to: "a".into(), to_port: Port::Main });
+        n.connections.push(Connection {
+            from_port: Port::EnOut,
+            to: "a".into(),
+            to_port: Port::Main,
+        });
         net.add_node(n);
         assert!(!net.validate().is_empty());
     }
@@ -406,9 +457,13 @@ mod tests {
         let mut net = MnrlNetwork::new("t");
         net.add_node(Node {
             id: "c0".into(),
-            kind: NodeKind::Counter { min: 2, max: Some(5) },
+            kind: NodeKind::Counter {
+                min: 2,
+                max: Some(5),
+            },
             enable: Enable::OnActivateIn,
             report: false,
+            report_id: None,
             connections: vec![],
         });
         let problems = net.validate();
@@ -420,13 +475,22 @@ mod tests {
     fn validate_bitvector_window() {
         let mut net = MnrlNetwork::new("t");
         let mut s = ste("s", ByteClass::ANY);
-        s.connections.push(Connection { from_port: Port::Main, to: "bv".into(), to_port: Port::Body });
+        s.connections.push(Connection {
+            from_port: Port::Main,
+            to: "bv".into(),
+            to_port: Port::Body,
+        });
         net.add_node(s);
         net.add_node(Node {
             id: "bv".into(),
-            kind: NodeKind::BitVector { size: 10, lo: 4, hi: 12 },
+            kind: NodeKind::BitVector {
+                size: 10,
+                lo: 4,
+                hi: 12,
+            },
             enable: Enable::OnActivateIn,
             report: false,
+            report_id: None,
             connections: vec![],
         });
         assert!(net.validate().iter().any(|p| p.contains("outside size")));
@@ -440,9 +504,13 @@ mod tests {
         b.add_node(ste("s0", ByteClass::ANY));
         b.add_node(Node {
             id: "c0".into(),
-            kind: NodeKind::Counter { min: 1, max: Some(3) },
+            kind: NodeKind::Counter {
+                min: 1,
+                max: Some(3),
+            },
             enable: Enable::OnActivateIn,
             report: false,
+            report_id: None,
             connections: vec![],
         });
         a.merge_prefixed(&b, "r1_");

@@ -116,14 +116,33 @@ impl CompilePlan {
         CompilePlan { modes }
     }
 
+    /// Assembles a plan from explicit per-state modes (used when merging
+    /// several automata's plans into one).
+    pub fn from_modes(modes: Vec<StorageMode>) -> CompilePlan {
+        CompilePlan { modes }
+    }
+
     /// The storage mode of `q`.
     pub fn mode(&self, q: StateId) -> StorageMode {
         self.modes[q.index()]
     }
 
+    /// Number of states covered by the plan.
+    pub fn len(&self) -> usize {
+        self.modes.len()
+    }
+
+    /// Whether the plan covers no states.
+    pub fn is_empty(&self) -> bool {
+        self.modes.is_empty()
+    }
+
     /// Iterates over all (state, mode) pairs.
     pub fn iter(&self) -> impl Iterator<Item = (StateId, StorageMode)> + '_ {
-        self.modes.iter().enumerate().map(|(i, &m)| (StateId(i as u32), m))
+        self.modes
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| (StateId(i as u32), m))
     }
 }
 
@@ -151,7 +170,7 @@ fn counting_set_eligible(nca: &Nca, q: StateId) -> bool {
 /// counter value is `clock - birth + 1`, so incrementing every live token
 /// is one clock bump and expiry is popping from the front.
 #[derive(Debug, Clone, Default)]
-struct CountingQueue {
+pub(crate) struct CountingQueue {
     clock: u64,
     /// Birth clocks, oldest (largest value) first.
     births: std::collections::VecDeque<u64>,
@@ -191,19 +210,25 @@ impl CountingQueue {
 }
 
 #[derive(Debug, Clone)]
-enum Storage {
+pub(crate) enum Storage {
     PureBit(bool),
     Single(Option<Vec<u32>>),
     /// Bit `v` (1-based; bit 0 unused) set iff token with counter value `v`
     /// is live. Length `bound + 1` bits, word-packed.
-    Bits { words: Vec<u64>, bound: u32 },
+    Bits {
+        words: Vec<u64>,
+        bound: u32,
+    },
     /// Counting-set queue (see [`StorageMode::CountingSet`]).
-    Queue { queue: CountingQueue, bound: u32 },
+    Queue {
+        queue: CountingQueue,
+        bound: u32,
+    },
     Tokens(HashSet<Vec<u32>>),
 }
 
 impl Storage {
-    fn new(mode: StorageMode, bound: u32) -> Storage {
+    pub(crate) fn new(mode: StorageMode, bound: u32) -> Storage {
         match mode {
             StorageMode::PureBit => Storage::PureBit(false),
             StorageMode::SingleValue => Storage::Single(None),
@@ -211,14 +236,15 @@ impl Storage {
                 words: vec![0; ((bound as usize + 1).div_ceil(64)).max(1)],
                 bound,
             },
-            StorageMode::CountingSet => {
-                Storage::Queue { queue: CountingQueue::default(), bound }
-            }
+            StorageMode::CountingSet => Storage::Queue {
+                queue: CountingQueue::default(),
+                bound,
+            },
             StorageMode::TokenSet => Storage::Tokens(HashSet::new()),
         }
     }
 
-    fn clear(&mut self) {
+    pub(crate) fn clear(&mut self) {
         match self {
             Storage::PureBit(b) => *b = false,
             Storage::Single(v) => *v = None,
@@ -228,7 +254,7 @@ impl Storage {
         }
     }
 
-    fn is_empty(&self) -> bool {
+    pub(crate) fn is_empty(&self) -> bool {
         match self {
             Storage::PureBit(b) => !*b,
             Storage::Single(v) => v.is_none(),
@@ -239,7 +265,7 @@ impl Storage {
     }
 
     /// Calls `f` with every live valuation.
-    fn for_each(&self, mut f: impl FnMut(&[u32])) {
+    pub(crate) fn for_each(&self, mut f: impl FnMut(&[u32])) {
         match self {
             Storage::PureBit(true) => f(&[]),
             Storage::PureBit(false) => {}
@@ -270,7 +296,7 @@ impl Storage {
 
     /// Inserts a valuation; returns `true` on a SingleValue conflict (two
     /// distinct valuations on a state the plan claims unambiguous).
-    fn insert(&mut self, values: &[u32]) -> bool {
+    pub(crate) fn insert(&mut self, values: &[u32]) -> bool {
         match self {
             Storage::PureBit(b) => {
                 debug_assert!(values.is_empty());
@@ -293,7 +319,10 @@ impl Storage {
             },
             Storage::Bits { words, bound } => {
                 let v = values[0];
-                debug_assert!(v >= 1 && v <= *bound, "counter value {v} out of 1..={bound}");
+                debug_assert!(
+                    v >= 1 && v <= *bound,
+                    "counter value {v} out of 1..={bound}"
+                );
                 words[(v / 64) as usize] |= 1 << (v % 64);
                 false
             }
@@ -330,6 +359,9 @@ pub struct CompiledEngine<'a> {
     queue_info: Vec<Option<QueueInfo>>,
     /// Scratch: entry activity per counting-set state.
     queue_entry_scratch: Vec<bool>,
+    /// Scratch: destination valuation under construction (reused across
+    /// edges so the hot loop never allocates).
+    value_scratch: Vec<u32>,
     cur: Vec<Storage>,
     nxt: Vec<Storage>,
     conflicts: u64,
@@ -338,13 +370,21 @@ pub struct CompiledEngine<'a> {
 impl<'a> CompiledEngine<'a> {
     /// Builds the engine with the given storage plan.
     pub fn new(nca: &'a Nca, plan: CompilePlan) -> CompiledEngine<'a> {
-        assert_eq!(plan.modes.len(), nca.state_count(), "plan/automaton mismatch");
+        assert_eq!(
+            plan.modes.len(),
+            nca.state_count(),
+            "plan/automaton mismatch"
+        );
         let incoming = (0..nca.state_count())
             .map(|qi| {
                 nca.transitions_into(StateId(qi as u32))
                     .map(|t| {
                         let (guard, dst) = resolve_transition(nca, t);
-                        EdgeProg { from: t.from, guard, dst }
+                        EdgeProg {
+                            from: t.from,
+                            guard,
+                            dst,
+                        }
                     })
                     .collect()
             })
@@ -375,11 +415,13 @@ impl<'a> CompiledEngine<'a> {
                     if t.from.index() == qi {
                         has_self_loop = true;
                     } else {
-                        entry_sources
-                            .push((t.from.index(), resolve_guard(nca, t.from, &t.guard)));
+                        entry_sources.push((t.from.index(), resolve_guard(nca, t.from, &t.guard)));
                     }
                 }
-                Some(QueueInfo { has_self_loop, entry_sources })
+                Some(QueueInfo {
+                    has_self_loop,
+                    entry_sources,
+                })
             })
             .collect();
         let storage_for = |qi: usize| {
@@ -401,6 +443,7 @@ impl<'a> CompiledEngine<'a> {
             accepts,
             queue_info,
             queue_entry_scratch: vec![false; n],
+            value_scratch: Vec::new(),
             cur,
             nxt,
             conflicts: 0,
@@ -464,6 +507,7 @@ impl Engine for CompiledEngine<'_> {
             // Split borrow: nxt[qi] mutated while cur is read.
             let nxt_q = &mut self.nxt[qi];
             let cur = &self.cur;
+            let value_scratch = &mut self.value_scratch;
             let mut conflicts = 0u64;
             for edge in &self.incoming[qi] {
                 let src = &cur[edge.from.index()];
@@ -472,8 +516,9 @@ impl Engine for CompiledEngine<'_> {
                 }
                 src.for_each(|values| {
                     if edge.guard.iter().all(|g| g.eval(values)) {
-                        let out: Vec<u32> = edge.dst.iter().map(|s| s.eval(values)).collect();
-                        if nxt_q.insert(&out) {
+                        value_scratch.clear();
+                        value_scratch.extend(edge.dst.iter().map(|s| s.eval(values)));
+                        if nxt_q.insert(value_scratch) {
                             conflicts += 1;
                         }
                     }
@@ -486,7 +531,9 @@ impl Engine for CompiledEngine<'_> {
         // update each queue in place: one clock bump instead of an O(n)
         // shift.
         for qi in 0..self.nca.state_count() {
-            let Some(info) = &self.queue_info[qi] else { continue };
+            let Some(info) = &self.queue_info[qi] else {
+                continue;
+            };
             self.queue_entry_scratch[qi] = info.entry_sources.iter().any(|(src, guard)| {
                 let mut hit = false;
                 self.cur[*src].for_each(|values| {
@@ -496,7 +543,9 @@ impl Engine for CompiledEngine<'_> {
             });
         }
         for qi in 0..self.nca.state_count() {
-            let Some(info) = &self.queue_info[qi] else { continue };
+            let Some(info) = &self.queue_info[qi] else {
+                continue;
+            };
             let matched = self.nca.states()[qi].class.contains(byte);
             // Move the queue to the next buffer (keeps the buffers typed).
             let mut storage = std::mem::replace(&mut self.cur[qi], Storage::PureBit(false));
@@ -531,7 +580,9 @@ impl Engine for CompiledEngine<'_> {
             let mut hit = false;
             self.cur[qi].for_each(|values| {
                 if !hit {
-                    hit = disjuncts.iter().any(|conj| conj.iter().all(|g| g.eval(values)));
+                    hit = disjuncts
+                        .iter()
+                        .any(|conj| conj.iter().all(|g| g.eval(values)));
                 }
             });
             if hit {
@@ -595,8 +646,14 @@ mod tests {
     fn conservative_plan_modes() {
         let a = nca(".*a{3}");
         let plan = CompilePlan::conservative(&a);
-        let n_bitvec = plan.iter().filter(|(_, m)| *m == StorageMode::BitVector).count();
-        let n_pure = plan.iter().filter(|(_, m)| *m == StorageMode::PureBit).count();
+        let n_bitvec = plan
+            .iter()
+            .filter(|(_, m)| *m == StorageMode::BitVector)
+            .count();
+        let n_pure = plan
+            .iter()
+            .filter(|(_, m)| *m == StorageMode::PureBit)
+            .count();
         assert_eq!(n_bitvec, 1);
         assert_eq!(n_pure, a.state_count() - 1);
         // Nested counting yields a TokenSet fallback for two-counter states.
@@ -703,8 +760,9 @@ mod counting_set_tests {
         // Multi-state bodies are not eligible.
         let b = nca(".*(ab){3,5}");
         let planb = CompilePlan::counting_sets(&b);
-        assert!(planb.iter().all(|(_, m)| m != StorageMode::CountingSet
-            || matches!(m, StorageMode::CountingSet)));
+        assert!(planb
+            .iter()
+            .all(|(_, m)| m != StorageMode::CountingSet || matches!(m, StorageMode::CountingSet)));
         // (ab) body states loop to each other, not to themselves.
         assert!(!planb.iter().any(|(_, m)| m == StorageMode::CountingSet));
         // Unbounded {m,} is excluded (saturation breaks the queue).
@@ -763,6 +821,9 @@ mod counting_set_tests {
         let input = b"akzzzzk_zzzzzzzzzzk";
         let mut queue_engine = CompiledEngine::counting_sets(&a);
         let mut bits_engine = CompiledEngine::conservative(&a);
-        assert_eq!(queue_engine.match_ends(input), bits_engine.match_ends(input));
+        assert_eq!(
+            queue_engine.match_ends(input),
+            bits_engine.match_ends(input)
+        );
     }
 }

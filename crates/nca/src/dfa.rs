@@ -126,7 +126,10 @@ impl Engine for DfaEngine<'_> {
 /// `None` once more than `cap` states exist — used to demonstrate the
 /// memory blowup that motivates NCAs (`Σ*aΣ{n}` reaches 2ⁿ⁺¹ states).
 pub fn full_dfa_size(nca: &Nca, cap: usize) -> Option<usize> {
-    assert!(nca.counters().is_empty(), "determinization requires a counter-free automaton");
+    assert!(
+        nca.counters().is_empty(),
+        "determinization requires a counter-free automaton"
+    );
     let mut engine = DfaEngine::new(nca);
     let mut frontier = vec![engine.start];
     while let Some(state) = frontier.pop() {
@@ -166,7 +169,13 @@ mod tests {
 
     #[test]
     fn agrees_with_reference_engine() {
-        for p in ["a{2,4}b", ".*a{3}", "(ab){2,3}", "x(y|z){2}w", ".*[ab][^a]{2}"] {
+        for p in [
+            "a{2,4}b",
+            ".*a{3}",
+            "(ab){2,3}",
+            "x(y|z){2}w",
+            ".*[ab][^a]{2}",
+        ] {
             let nca = unfolded(p);
             let mut dfa = DfaEngine::new(&nca);
             let mut reference = TokenSetEngine::new(&nca);
@@ -202,7 +211,10 @@ mod tests {
         assert!(size_4 >= 1 << 4, "n=4: {size_4}");
         assert!(size_8 >= 1 << 8, "n=8: {size_8}");
         let growth = size_8 as f64 / size_4 as f64;
-        assert!(growth > 8.0, "exponential growth expected, got {growth:.1}x");
+        assert!(
+            growth > 8.0,
+            "exponential growth expected, got {growth:.1}x"
+        );
         // The NCA for the same pattern is constant-size.
         let nca = Nca::from_regex(&parse(".*a.{8}").unwrap().regex);
         assert!(nca.state_count() < 8);

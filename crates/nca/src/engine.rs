@@ -172,7 +172,12 @@ mod tests {
             let mut queue: Vec<Vec<u8>> = vec![vec![]];
             while let Some(w) = queue.pop() {
                 let expected = naive::matches(&r, &w);
-                assert_eq!(eng.matches(&w), expected, "{p} on {:?}", String::from_utf8_lossy(&w));
+                assert_eq!(
+                    eng.matches(&w),
+                    expected,
+                    "{p} on {:?}",
+                    String::from_utf8_lossy(&w)
+                );
                 if w.len() < 5 {
                     for &c in alphabet {
                         let mut w2 = w.clone();

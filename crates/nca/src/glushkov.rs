@@ -30,7 +30,11 @@ use std::collections::HashSet;
 /// language, so callers must normalize first.
 pub fn build(regex: &Regex) -> Nca {
     let mut b = Builder {
-        states: vec![State { class: ByteClass::EMPTY, counters: vec![], accepts: vec![] }],
+        states: vec![State {
+            class: ByteClass::EMPTY,
+            counters: vec![],
+            accepts: vec![],
+        }],
         counters: Vec::new(),
         transitions: Vec::new(),
         stack: Vec::new(),
@@ -58,8 +62,11 @@ pub fn build(regex: &Regex) -> Nca {
     // Deduplicate parallel identical transitions (they can arise through
     // nullable factors in concatenations).
     let mut seen = HashSet::new();
-    let transitions: Vec<Transition> =
-        b.transitions.into_iter().filter(|t| seen.insert(t.clone())).collect();
+    let transitions: Vec<Transition> = b
+        .transitions
+        .into_iter()
+        .filter(|t| seen.insert(t.clone()))
+        .collect();
     Nca::new(b.states, b.counters, transitions)
 }
 
@@ -96,8 +103,16 @@ struct Builder {
 impl Builder {
     fn frag(&mut self, r: &Regex) -> Frag {
         match r {
-            Regex::Empty => Frag { nullable: true, first: vec![], last: vec![] },
-            Regex::Void => Frag { nullable: false, first: vec![], last: vec![] },
+            Regex::Empty => Frag {
+                nullable: true,
+                first: vec![],
+                last: vec![],
+            },
+            Regex::Void => Frag {
+                nullable: false,
+                first: vec![],
+                last: vec![],
+            },
             Regex::Class(c) => {
                 let pos = StateId(self.states.len() as u32);
                 self.states.push(State {
@@ -107,12 +122,22 @@ impl Builder {
                 });
                 Frag {
                     nullable: false,
-                    first: vec![Entry { pos, actions: vec![] }],
-                    last: vec![Exit { pos, guards: vec![] }],
+                    first: vec![Entry {
+                        pos,
+                        actions: vec![],
+                    }],
+                    last: vec![Exit {
+                        pos,
+                        guards: vec![],
+                    }],
                 }
             }
             Regex::Alt(parts) => {
-                let mut out = Frag { nullable: false, first: vec![], last: vec![] };
+                let mut out = Frag {
+                    nullable: false,
+                    first: vec![],
+                    last: vec![],
+                };
                 for p in parts {
                     let f = self.frag(p);
                     out.nullable |= f.nullable;
@@ -125,7 +150,13 @@ impl Builder {
                 let mut iter = parts.iter();
                 let mut acc = match iter.next() {
                     Some(p) => self.frag(p),
-                    None => return Frag { nullable: true, first: vec![], last: vec![] },
+                    None => {
+                        return Frag {
+                            nullable: true,
+                            first: vec![],
+                            last: vec![],
+                        }
+                    }
                 };
                 for p in iter {
                     let f = self.frag(p);
@@ -138,21 +169,33 @@ impl Builder {
                     if f.nullable {
                         last.extend(acc.last.iter().cloned());
                     }
-                    acc = Frag { nullable: acc.nullable && f.nullable, first, last };
+                    acc = Frag {
+                        nullable: acc.nullable && f.nullable,
+                        first,
+                        last,
+                    };
                 }
                 acc
             }
             Regex::Star(inner) => {
                 let f = self.frag(inner);
                 self.connect(&f.last, &f.first, &[], &[]);
-                Frag { nullable: true, first: f.first, last: f.last }
+                Frag {
+                    nullable: true,
+                    first: f.first,
+                    last: f.last,
+                }
             }
             Regex::Repeat { inner, min, max } => {
                 if Regex::is_plain_iteration(*min, *max) {
                     // `+` (or a defensive `*`): loop without a counter.
                     let f = self.frag(inner);
                     self.connect(&f.last, &f.first, &[], &[]);
-                    return Frag { nullable: f.nullable || *min == 0, first: f.first, last: f.last };
+                    return Frag {
+                        nullable: f.nullable || *min == 0,
+                        first: f.first,
+                        last: f.last,
+                    };
                 }
                 debug_assert!(
                     !inner.nullable() && *min >= 1,
@@ -196,7 +239,11 @@ impl Builder {
                         e
                     })
                     .collect();
-                Frag { nullable: false, first, last }
+                Frag {
+                    nullable: false,
+                    first,
+                    last,
+                }
             }
         }
     }
@@ -217,7 +264,12 @@ impl Builder {
                 guard.extend_from_slice(extra_guard);
                 let mut actions = extra_actions.to_vec();
                 actions.extend(f.actions.iter().cloned());
-                self.transitions.push(Transition { from: e.pos, to: f.pos, guard, actions });
+                self.transitions.push(Transition {
+                    from: e.pos,
+                    to: f.pos,
+                    guard,
+                    actions,
+                });
             }
         }
     }
@@ -248,7 +300,10 @@ mod tests {
         // Exactly one final state, accepting at x = 4 (Range(4,4)).
         let finals: Vec<_> = a.states().iter().filter(|s| s.is_final()).collect();
         assert_eq!(finals.len(), 1);
-        assert_eq!(finals[0].accepts, vec![vec![GuardAtom::Range(CounterId(0), 4, 4)]]);
+        assert_eq!(
+            finals[0].accepts,
+            vec![vec![GuardAtom::Range(CounterId(0), 4, 4)]]
+        );
         // The counted state has a self-loop guarded by x < 4 that increments.
         let self_loop = a
             .transitions()
@@ -270,7 +325,7 @@ mod tests {
             .filter(|&i| !a.states()[i].is_pure())
             .collect();
         assert_eq!(counted.len(), 2); // b and c positions
-        // Loop edge c→b with x<3 / x++.
+                                      // Loop edge c→b with x<3 / x++.
         let loop_edge = a
             .transitions()
             .iter()
@@ -300,11 +355,17 @@ mod tests {
         assert_eq!(a.counters().len(), 2);
         // Outer counter x0 ({4}) on all body positions w,e,r,t;
         // inner x1 ({2,3}) only on e,r.
-        let with_both: Vec<_> =
-            a.states().iter().filter(|s| s.counters.len() == 2).collect();
+        let with_both: Vec<_> = a
+            .states()
+            .iter()
+            .filter(|s| s.counters.len() == 2)
+            .collect();
         assert_eq!(with_both.len(), 2);
-        let with_outer_only: Vec<_> =
-            a.states().iter().filter(|s| s.counters == vec![CounterId(0)]).collect();
+        let with_outer_only: Vec<_> = a
+            .states()
+            .iter()
+            .filter(|s| s.counters == vec![CounterId(0)])
+            .collect();
         assert_eq!(with_outer_only.len(), 2);
         // Outer loop edge t→w: guard x0<4, action x0++ (x1 dropped).
         let outer_loop = a
@@ -378,7 +439,10 @@ mod tests {
         assert!(a.counters().is_empty());
         assert_eq!(a.state_count(), 3);
         // a has a guard-free self loop.
-        assert!(a.transitions().iter().any(|t| t.from == t.to && t.guard.is_empty()));
+        assert!(a
+            .transitions()
+            .iter()
+            .any(|t| t.from == t.to && t.guard.is_empty()));
     }
 
     #[test]
@@ -412,8 +476,7 @@ mod tests {
         // the outer increment (with inner exit + reset).
         let a = nca("(a{2,3}){4,5}");
         assert_eq!(a.counters().len(), 2);
-        let self_loops: Vec<_> =
-            a.transitions().iter().filter(|t| t.from == t.to).collect();
+        let self_loops: Vec<_> = a.transitions().iter().filter(|t| t.from == t.to).collect();
         assert_eq!(self_loops.len(), 2);
         // One of them exits the inner repetition and re-enters it while
         // incrementing the outer counter.
@@ -441,8 +504,13 @@ mod tests {
     #[test]
     fn validates_internally() {
         for p in [
-            "a{2,3}", "(ab){2,}c", "((ab){2,3}c){4,6}", ".*a{5}", "x(y|z){3,9}w",
-            "(a|bc){2,4}(d{3}|e)*", "a{2,3}b{4,5}c{6,7}",
+            "a{2,3}",
+            "(ab){2,}c",
+            "((ab){2,3}c){4,6}",
+            ".*a{5}",
+            "x(y|z){3,9}w",
+            "(a|bc){2,4}(d{3}|e)*",
+            "a{2,3}b{4,5}c{6,7}",
         ] {
             let a = nca(p);
             assert!(a.validate().is_ok(), "invalid NCA for {p}");

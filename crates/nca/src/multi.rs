@@ -1,0 +1,615 @@
+//! Multi-pattern execution: many per-pattern NCAs merged into **one**
+//! shared automaton, stepped by a batched engine over dense state
+//! frontiers.
+//!
+//! This is the software twin of a whole machine image: production
+//! deployments of automata accelerators compile the entire ruleset into
+//! one network and stream traffic through it once, instead of running one
+//! engine per rule. The merge keeps each pattern's states and counters
+//! disjoint (they only share the input stream and the initial state), so
+//! per-pattern semantics — including the storage plans chosen by the
+//! static analysis — carry over unchanged, and every accepting state
+//! remembers which pattern it reports for.
+//!
+//! Two batching effects make [`MultiEngine`] faster than a loop over
+//! single-pattern engines:
+//!
+//! * **shared byte-class alphabet** — the union of all patterns'
+//!   predicates partitions Σ into equivalence classes
+//!   ([`recama_syntax::ByteClassSet`]); each input byte is classified
+//!   once, and destination-class tests become one bit probe instead of a
+//!   256-bit membership test per state;
+//! * **dense activity frontiers** — one bitset marks the live states of
+//!   the whole set, so per-byte work scales with the number of *active*
+//!   states (typically a few per pattern on benign traffic), not with the
+//!   total automaton size the way `N × CompiledEngine` does.
+
+use crate::compiled::{CompilePlan, Storage, StorageMode};
+use crate::nca::{ActionOp, GuardAtom, Nca, State, StateId, Transition};
+use crate::token::{resolve_guard, resolve_transition, SlotSrc, SlotTest};
+use recama_syntax::{ByteAlphabet, ByteClassSet};
+
+/// A report of the multi-pattern engine: pattern `pattern` matched with
+/// its last byte at 1-based offset `end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MultiReport {
+    /// Index of the pattern in the merged set.
+    pub pattern: u32,
+    /// 1-based end offset (stream position after the matching byte).
+    pub end: u64,
+}
+
+/// Several per-pattern NCAs merged into one shared automaton.
+///
+/// State 0 is the single merged `q0`; states and counters of pattern `i`
+/// occupy contiguous id ranges, recorded so reports can be attributed.
+/// The merged `q0` never accepts: like the hardware (which cannot report
+/// "before the first symbol"), the multi-pattern machinery only reports
+/// matches ending at offset ≥ 1.
+#[derive(Debug)]
+pub struct MultiNca {
+    nca: Nca,
+    plan: CompilePlan,
+    alphabet: ByteAlphabet,
+    /// Pattern owning each state; `u32::MAX` for the merged `q0`.
+    pattern_of_state: Vec<u32>,
+    pattern_count: usize,
+    /// Immutable engine tables, built once here so every
+    /// [`MultiNca::engine`] call only allocates mutable state.
+    tables: EngineTables,
+}
+
+impl MultiNca {
+    /// Merges per-pattern automata (with their storage plans) into one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a plan's length does not match its automaton, or if a
+    /// plan uses [`StorageMode::CountingSet`] (the batched engine keeps
+    /// the module-faithful bit-vector representation instead).
+    pub fn merge(parts: &[(&Nca, CompilePlan)]) -> MultiNca {
+        let mut states: Vec<State> = vec![State {
+            class: recama_syntax::ByteClass::EMPTY,
+            counters: Vec::new(),
+            accepts: Vec::new(),
+        }];
+        let mut counters = Vec::new();
+        let mut transitions: Vec<Transition> = Vec::new();
+        let mut modes: Vec<StorageMode> = vec![StorageMode::PureBit];
+        let mut pattern_of_state: Vec<u32> = vec![u32::MAX];
+        let mut class_set = ByteClassSet::new();
+
+        for (pi, (nca, plan)) in parts.iter().enumerate() {
+            assert_eq!(plan.len(), nca.state_count(), "plan/automaton mismatch");
+            assert!(
+                plan.iter().all(|(_, m)| m != StorageMode::CountingSet),
+                "multi-pattern plans must not use counting sets"
+            );
+            // Local state j (j ≥ 1) lands at state_base + j - 1; local
+            // counter k lands at counter_base + k.
+            let state_base = states.len() as u32;
+            let counter_base = counters.len() as u32;
+            let map_state = |q: StateId| -> StateId {
+                if q == StateId::INIT {
+                    StateId::INIT
+                } else {
+                    StateId(state_base + q.0 - 1)
+                }
+            };
+            let map_counter = |c: crate::nca::CounterId| crate::nca::CounterId(counter_base + c.0);
+            let map_guard = |g: &GuardAtom| match *g {
+                GuardAtom::Lt(c, n) => GuardAtom::Lt(map_counter(c), n),
+                GuardAtom::Range(c, lo, hi) => GuardAtom::Range(map_counter(c), lo, hi),
+                GuardAtom::Ge(c, m) => GuardAtom::Ge(map_counter(c), m),
+                GuardAtom::Eq(c, n) => GuardAtom::Eq(map_counter(c), n),
+            };
+            for (qi, s) in nca.states().iter().enumerate().skip(1) {
+                class_set.add(&s.class);
+                states.push(State {
+                    class: s.class,
+                    counters: s.counters.iter().map(|&c| map_counter(c)).collect(),
+                    accepts: s
+                        .accepts
+                        .iter()
+                        .map(|conj| conj.iter().map(map_guard).collect())
+                        .collect(),
+                });
+                modes.push(plan.mode(StateId(qi as u32)));
+                pattern_of_state.push(pi as u32);
+            }
+            counters.extend_from_slice(nca.counters());
+            for t in nca.transitions() {
+                transitions.push(Transition {
+                    from: map_state(t.from),
+                    to: map_state(t.to),
+                    guard: t.guard.iter().map(map_guard).collect(),
+                    actions: t
+                        .actions
+                        .iter()
+                        .map(|op| match *op {
+                            ActionOp::Set(c, v) => ActionOp::Set(map_counter(c), v),
+                            ActionOp::Inc(c) => ActionOp::Inc(map_counter(c)),
+                            ActionOp::IncSat(c, cap) => ActionOp::IncSat(map_counter(c), cap),
+                        })
+                        .collect(),
+                });
+            }
+        }
+
+        let nca = Nca::new(states, counters, transitions);
+        let alphabet = class_set.freeze();
+        let tables = EngineTables::build(&nca, &alphabet);
+        MultiNca {
+            nca,
+            plan: CompilePlan::from_modes(modes),
+            alphabet,
+            pattern_of_state,
+            pattern_count: parts.len(),
+            tables,
+        }
+    }
+
+    /// The merged automaton.
+    pub fn nca(&self) -> &Nca {
+        &self.nca
+    }
+
+    /// The merged storage plan.
+    pub fn plan(&self) -> &CompilePlan {
+        &self.plan
+    }
+
+    /// The shared byte-class alphabet of the whole set.
+    pub fn alphabet(&self) -> &ByteAlphabet {
+        &self.alphabet
+    }
+
+    /// Number of merged patterns.
+    pub fn pattern_count(&self) -> usize {
+        self.pattern_count
+    }
+
+    /// The pattern owning state `q` (`None` for the merged `q0`).
+    pub fn pattern_of(&self, q: StateId) -> Option<u32> {
+        match self.pattern_of_state[q.index()] {
+            u32::MAX => None,
+            p => Some(p),
+        }
+    }
+
+    /// Creates a batched engine over the merged automaton.
+    pub fn engine(&self) -> MultiEngine<'_> {
+        MultiEngine::new(self)
+    }
+}
+
+/// One outgoing transition, slot-resolved and class-indexed.
+#[derive(Debug)]
+struct OutEdge {
+    to: u32,
+    guard: Vec<SlotTest>,
+    dst: Vec<SlotSrc>,
+}
+
+/// The immutable, shareable part of the batched engine: edge programs,
+/// finalization predicates, and class-membership bitsets. Built once per
+/// [`MultiNca`]; every engine instance borrows it.
+#[derive(Debug)]
+struct EngineTables {
+    /// Outgoing edge programs per state.
+    out_edges: Vec<Vec<OutEdge>>,
+    /// Slot-resolved finalization DNF per state.
+    accepts: Vec<Vec<Vec<SlotTest>>>,
+    /// `class_member[c]` is a bitset over states: bit `q` set iff the
+    /// equivalence class `c` is inside `class(q)`.
+    class_member: Vec<Vec<u64>>,
+}
+
+impl EngineTables {
+    fn build(nca: &Nca, alphabet: &ByteAlphabet) -> EngineTables {
+        let n = nca.state_count();
+        let words = n.div_ceil(64);
+        let out_edges = (0..n)
+            .map(|qi| {
+                nca.transitions_from(StateId(qi as u32))
+                    .map(|t| {
+                        let (guard, dst) = resolve_transition(nca, t);
+                        OutEdge {
+                            to: t.to.0,
+                            guard,
+                            dst,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let accepts = nca
+            .states()
+            .iter()
+            .enumerate()
+            .map(|(qi, s)| {
+                s.accepts
+                    .iter()
+                    .map(|conj| resolve_guard(nca, StateId(qi as u32), conj))
+                    .collect()
+            })
+            .collect();
+        let class_member = alphabet
+            .classes()
+            .map(|(_, rep)| {
+                let mut row = vec![0u64; words];
+                for (qi, s) in nca.states().iter().enumerate().skip(1) {
+                    if s.class.contains(rep) {
+                        row[qi / 64] |= 1 << (qi % 64);
+                    }
+                }
+                row
+            })
+            .collect();
+        EngineTables {
+            out_edges,
+            accepts,
+            class_member,
+        }
+    }
+}
+
+/// The batched multi-pattern engine. See the module docs.
+pub struct MultiEngine<'a> {
+    multi: &'a MultiNca,
+    /// Shared immutable tables (owned by the [`MultiNca`]).
+    tables: &'a EngineTables,
+    /// Per-state token storage for the current / next configuration.
+    cur: Vec<Storage>,
+    nxt: Vec<Storage>,
+    /// Bitset over states: `cur[q]` holds at least one token.
+    active: Vec<u64>,
+    next_active: Vec<u64>,
+    /// Generation stamps for lazy clearing of `nxt`.
+    stamp: Vec<u64>,
+    generation: u64,
+    /// Reusable destination-valuation buffer.
+    value_scratch: Vec<u32>,
+    /// Per-pattern stamp deduplicating reports within one step.
+    report_stamp: Vec<u64>,
+    /// Stream position (bytes consumed since reset).
+    position: u64,
+    conflicts: u64,
+}
+
+impl<'a> MultiEngine<'a> {
+    /// Builds an engine over `multi`'s shared tables; only the mutable
+    /// per-engine state (token storage, frontiers, stamps) is allocated.
+    pub fn new(multi: &'a MultiNca) -> MultiEngine<'a> {
+        let nca = &multi.nca;
+        let n = nca.state_count();
+        let words = n.div_ceil(64);
+        let storage_for = |qi: usize| {
+            let s = &nca.states()[qi];
+            let bound = s
+                .counters
+                .first()
+                .map(|&c| nca.counter(c).bound())
+                .unwrap_or(0);
+            Storage::new(multi.plan.mode(StateId(qi as u32)), bound)
+        };
+        let mut e = MultiEngine {
+            multi,
+            tables: &multi.tables,
+            cur: (0..n).map(storage_for).collect(),
+            nxt: (0..n).map(storage_for).collect(),
+            active: vec![0; words],
+            next_active: vec![0; words],
+            stamp: vec![0; n],
+            generation: 0,
+            value_scratch: Vec::new(),
+            report_stamp: vec![0; multi.pattern_count],
+            position: 0,
+            conflicts: 0,
+        };
+        e.reset();
+        e
+    }
+
+    /// Returns to the initial configuration (stream position 0).
+    pub fn reset(&mut self) {
+        for w in &mut self.active {
+            *w = 0;
+        }
+        for s in &mut self.cur {
+            s.clear();
+        }
+        self.cur[0] = Storage::PureBit(true);
+        self.active[0] = 1;
+        self.stamp.iter_mut().for_each(|s| *s = 0);
+        self.report_stamp.iter_mut().for_each(|s| *s = 0);
+        self.generation = 0;
+        self.position = 0;
+        self.conflicts = 0;
+    }
+
+    /// Bytes consumed since the last reset.
+    pub fn position(&self) -> u64 {
+        self.position
+    }
+
+    /// Number of `SingleValue` collisions observed (must stay 0 when the
+    /// plans came from a sound analysis; see [`crate::CompiledEngine`]).
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Number of live (token-holding) states — the frontier size the
+    /// per-byte work scales with.
+    pub fn active_states(&self) -> usize {
+        self.active.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Consumes one byte, appending `(pattern, end)` reports to `out`.
+    ///
+    /// Reports are deduplicated per pattern. They are appended in merged
+    /// state order, not ascending pattern order; sort if you need the
+    /// latter. `end` is the current 1-based stream offset.
+    pub fn step_into(&mut self, byte: u8, out: &mut Vec<MultiReport>) {
+        self.position += 1;
+        self.generation = self.generation.wrapping_add(1);
+        let generation = self.generation;
+        let class = self.multi.alphabet.class_of(byte);
+        let member_row = &self.tables.class_member[class];
+        for w in &mut self.next_active {
+            *w = 0;
+        }
+        let cur = &self.cur;
+        let nxt = &mut self.nxt;
+        let stamp = &mut self.stamp;
+        let next_active = &mut self.next_active;
+        let value_scratch = &mut self.value_scratch;
+        let mut conflicts = 0u64;
+        for (wi, &word) in self.active.iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                let p = wi * 64 + bit;
+                let src = &cur[p];
+                for edge in &self.tables.out_edges[p] {
+                    let q = edge.to as usize;
+                    if member_row[q / 64] & (1 << (q % 64)) == 0 {
+                        continue;
+                    }
+                    if stamp[q] != generation {
+                        stamp[q] = generation;
+                        nxt[q].clear();
+                    }
+                    let nxt_q = &mut nxt[q];
+                    src.for_each(|values| {
+                        if edge.guard.iter().all(|g| g.eval(values)) {
+                            value_scratch.clear();
+                            value_scratch.extend(edge.dst.iter().map(|s| s.eval(values)));
+                            if nxt_q.insert(value_scratch) {
+                                conflicts += 1;
+                            }
+                        }
+                    });
+                    if !nxt_q.is_empty() {
+                        next_active[q / 64] |= 1 << (q % 64);
+                    }
+                }
+            }
+        }
+        self.conflicts += conflicts;
+        std::mem::swap(&mut self.cur, &mut self.nxt);
+        std::mem::swap(&mut self.active, &mut self.next_active);
+        self.collect_reports(out);
+    }
+
+    fn collect_reports(&mut self, out: &mut Vec<MultiReport>) {
+        let generation = self.generation;
+        for (wi, &word) in self.active.iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                let q = wi * 64 + bit;
+                let disjuncts = &self.tables.accepts[q];
+                if disjuncts.is_empty() {
+                    continue;
+                }
+                let pattern = self.multi.pattern_of_state[q];
+                debug_assert_ne!(pattern, u32::MAX, "merged q0 never accepts");
+                if self.report_stamp[pattern as usize] == generation {
+                    continue; // this pattern already reported at this offset
+                }
+                let mut hit = false;
+                self.cur[q].for_each(|values| {
+                    if !hit {
+                        hit = disjuncts
+                            .iter()
+                            .any(|conj| conj.iter().all(|g| g.eval(values)));
+                    }
+                });
+                if hit {
+                    self.report_stamp[pattern as usize] = generation;
+                    out.push(MultiReport {
+                        pattern,
+                        end: self.position,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Feeds a whole chunk, appending reports to `out`. Stream position
+    /// persists across calls, so chunked feeding is equivalent to one
+    /// contiguous scan.
+    pub fn feed_into(&mut self, chunk: &[u8], out: &mut Vec<MultiReport>) {
+        for &b in chunk {
+            self.step_into(b, out);
+        }
+    }
+
+    /// One-shot scan: resets, consumes `input`, returns all reports in
+    /// stream order.
+    pub fn match_reports(&mut self, input: &[u8]) -> Vec<MultiReport> {
+        self.reset();
+        let mut out = Vec::new();
+        self.feed_into(input, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::CompiledEngine;
+    use recama_syntax::parse;
+
+    fn stream_nca(pattern: &str) -> Nca {
+        Nca::from_regex(&parse(pattern).unwrap().for_stream())
+    }
+
+    fn multi(patterns: &[&str]) -> MultiNca {
+        let ncas: Vec<Nca> = patterns.iter().map(|p| stream_nca(p)).collect();
+        let parts: Vec<(&Nca, CompilePlan)> = ncas
+            .iter()
+            .map(|n| (n, CompilePlan::conservative(n)))
+            .collect();
+        let m = MultiNca::merge(&parts);
+        // `parts` borrows ncas, which drop here; MultiNca owns its copy.
+        m
+    }
+
+    fn per_pattern_reports(patterns: &[&str], input: &[u8]) -> Vec<MultiReport> {
+        let mut expected = Vec::new();
+        for (pi, p) in patterns.iter().enumerate() {
+            let nca = stream_nca(p);
+            let mut engine = CompiledEngine::conservative(&nca);
+            for end in engine.match_ends(input) {
+                if end > 0 {
+                    expected.push(MultiReport {
+                        pattern: pi as u32,
+                        end: end as u64,
+                    });
+                }
+            }
+        }
+        expected.sort();
+        expected
+    }
+
+    fn assert_agrees(patterns: &[&str], input: &[u8]) {
+        let m = multi(patterns);
+        let mut got = m.engine().match_reports(input);
+        got.sort();
+        assert_eq!(
+            got,
+            per_pattern_reports(patterns, input),
+            "{patterns:?} on {:?}",
+            String::from_utf8_lossy(input)
+        );
+    }
+
+    #[test]
+    fn merged_reports_equal_per_pattern_union() {
+        let patterns = ["ab{2,3}c", "a{3}", "x[yz]{2}", "cab"];
+        for input in [
+            &b"abbc.aaa.xyz.cab"[..],
+            b"abbbcabbc",
+            b"aaaaaa",
+            b"xzy xyy xzz",
+            b"",
+            b"no matches here",
+        ] {
+            assert_agrees(&patterns, input);
+        }
+    }
+
+    #[test]
+    fn overlapping_patterns_report_independently() {
+        // Same trigger, different tails; plus a pattern equal to another's
+        // prefix.
+        let patterns = ["ka{2}", "ka{2}b", "k"];
+        assert_agrees(&patterns, b"kaab kaa");
+    }
+
+    #[test]
+    fn anchored_and_counting_mix() {
+        let patterns = ["^a{2}b", "b{2}", "^x"];
+        assert_agrees(&patterns, b"aab bb x");
+        assert_agrees(&patterns, b"xaabbb");
+    }
+
+    #[test]
+    fn shared_alphabet_is_smaller_than_sigma() {
+        let m = multi(&["a{3}", "[ab]{2}x", "\\d{4}"]);
+        // Classes: {a}, {b}, {x}, digits, rest — far fewer than 256.
+        assert_eq!(m.alphabet().len(), 5);
+    }
+
+    #[test]
+    fn state_attribution_covers_all_patterns() {
+        let patterns = ["ab", "cd{2}"];
+        let m = multi(&patterns);
+        assert_eq!(m.pattern_count(), 2);
+        assert_eq!(m.pattern_of(StateId::INIT), None);
+        let mut seen = vec![false; patterns.len()];
+        for qi in 1..m.nca().state_count() {
+            let p = m
+                .pattern_of(StateId(qi as u32))
+                .expect("non-q0 states are owned");
+            seen[p as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn chunked_feeding_matches_oneshot() {
+        let patterns = ["ab{2,4}c", "x{3}", "q[rs]{2}t"];
+        let m = multi(&patterns);
+        let input = b"zabbbc_xxx_qrst_abbc_xxxx".to_vec();
+        let mut engine = m.engine();
+        let oneshot = engine.match_reports(&input);
+        for chunk_len in [1usize, 2, 3, 7, input.len()] {
+            let mut engine = m.engine();
+            let mut chunked = Vec::new();
+            for chunk in input.chunks(chunk_len) {
+                engine.feed_into(chunk, &mut chunked);
+            }
+            assert_eq!(chunked, oneshot, "chunk length {chunk_len}");
+            assert_eq!(engine.position(), input.len() as u64);
+        }
+    }
+
+    #[test]
+    fn frontier_stays_sparse_on_benign_input() {
+        let patterns = ["needle{2}x", "spike[ab]{3}", "^anchored{2}"];
+        let m = multi(&patterns);
+        let mut engine = m.engine();
+        let mut out = Vec::new();
+        for &b in b"purely unrelated traffic ........." {
+            engine.step_into(b, &mut out);
+        }
+        // Only the Σ* self-loop states (one per unanchored pattern) and
+        // occasional literal heads stay live.
+        assert!(engine.active_states() <= 8, "{}", engine.active_states());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn empty_set_matches_nothing() {
+        let m = MultiNca::merge(&[]);
+        let mut engine = m.engine();
+        assert!(engine.match_reports(b"anything").is_empty());
+        assert_eq!(m.pattern_count(), 0);
+    }
+
+    #[test]
+    fn conflicts_stay_zero_with_sound_plans() {
+        let patterns = [".*a{3}", "k.{2,5}z"];
+        let m = multi(&patterns);
+        let mut engine = m.engine();
+        engine.match_reports(b"aaaa k..z aaa kzzzzz");
+        assert_eq!(engine.conflicts(), 0);
+    }
+}

@@ -78,7 +78,10 @@ impl GuardAtom {
     /// The counter the atom tests.
     pub fn counter(&self) -> CounterId {
         match *self {
-            GuardAtom::Lt(c, _) | GuardAtom::Range(c, _, _) | GuardAtom::Ge(c, _) | GuardAtom::Eq(c, _) => c,
+            GuardAtom::Lt(c, _)
+            | GuardAtom::Range(c, _, _)
+            | GuardAtom::Ge(c, _)
+            | GuardAtom::Eq(c, _) => c,
         }
     }
 
@@ -223,14 +226,24 @@ impl Nca {
     /// Panics if the automaton violates a structural invariant (see
     /// [`Nca::validate`]); construction sites are all internal, so a panic
     /// here indicates a bug in a builder, not bad user input.
-    pub fn new(states: Vec<State>, counters: Vec<CounterInfo>, transitions: Vec<Transition>) -> Nca {
+    pub fn new(
+        states: Vec<State>,
+        counters: Vec<CounterInfo>,
+        transitions: Vec<Transition>,
+    ) -> Nca {
         let mut out = vec![Vec::new(); states.len()];
         let mut into = vec![Vec::new(); states.len()];
         for (i, t) in transitions.iter().enumerate() {
             out[t.from.index()].push(i as u32);
             into[t.to.index()].push(i as u32);
         }
-        let nca = Nca { states, counters, transitions, out, into };
+        let nca = Nca {
+            states,
+            counters,
+            transitions,
+            out,
+            into,
+        };
         if let Err(e) = nca.validate() {
             panic!("malformed NCA: {e}");
         }
@@ -271,12 +284,16 @@ impl Nca {
 
     /// Outgoing transitions of `p`.
     pub fn transitions_from(&self, p: StateId) -> impl Iterator<Item = &Transition> + '_ {
-        self.out[p.index()].iter().map(move |&i| &self.transitions[i as usize])
+        self.out[p.index()]
+            .iter()
+            .map(move |&i| &self.transitions[i as usize])
     }
 
     /// Incoming transitions of `q`.
     pub fn transitions_into(&self, q: StateId) -> impl Iterator<Item = &Transition> + '_ {
-        self.into[q.index()].iter().map(move |&i| &self.transitions[i as usize])
+        self.into[q.index()]
+            .iter()
+            .map(move |&i| &self.transitions[i as usize])
     }
 
     /// Number of states including `q0`.
@@ -326,7 +343,10 @@ impl Nca {
             for conj in &s.accepts {
                 for atom in conj {
                     if s.slot(atom.counter()).is_none() {
-                        return Err(format!("q{qi}: finalization tests {} ∉ R(q)", atom.counter()));
+                        return Err(format!(
+                            "q{qi}: finalization tests {} ∉ R(q)",
+                            atom.counter()
+                        ));
                     }
                 }
             }
@@ -395,7 +415,13 @@ impl fmt::Display for Nca {
     /// A human-readable dump in the notation of the paper's figures:
     /// `q3:x1 [a-c] <- q2 on (x1<5 / x1++)`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "NCA: {} states, {} counters, {} transitions", self.states.len(), self.counters.len(), self.transitions.len())?;
+        writeln!(
+            f,
+            "NCA: {} states, {} counters, {} transitions",
+            self.states.len(),
+            self.counters.len(),
+            self.transitions.len()
+        )?;
         for (i, s) in self.states.iter().enumerate() {
             write!(f, "  q{i}")?;
             if !s.counters.is_empty() {
@@ -457,14 +483,22 @@ mod tests {
     fn tiny_nca() -> Nca {
         // q0 --a--> q1:x (x:=1); q1 --a--> q1 (x<3 / x++); accept x in [2,3].
         let states = vec![
-            State { class: ByteClass::EMPTY, counters: vec![], accepts: vec![] },
+            State {
+                class: ByteClass::EMPTY,
+                counters: vec![],
+                accepts: vec![],
+            },
             State {
                 class: ByteClass::singleton(b'a'),
                 counters: vec![CounterId(0)],
                 accepts: vec![vec![GuardAtom::Range(CounterId(0), 2, 3)]],
             },
         ];
-        let counters = vec![CounterInfo { repeat: RepeatId(0), min: 2, max: Some(3) }];
+        let counters = vec![CounterInfo {
+            repeat: RepeatId(0),
+            min: 2,
+            max: Some(3),
+        }];
         let transitions = vec![
             Transition {
                 from: StateId(0),
@@ -515,8 +549,16 @@ mod tests {
     #[should_panic(expected = "malformed NCA")]
     fn rejects_guard_on_missing_counter() {
         let states = vec![
-            State { class: ByteClass::EMPTY, counters: vec![], accepts: vec![] },
-            State { class: ByteClass::ANY, counters: vec![], accepts: vec![vec![]] },
+            State {
+                class: ByteClass::EMPTY,
+                counters: vec![],
+                accepts: vec![],
+            },
+            State {
+                class: ByteClass::ANY,
+                counters: vec![],
+                accepts: vec![vec![]],
+            },
         ];
         let transitions = vec![Transition {
             from: StateId(0),
@@ -531,10 +573,22 @@ mod tests {
     #[should_panic(expected = "malformed NCA")]
     fn rejects_retained_counter_not_in_source() {
         let states = vec![
-            State { class: ByteClass::EMPTY, counters: vec![], accepts: vec![] },
-            State { class: ByteClass::ANY, counters: vec![CounterId(0)], accepts: vec![] },
+            State {
+                class: ByteClass::EMPTY,
+                counters: vec![],
+                accepts: vec![],
+            },
+            State {
+                class: ByteClass::ANY,
+                counters: vec![CounterId(0)],
+                accepts: vec![],
+            },
         ];
-        let counters = vec![CounterInfo { repeat: RepeatId(0), min: 1, max: Some(2) }];
+        let counters = vec![CounterInfo {
+            repeat: RepeatId(0),
+            min: 1,
+            max: Some(2),
+        }];
         // No Set action for x at a pure->counted edge: invalid retain.
         let transitions = vec![Transition {
             from: StateId(0),

@@ -89,7 +89,13 @@ impl<'a> NfaEngine<'a> {
                 finals.set(qi);
             }
         }
-        let mut e = NfaEngine { nca, succ, finals, active: StateBits::new(n), next: StateBits::new(n) };
+        let mut e = NfaEngine {
+            nca,
+            succ,
+            finals,
+            active: StateBits::new(n),
+            next: StateBits::new(n),
+        };
         e.reset();
         e
     }
@@ -145,8 +151,21 @@ mod tests {
             let mut nfa = NfaEngine::new(&nca);
             let mut tok = TokenSetEngine::new(&nca);
             for w in [
-                &b""[..], b"a", b"aa", b"aaa", b"aaaa", b"aaaaa", b"ab", b"abab", b"ababab",
-                b"abc", b"ababc", b"bc", b"bbc", b"xaaa", b"aab",
+                &b""[..],
+                b"a",
+                b"aa",
+                b"aaa",
+                b"aaaa",
+                b"aaaaa",
+                b"ab",
+                b"abab",
+                b"ababab",
+                b"abc",
+                b"ababc",
+                b"bc",
+                b"bbc",
+                b"xaaa",
+                b"aab",
             ] {
                 assert_eq!(nfa.matches(w), tok.matches(w), "{p} on {w:?}");
             }

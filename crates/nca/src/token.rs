@@ -23,12 +23,18 @@ pub struct Token {
 impl Token {
     /// The initial token `(q0, ∅)`.
     pub fn initial() -> Token {
-        Token { state: StateId::INIT, values: Vec::new() }
+        Token {
+            state: StateId::INIT,
+            values: Vec::new(),
+        }
     }
 
     /// A token on a pure state.
     pub fn pure(state: StateId) -> Token {
-        Token { state, values: Vec::new() }
+        Token {
+            state,
+            values: Vec::new(),
+        }
     }
 }
 
@@ -188,12 +194,22 @@ impl<'a> Prepared<'a> {
                     .collect()
             })
             .collect();
-        Prepared { nca, progs, accepts }
+        Prepared {
+            nca,
+            progs,
+            accepts,
+        }
     }
 
     fn compile(nca: &Nca, index: u32, t: &Transition) -> Prog {
         let (guard, dst) = resolve_transition(nca, t);
-        Prog { index, to: t.to, class: nca.state(t.to).class, guard, dst }
+        Prog {
+            index,
+            to: t.to,
+            class: nca.state(t.to).class,
+            guard,
+            dst,
+        }
     }
 
     /// The underlying automaton.
@@ -212,7 +228,10 @@ impl<'a> Prepared<'a> {
                 continue;
             }
             let values = prog.dst.iter().map(|s| s.eval(&token.values)).collect();
-            f(Token { state: prog.to, values });
+            f(Token {
+                state: prog.to,
+                values,
+            });
         }
     }
 
@@ -231,7 +250,14 @@ impl<'a> Prepared<'a> {
                 continue;
             }
             let values = prog.dst.iter().map(|s| s.eval(&token.values)).collect();
-            f(prog.index, &prog.class, Token { state: prog.to, values });
+            f(
+                prog.index,
+                &prog.class,
+                Token {
+                    state: prog.to,
+                    values,
+                },
+            );
         }
     }
 
@@ -311,8 +337,6 @@ mod tests {
         // q0 → Σ-state and q0 → [ab]-state.
         assert_eq!(seen.len(), 2);
         assert!(seen.iter().any(|(c, _)| c.is_full()));
-        assert!(seen
-            .iter()
-            .any(|(c, _)| *c == ByteClass::from_bytes(b"ab")));
+        assert!(seen.iter().any(|(c, _)| *c == ByteClass::from_bytes(b"ab")));
     }
 }

@@ -55,7 +55,11 @@ pub fn unfold(regex: &Regex, policy: UnfoldPolicy) -> Regex {
         Regex::Repeat { inner, min, max } => {
             let body = unfold(inner, policy);
             if Regex::is_plain_iteration(*min, *max) {
-                return Regex::Repeat { inner: Box::new(body), min: *min, max: *max };
+                return Regex::Repeat {
+                    inner: Box::new(body),
+                    min: *min,
+                    max: *max,
+                };
             }
             if !policy.applies(*min, *max) {
                 return Regex::repeat(body, *min, *max);
@@ -124,16 +128,28 @@ mod tests {
     #[test]
     fn full_unfold_shapes() {
         assert_eq!(unfold(&ast("a{3}"), UnfoldPolicy::All).to_string(), "aaa");
-        assert_eq!(unfold(&ast("a{1,3}"), UnfoldPolicy::All).to_string(), "aa?a?");
-        assert_eq!(unfold(&ast("a{0,2}"), UnfoldPolicy::All).to_string(), "a?a?");
+        assert_eq!(
+            unfold(&ast("a{1,3}"), UnfoldPolicy::All).to_string(),
+            "aa?a?"
+        );
+        assert_eq!(
+            unfold(&ast("a{0,2}"), UnfoldPolicy::All).to_string(),
+            "a?a?"
+        );
         assert_eq!(unfold(&ast("a{3,}"), UnfoldPolicy::All).to_string(), "aaa+");
-        assert_eq!(unfold(&ast("(ab){2}"), UnfoldPolicy::All).to_string(), "abab");
+        assert_eq!(
+            unfold(&ast("(ab){2}"), UnfoldPolicy::All).to_string(),
+            "abab"
+        );
     }
 
     #[test]
     fn nested_unfold() {
         // (a{2}){3} unfolds inside-out to a^6.
-        assert_eq!(unfold(&ast("(a{2}){3}"), UnfoldPolicy::All).to_string(), "aaaaaa");
+        assert_eq!(
+            unfold(&ast("(a{2}){3}"), UnfoldPolicy::All).to_string(),
+            "aaaaaa"
+        );
     }
 
     #[test]
@@ -154,12 +170,21 @@ mod tests {
 
     #[test]
     fn unfolding_preserves_language() {
-        for p in ["a{2,4}", "(ab){2,3}c", "a{3,}", "(a|b){2}", "(a{2}b){1,2}", ".*a{3}"] {
+        for p in [
+            "a{2,4}",
+            "(ab){2,3}c",
+            "a{3,}",
+            "(a|b){2}",
+            "(a{2}b){1,2}",
+            ".*a{3}",
+        ] {
             let r = ast(p);
             let u = unfold(&r, UnfoldPolicy::All);
             assert!(!u.has_counting(), "unfold-all left counting in {u}");
-            for w in ["", "a", "aa", "aaa", "aaaa", "ab", "abab", "ababc", "abc",
-                      "aab", "xaaa", "baaa", "aaab"] {
+            for w in [
+                "", "a", "aa", "aaa", "aaaa", "ab", "abab", "ababc", "abc", "aab", "xaaa", "baaa",
+                "aaab",
+            ] {
                 assert_eq!(
                     naive::matches(&r, w.as_bytes()),
                     naive::matches(&u, w.as_bytes()),
@@ -179,7 +204,15 @@ mod tests {
             assert!(nca_u.counters().is_empty());
             let mut e1 = TokenSetEngine::new(&nca_c);
             let mut e2 = TokenSetEngine::new(&nca_u);
-            for w in [&b"ab"[..], b"abab", b"ababab", b"aa", b"aaa", b"aabbb", b"xabb"] {
+            for w in [
+                &b"ab"[..],
+                b"abab",
+                b"ababab",
+                b"aa",
+                b"aaa",
+                b"aabbb",
+                b"xabb",
+            ] {
                 assert_eq!(e1.matches(w), e2.matches(w), "{p} on {w:?}");
             }
             let _ = matches(&nca_u, b"");

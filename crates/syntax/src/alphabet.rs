@@ -1,0 +1,235 @@
+//! Byte equivalence classes shared across a whole pattern set.
+//!
+//! Hardware automata processors never look at raw bytes twice: the input
+//! decoder maps each byte to its *equivalence class* under the set of all
+//! predicates appearing in the machine image, and every downstream lookup
+//! is indexed by class. Two bytes are equivalent iff no predicate of the
+//! compiled set distinguishes them — e.g. a ruleset whose classes are
+//! `[a-z]`, `\d` and `.` partitions Σ into {lowercase}, {digits}, {rest},
+//! so per-step transition work shrinks from 256-way to 3-way.
+//!
+//! [`ByteClassSet`] accumulates the predicates of every pattern in a set;
+//! [`ByteAlphabet`] is the frozen byte→class mapping the multi-pattern
+//! engine indexes its transition tables with.
+
+use crate::class::ByteClass;
+
+/// Builder: accumulates predicates and refines the partition of Σ.
+///
+/// # Examples
+///
+/// ```
+/// use recama_syntax::{ByteAlphabet, ByteClass, ByteClassSet};
+///
+/// let mut set = ByteClassSet::new();
+/// set.add(&ByteClass::digit());
+/// set.add(&ByteClass::range(b'a', b'z'));
+/// let alphabet = set.freeze();
+/// assert_eq!(alphabet.len(), 3); // digits | lowercase | everything else
+/// assert_eq!(alphabet.class_of(b'3'), alphabet.class_of(b'7'));
+/// assert_ne!(alphabet.class_of(b'3'), alphabet.class_of(b'x'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ByteClassSet {
+    /// Current partition of Σ: disjoint, nonempty, union = Σ.
+    parts: Vec<ByteClass>,
+}
+
+impl Default for ByteClassSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ByteClassSet {
+    /// The trivial partition {Σ}.
+    pub fn new() -> ByteClassSet {
+        ByteClassSet {
+            parts: vec![ByteClass::ANY],
+        }
+    }
+
+    /// Refines the partition so `class` is a union of parts.
+    pub fn add(&mut self, class: &ByteClass) {
+        if class.is_empty() || class.is_full() {
+            return;
+        }
+        let mut next = Vec::with_capacity(self.parts.len() + 1);
+        for part in &self.parts {
+            let inside = part.intersect(class);
+            if inside.is_empty() || inside == *part {
+                next.push(*part);
+                continue;
+            }
+            next.push(inside);
+            next.push(part.minus(class));
+        }
+        self.parts = next;
+    }
+
+    /// Number of equivalence classes so far.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Whether the partition is still trivial.
+    pub fn is_empty(&self) -> bool {
+        self.parts.len() == 1
+    }
+
+    /// Freezes into the byte→class lookup table.
+    pub fn freeze(&self) -> ByteAlphabet {
+        let mut map = [0u8; 256];
+        let mut representatives = Vec::with_capacity(self.parts.len());
+        for (i, part) in self.parts.iter().enumerate() {
+            debug_assert!(i < 256, "at most 256 equivalence classes exist");
+            for b in part.iter() {
+                map[b as usize] = i as u8;
+            }
+            representatives.push(part.min_byte().expect("partition parts are nonempty"));
+        }
+        ByteAlphabet {
+            map,
+            representatives,
+        }
+    }
+}
+
+/// A frozen byte→equivalence-class mapping.
+///
+/// The multi-pattern engine sizes its per-state transition masks by
+/// [`ByteAlphabet::len`] and translates each input byte once with
+/// [`ByteAlphabet::class_of`].
+#[derive(Clone)]
+pub struct ByteAlphabet {
+    map: [u8; 256],
+    /// One representative byte per class (index = class id).
+    representatives: Vec<u8>,
+}
+
+impl ByteAlphabet {
+    /// The equivalence class of `byte`.
+    #[inline]
+    pub fn class_of(&self, byte: u8) -> usize {
+        self.map[byte as usize] as usize
+    }
+
+    /// Number of equivalence classes (1..=256).
+    pub fn len(&self) -> usize {
+        self.representatives.len()
+    }
+
+    /// Whether the alphabet is the trivial single-class partition.
+    pub fn is_empty(&self) -> bool {
+        self.representatives.len() == 1
+    }
+
+    /// A representative byte of class `class`. Any predicate added to the
+    /// originating [`ByteClassSet`] either contains the whole class or is
+    /// disjoint from it, so testing the representative decides membership
+    /// for every byte of the class.
+    pub fn representative(&self, class: usize) -> u8 {
+        self.representatives[class]
+    }
+
+    /// Iterates over `(class, representative)` pairs.
+    pub fn classes(&self) -> impl Iterator<Item = (usize, u8)> + '_ {
+        self.representatives
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (i, b))
+    }
+}
+
+impl std::fmt::Debug for ByteAlphabet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ByteAlphabet({} classes)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force check: two bytes share a class iff no added predicate
+    /// separates them.
+    fn assert_partition_correct(classes: &[ByteClass], alphabet: &ByteAlphabet) {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                let same = alphabet.class_of(a) == alphabet.class_of(b);
+                let separated = classes.iter().any(|c| c.contains(a) != c.contains(b));
+                assert_eq!(same, !separated, "bytes {a:#04x} vs {b:#04x}");
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_alphabet_has_one_class() {
+        let alphabet = ByteClassSet::new().freeze();
+        assert_eq!(alphabet.len(), 1);
+        assert_eq!(alphabet.class_of(0), alphabet.class_of(255));
+        assert!(alphabet.is_empty());
+    }
+
+    #[test]
+    fn full_and_empty_classes_do_not_refine() {
+        let mut set = ByteClassSet::new();
+        set.add(&ByteClass::ANY);
+        set.add(&ByteClass::EMPTY);
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn overlapping_classes_split_correctly() {
+        let classes = [
+            ByteClass::range(b'a', b'm'),
+            ByteClass::range(b'h', b'z'),
+            ByteClass::digit(),
+        ];
+        let mut set = ByteClassSet::new();
+        for c in &classes {
+            set.add(c);
+        }
+        let alphabet = set.freeze();
+        // [a-g], [h-m], [n-z], digits, rest.
+        assert_eq!(alphabet.len(), 5);
+        assert_partition_correct(&classes, &alphabet);
+    }
+
+    #[test]
+    fn representatives_decide_membership() {
+        let classes = [
+            ByteClass::word(),
+            ByteClass::space(),
+            ByteClass::range(0x80, 0xff),
+        ];
+        let mut set = ByteClassSet::new();
+        for c in &classes {
+            set.add(c);
+        }
+        let alphabet = set.freeze();
+        for c in &classes {
+            for (class, rep) in alphabet.classes() {
+                // All members of the class agree with the representative.
+                for b in 0..=255u8 {
+                    if alphabet.class_of(b) == class {
+                        assert_eq!(c.contains(b), c.contains(rep));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn singletons_reach_the_256_class_limit() {
+        let mut set = ByteClassSet::new();
+        for b in 0..=255u8 {
+            set.add(&ByteClass::singleton(b));
+        }
+        let alphabet = set.freeze();
+        assert_eq!(alphabet.len(), 256);
+        for b in 0..=255u8 {
+            assert_eq!(alphabet.representative(alphabet.class_of(b)), b);
+        }
+    }
+}

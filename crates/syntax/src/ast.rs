@@ -184,7 +184,11 @@ impl Regex {
     pub fn plus(inner: Regex) -> Regex {
         match inner {
             Regex::Empty | Regex::Void => inner,
-            other => Regex::Repeat { inner: Box::new(other), min: 1, max: None },
+            other => Regex::Repeat {
+                inner: Box::new(other),
+                min: 1,
+                max: None,
+            },
         }
     }
 
@@ -202,9 +206,16 @@ impl Regex {
     /// Panics if `max < min`.
     pub fn repeat(inner: Regex, min: u32, max: Option<u32>) -> Regex {
         if let Some(n) = max {
-            assert!(min <= n, "repetition bounds must satisfy m <= n, got {{{min},{n}}}");
+            assert!(
+                min <= n,
+                "repetition bounds must satisfy m <= n, got {{{min},{n}}}"
+            );
         }
-        Regex::Repeat { inner: Box::new(inner), min, max }
+        Regex::Repeat {
+            inner: Box::new(inner),
+            min,
+            max,
+        }
     }
 
     /// Whether ε ∈ ⟦r⟧.
@@ -332,7 +343,11 @@ impl Regex {
     /// over-approximation of §3.2 of the paper. Nested occurrences inside a
     /// relaxed body keep their numbering and are still visited.
     pub fn rewrite_repeats(&self, f: &mut impl FnMut(RepeatId) -> RepeatRewrite) -> Regex {
-        fn walk(r: &Regex, next: &mut usize, f: &mut impl FnMut(RepeatId) -> RepeatRewrite) -> Regex {
+        fn walk(
+            r: &Regex,
+            next: &mut usize,
+            f: &mut impl FnMut(RepeatId) -> RepeatRewrite,
+        ) -> Regex {
             match r {
                 Regex::Empty | Regex::Void | Regex::Class(_) => r.clone(),
                 Regex::Concat(parts) => {
@@ -352,9 +367,11 @@ impl Regex {
                     *next += 1;
                     let body = walk(inner, next, f);
                     match f(id) {
-                        RepeatRewrite::Keep => {
-                            Regex::Repeat { inner: Box::new(body), min: *min, max: *max }
-                        }
+                        RepeatRewrite::Keep => Regex::Repeat {
+                            inner: Box::new(body),
+                            min: *min,
+                            max: *max,
+                        },
                         // r{m,n} ⊆ r* — strictly more behaviors, per §3.2.
                         RepeatRewrite::Star => Regex::star(body),
                     }
@@ -486,8 +503,18 @@ mod tests {
         assert!(Regex::Void.is_void());
         assert!(Regex::concat(vec![a(), Regex::Void]).is_void());
         assert!(!Regex::alt(vec![a(), Regex::Void]).is_void());
-        assert!(Regex::Repeat { inner: Box::new(Regex::Void), min: 2, max: Some(3) }.is_void());
-        assert!(!Regex::Repeat { inner: Box::new(Regex::Void), min: 0, max: Some(3) }.is_void());
+        assert!(Regex::Repeat {
+            inner: Box::new(Regex::Void),
+            min: 2,
+            max: Some(3)
+        }
+        .is_void());
+        assert!(!Regex::Repeat {
+            inner: Box::new(Regex::Void),
+            min: 0,
+            max: Some(3)
+        }
+        .is_void());
     }
 
     #[test]
@@ -509,7 +536,11 @@ mod tests {
     #[test]
     fn repeats_enumeration() {
         // (a{2,3} b){4} with a nested occurrence; preorder: outer {4} first.
-        let r = Regex::repeat(Regex::concat(vec![Regex::repeat(a(), 2, Some(3)), b()]), 4, Some(4));
+        let r = Regex::repeat(
+            Regex::concat(vec![Regex::repeat(a(), 2, Some(3)), b()]),
+            4,
+            Some(4),
+        );
         let reps = r.repeats();
         assert_eq!(reps.len(), 2);
         assert_eq!(reps[0].id, RepeatId(0));
@@ -524,7 +555,10 @@ mod tests {
 
     #[test]
     fn rewrite_repeats_relaxes_by_id() {
-        let r = Regex::concat(vec![Regex::repeat(a(), 2, Some(3)), Regex::repeat(b(), 1, Some(9))]);
+        let r = Regex::concat(vec![
+            Regex::repeat(a(), 2, Some(3)),
+            Regex::repeat(b(), 1, Some(9)),
+        ]);
         // Relax occurrence #1 (the b{1,9}) to b*.
         let out = r.rewrite_repeats(&mut |id| {
             if id == RepeatId(1) {
@@ -604,14 +638,14 @@ impl Regex {
     pub fn reverse(&self) -> Regex {
         match self {
             Regex::Empty | Regex::Void | Regex::Class(_) => self.clone(),
-            Regex::Concat(parts) => {
-                Regex::Concat(parts.iter().rev().map(Regex::reverse).collect())
-            }
+            Regex::Concat(parts) => Regex::Concat(parts.iter().rev().map(Regex::reverse).collect()),
             Regex::Alt(parts) => Regex::Alt(parts.iter().map(Regex::reverse).collect()),
             Regex::Star(inner) => Regex::Star(Box::new(inner.reverse())),
-            Regex::Repeat { inner, min, max } => {
-                Regex::Repeat { inner: Box::new(inner.reverse()), min: *min, max: *max }
-            }
+            Regex::Repeat { inner, min, max } => Regex::Repeat {
+                inner: Box::new(inner.reverse()),
+                min: *min,
+                max: *max,
+            },
         }
     }
 }

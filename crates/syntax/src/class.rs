@@ -38,7 +38,9 @@ impl ByteClass {
     pub const EMPTY: ByteClass = ByteClass { bits: [0; 4] };
 
     /// The full alphabet Σ (matches every byte).
-    pub const ANY: ByteClass = ByteClass { bits: [u64::MAX; 4] };
+    pub const ANY: ByteClass = ByteClass {
+        bits: [u64::MAX; 4],
+    };
 
     /// Creates the empty class.
     ///
@@ -184,7 +186,11 @@ impl ByteClass {
     /// assert_eq!(v, b"abc");
     /// ```
     pub fn iter(&self) -> Iter {
-        Iter { class: *self, next: 0, done: false }
+        Iter {
+            class: *self,
+            next: 0,
+            done: false,
+        }
     }
 
     /// Adds the case-folded counterparts of all ASCII letters in the class
@@ -428,7 +434,10 @@ mod tests {
         let c = ByteClass::from_bytes(&[5, 3, 200]);
         assert_eq!(c.iter().collect::<Vec<_>>(), vec![3, 5, 200]);
         assert_eq!(ByteClass::ANY.iter().count(), 256);
-        assert_eq!(ByteClass::singleton(255).iter().collect::<Vec<_>>(), vec![255]);
+        assert_eq!(
+            ByteClass::singleton(255).iter().collect::<Vec<_>>(),
+            vec![255]
+        );
     }
 
     #[test]

@@ -36,16 +36,17 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod alphabet;
 mod ast;
 mod class;
 pub mod naive;
 mod parser;
 mod simplify;
 
+pub use alphabet::{ByteAlphabet, ByteClassSet};
 pub use ast::{Regex, RepeatId, RepeatInfo, RepeatRewrite};
 pub use class::{ByteClass, Iter as ByteClassIter};
 pub use parser::{
-    parse, parse_with, ErrorKind, ParseError, ParseOptions, Parsed, Unsupported,
-    MAX_REPEAT_BOUND,
+    parse, parse_with, ErrorKind, ParseError, ParseOptions, Parsed, Unsupported, MAX_REPEAT_BOUND,
 };
 pub use simplify::{nonnull, normalize_for_nca, simplify};

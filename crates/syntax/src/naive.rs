@@ -75,6 +75,7 @@ fn concat_matches(parts: &[Regex], s: &[u8], lo: usize, hi: usize, memo: &mut Me
     }
 }
 
+#[allow(clippy::needless_range_loop)] // i/j index two parallel reachability arrays
 fn repeat_matches(
     inner: &Regex,
     min: u32,

@@ -87,12 +87,22 @@ impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.kind {
             ErrorKind::Syntax(msg) => write!(f, "syntax error at byte {}: {}", self.offset, msg),
-            ErrorKind::Unsupported(u) => write!(f, "unsupported construct at byte {}: {}", self.offset, u),
+            ErrorKind::Unsupported(u) => {
+                write!(f, "unsupported construct at byte {}: {}", self.offset, u)
+            }
             ErrorKind::InvertedRepeatBounds { min, max } => {
-                write!(f, "inverted repetition bounds {{{min},{max}}} at byte {}", self.offset)
+                write!(
+                    f,
+                    "inverted repetition bounds {{{min},{max}}} at byte {}",
+                    self.offset
+                )
             }
             ErrorKind::RepeatBoundTooLarge(n) => {
-                write!(f, "repetition bound {n} at byte {} exceeds {}", self.offset, MAX_REPEAT_BOUND)
+                write!(
+                    f,
+                    "repetition bound {n} at byte {} exceeds {}",
+                    self.offset, MAX_REPEAT_BOUND
+                )
             }
         }
     }
@@ -112,7 +122,10 @@ pub struct ParseOptions {
 
 impl Default for ParseOptions {
     fn default() -> Self {
-        ParseOptions { case_insensitive: false, dot_matches_newline: true }
+        ParseOptions {
+            case_insensitive: false,
+            dot_matches_newline: true,
+        }
     }
 }
 
@@ -200,7 +213,11 @@ pub fn parse_with(pattern: &str, options: ParseOptions) -> Result<Parsed, ParseE
             p.input[p.pos] as char
         ))));
     }
-    Ok(Parsed { regex, anchored_start, anchored_end: p.saw_end_anchor })
+    Ok(Parsed {
+        regex,
+        anchored_start,
+        anchored_end: p.saw_end_anchor,
+    })
 }
 
 struct Parser<'a> {
@@ -233,7 +250,10 @@ impl<'a> Parser<'a> {
     }
 
     fn err_here(&self, kind: ErrorKind) -> ParseError {
-        ParseError { offset: self.pos.min(self.input.len()), kind }
+        ParseError {
+            offset: self.pos.min(self.input.len()),
+            kind,
+        }
     }
 
     fn err_at(&self, offset: usize, kind: ErrorKind) -> ParseError {
@@ -256,9 +276,7 @@ impl<'a> Parser<'a> {
             match self.peek() {
                 None | Some(b'|') => break,
                 Some(b')') if !top => break,
-                Some(b')') => {
-                    return Err(self.err_here(ErrorKind::Syntax("unmatched `)`".into())))
-                }
+                Some(b')') => return Err(self.err_here(ErrorKind::Syntax("unmatched `)`".into()))),
                 Some(b'$') => {
                     // Only valid as the last token of the whole pattern or of
                     // a top-level alternative ending the pattern.
@@ -269,9 +287,7 @@ impl<'a> Parser<'a> {
                         self.saw_end_anchor = true;
                         break;
                     }
-                    return Err(
-                        self.err_at(at, ErrorKind::Unsupported(Unsupported::InnerAnchor))
-                    );
+                    return Err(self.err_at(at, ErrorKind::Unsupported(Unsupported::InnerAnchor)));
                 }
                 Some(b'^') => {
                     return Err(self.err_here(ErrorKind::Unsupported(Unsupported::InnerAnchor)))
@@ -519,8 +535,9 @@ impl<'a> Parser<'a> {
                                 break;
                             }
                             _ => {
-                                return Err(self
-                                    .err_at(at, ErrorKind::Unsupported(Unsupported::OtherPcre)))
+                                return Err(
+                                    self.err_at(at, ErrorKind::Unsupported(Unsupported::OtherPcre))
+                                )
                             }
                         }
                     }
@@ -627,13 +644,20 @@ impl<'a> Parser<'a> {
                 }
                 if self.eat(b':') && self.eat(b']') {
                     class = class.union(&named_class(&name).ok_or_else(|| {
-                        self.err_at(start, ErrorKind::Syntax(format!("unknown class [:{name}:]")))
+                        self.err_at(
+                            start,
+                            ErrorKind::Syntax(format!("unknown class [:{name}:]")),
+                        )
                     })?);
                     continue;
                 }
                 self.pos = start;
             }
-            let lo_class = if b == b'\\' { self.parse_escape(self.pos - 1)? } else { ByteClass::singleton(b) };
+            let lo_class = if b == b'\\' {
+                self.parse_escape(self.pos - 1)?
+            } else {
+                ByteClass::singleton(b)
+            };
             // Range `x-y` only when the left side was a single byte.
             if lo_class.len() == 1 && self.peek() == Some(b'-') {
                 match self.input.get(self.pos + 1) {
@@ -769,10 +793,7 @@ mod tests {
         assert_eq!(ast("[]a]"), Regex::Class(ByteClass::from_bytes(b"]a")));
         assert_eq!(ast("[a-]"), Regex::Class(ByteClass::from_bytes(b"a-")));
         assert_eq!(ast(r"[\d]"), Regex::Class(ByteClass::digit()));
-        assert_eq!(
-            ast("[[:digit:]]"),
-            Regex::Class(ByteClass::digit())
-        );
+        assert_eq!(ast("[[:digit:]]"), Regex::Class(ByteClass::digit()));
         assert_eq!(
             ast(r"[\x41-\x43]"),
             Regex::Class(ByteClass::range(b'A', b'C'))
@@ -836,11 +857,26 @@ mod tests {
 
     #[test]
     fn syntax_errors() {
-        assert!(matches!(parse("a(b").unwrap_err().kind, ErrorKind::Syntax(_)));
-        assert!(matches!(parse("a)b").unwrap_err().kind, ErrorKind::Syntax(_)));
-        assert!(matches!(parse("*a").unwrap_err().kind, ErrorKind::Syntax(_)));
-        assert!(matches!(parse("[a").unwrap_err().kind, ErrorKind::Syntax(_)));
-        assert!(matches!(parse("[z-a]").unwrap_err().kind, ErrorKind::Syntax(_)));
+        assert!(matches!(
+            parse("a(b").unwrap_err().kind,
+            ErrorKind::Syntax(_)
+        ));
+        assert!(matches!(
+            parse("a)b").unwrap_err().kind,
+            ErrorKind::Syntax(_)
+        ));
+        assert!(matches!(
+            parse("*a").unwrap_err().kind,
+            ErrorKind::Syntax(_)
+        ));
+        assert!(matches!(
+            parse("[a").unwrap_err().kind,
+            ErrorKind::Syntax(_)
+        ));
+        assert!(matches!(
+            parse("[z-a]").unwrap_err().kind,
+            ErrorKind::Syntax(_)
+        ));
         assert!(matches!(
             parse("a{5,2}").unwrap_err().kind,
             ErrorKind::InvertedRepeatBounds { min: 5, max: 2 }
@@ -855,8 +891,14 @@ mod tests {
     fn case_insensitive() {
         let p = parse("(?i)abc").unwrap();
         assert_eq!(p.regex.to_string(), "[Aa][Bb][Cc]");
-        let p = parse_with("ab", ParseOptions { case_insensitive: true, ..Default::default() })
-            .unwrap();
+        let p = parse_with(
+            "ab",
+            ParseOptions {
+                case_insensitive: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(p.regex.to_string(), "[Aa][Bb]");
         // Scoped flag group restores outer mode.
         let p = parse("(?i:a)b").unwrap();
@@ -868,10 +910,16 @@ mod tests {
         assert_eq!(ast("."), Regex::any());
         let p = parse_with(
             ".",
-            ParseOptions { dot_matches_newline: false, ..Default::default() },
+            ParseOptions {
+                dot_matches_newline: false,
+                ..Default::default()
+            },
         )
         .unwrap();
-        assert_eq!(p.regex, Regex::Class(ByteClass::singleton(b'\n').complement()));
+        assert_eq!(
+            p.regex,
+            Regex::Class(ByteClass::singleton(b'\n').complement())
+        );
     }
 
     #[test]
@@ -884,7 +932,10 @@ mod tests {
         assert_eq!(fig4.repeats().len(), 1);
         // Fig. 7 regex [ab]*a[ab]{m,n}b.
         let fig7 = ast("[ab]*a[ab]{3,5}b");
-        assert_eq!(fig7.repeats()[0].single_class_body, Some(ByteClass::from_bytes(b"ab")));
+        assert_eq!(
+            fig7.repeats()[0].single_class_body,
+            Some(ByteClass::from_bytes(b"ab"))
+        );
         // Fig. 1 regex with two nested counters.
         let fig1 = ast(".*a(b(cd){2,3}e){4}f");
         assert_eq!(fig1.repeats().len(), 2);
@@ -893,8 +944,15 @@ mod tests {
     #[test]
     fn display_reparse_fixpoint() {
         for p in [
-            "abc", "a|b", "(ab|c)*d", "a{2,5}", "[a-f]{3}", "a?b+c*", ".*[ab][^a]{7}",
-            r"\d{4}-\d{2}", "(?:xy){2,}z",
+            "abc",
+            "a|b",
+            "(ab|c)*d",
+            "a{2,5}",
+            "[a-f]{3}",
+            "a?b+c*",
+            ".*[ab][^a]{7}",
+            r"\d{4}-\d{2}",
+            "(?:xy){2,}z",
         ] {
             let once = ast(p);
             let twice = ast(&once.to_string());

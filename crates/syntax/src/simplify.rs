@@ -383,7 +383,10 @@ mod tests {
             let r = ast(p);
             let n = normalize_for_nca(&r);
             for info in n.repeats() {
-                assert!(info.min >= 1 || info.max.is_none(), "bad bounds in {n} for {p}");
+                assert!(
+                    info.min >= 1 || info.max.is_none(),
+                    "bad bounds in {n} for {p}"
+                );
             }
             fn check_bodies(r: &Regex) {
                 match r {

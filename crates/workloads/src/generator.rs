@@ -55,7 +55,12 @@ impl Ruleset {
 
     /// The intended Table 1 row of this (scaled) set.
     pub fn intended_table1(&self) -> Table1Row {
-        let mut row = Table1Row { total: 0, supported: 0, counting: 0, ambiguous: 0 };
+        let mut row = Table1Row {
+            total: 0,
+            supported: 0,
+            counting: 0,
+            ambiguous: 0,
+        };
         for (_, class) in &self.patterns {
             row.total += 1;
             match class {
@@ -90,7 +95,12 @@ pub fn generate(id: BenchmarkId, scale: f64, seed: u64) -> Ruleset {
     let plain = total - unsupported - counting;
 
     let mut rng = StdRng::seed_from_u64(seed ^ fnv(id.name()));
-    let mut gen = ShapeGen { id, rng: &mut rng, bound_range: prof.bound_range, range_fraction: prof.range_fraction };
+    let mut gen = ShapeGen {
+        id,
+        rng: &mut rng,
+        bound_range: prof.bound_range,
+        range_fraction: prof.range_fraction,
+    };
 
     let mut patterns = Vec::with_capacity(total);
     for _ in 0..unsupported {
@@ -103,17 +113,27 @@ pub fn generate(id: BenchmarkId, scale: f64, seed: u64) -> Ruleset {
         patterns.push((gen.counting_ambiguous(), PatternClass::CountingAmbiguous));
     }
     for _ in 0..expensive {
-        patterns.push((gen.expensive_unambiguous(), PatternClass::CountingUnambiguous));
+        patterns.push((
+            gen.expensive_unambiguous(),
+            PatternClass::CountingUnambiguous,
+        ));
     }
     for _ in 0..counting - ambiguous - expensive {
-        patterns.push((gen.counting_unambiguous(), PatternClass::CountingUnambiguous));
+        patterns.push((
+            gen.counting_unambiguous(),
+            PatternClass::CountingUnambiguous,
+        ));
     }
     // Deterministic shuffle so categories are interleaved like real sets.
     for i in (1..patterns.len()).rev() {
         let j = rng.gen_range(0..=i);
         patterns.swap(i, j);
     }
-    Ruleset { id, scale, patterns }
+    Ruleset {
+        id,
+        scale,
+        patterns,
+    }
 }
 
 fn fnv(s: &str) -> u64 {
@@ -137,7 +157,9 @@ const PROTEIN: &[u8] = b"ACDEFGHIKLMNPQRSTVWY";
 impl ShapeGen<'_> {
     fn word(&mut self, lo: usize, hi: usize) -> String {
         let len = self.rng.gen_range(lo..=hi);
-        (0..len).map(|_| (b'a' + self.rng.gen_range(0..26)) as char).collect()
+        (0..len)
+            .map(|_| (b'a' + self.rng.gen_range(0..26)) as char)
+            .collect()
     }
 
     fn upper_word(&mut self, lo: usize, hi: usize) -> String {
@@ -351,7 +373,10 @@ mod tests {
             let expect = |n: usize| ((n as f64 * 0.01).round() as usize).max(1);
             assert_eq!(intended.total, rs.patterns.len());
             // Within rounding of the scaled targets.
-            assert!(intended.total.abs_diff(expect(paper.total)) <= 1, "{id:?} total");
+            assert!(
+                intended.total.abs_diff(expect(paper.total)) <= 1,
+                "{id:?} total"
+            );
             assert!(
                 intended.counting.abs_diff(expect(paper.counting)) <= 2,
                 "{id:?} counting {} vs {}",

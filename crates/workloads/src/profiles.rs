@@ -63,21 +63,36 @@ pub struct Table1Row {
 /// The published Table 1 numbers, for paper-vs-measured comparisons.
 pub fn paper_table1(id: BenchmarkId) -> Table1Row {
     match id {
-        BenchmarkId::Protomata => {
-            Table1Row { total: 2338, supported: 2338, counting: 1675, ambiguous: 1675 }
-        }
-        BenchmarkId::Snort => {
-            Table1Row { total: 5839, supported: 5315, counting: 1934, ambiguous: 282 }
-        }
-        BenchmarkId::Suricata => {
-            Table1Row { total: 4480, supported: 3728, counting: 1510, ambiguous: 246 }
-        }
-        BenchmarkId::SpamAssassin => {
-            Table1Row { total: 3786, supported: 3690, counting: 459, ambiguous: 279 }
-        }
-        BenchmarkId::ClamAv => {
-            Table1Row { total: 100472, supported: 100472, counting: 4823, ambiguous: 3626 }
-        }
+        BenchmarkId::Protomata => Table1Row {
+            total: 2338,
+            supported: 2338,
+            counting: 1675,
+            ambiguous: 1675,
+        },
+        BenchmarkId::Snort => Table1Row {
+            total: 5839,
+            supported: 5315,
+            counting: 1934,
+            ambiguous: 282,
+        },
+        BenchmarkId::Suricata => Table1Row {
+            total: 4480,
+            supported: 3728,
+            counting: 1510,
+            ambiguous: 246,
+        },
+        BenchmarkId::SpamAssassin => Table1Row {
+            total: 3786,
+            supported: 3690,
+            counting: 459,
+            ambiguous: 279,
+        },
+        BenchmarkId::ClamAv => Table1Row {
+            total: 100472,
+            supported: 100472,
+            counting: 4823,
+            ambiguous: 3626,
+        },
     }
 }
 

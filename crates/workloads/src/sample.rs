@@ -88,7 +88,13 @@ mod tests {
     #[test]
     fn samples_are_members() {
         let mut rng = StdRng::seed_from_u64(7);
-        for p in ["a{2,5}b", "(ab|cd){3}", "x[0-9]{2,4}y", "a*b+c?", "(a|b)*abb"] {
+        for p in [
+            "a{2,5}b",
+            "(ab|cd){3}",
+            "x[0-9]{2,4}y",
+            "a*b+c?",
+            "(a|b)*abb",
+        ] {
             let r = parse(p).unwrap().regex;
             for _ in 0..50 {
                 let w = sample_match(&r, &mut rng).expect("nonempty language");

@@ -18,7 +18,10 @@ fn main() {
         (".*a{2}", "Example 3.2: Σ*σ{2}"),
         (".*[ab][^a]{4}", "Example 2.2 r1: Σ*σ1σ2{n}"),
         ("a{3}.*b{3}", "Example 2.2 r3: σ1{m}Σ*σ2{n}"),
-        (".*([^ac][ac]{8}|[^bc][bc]{8})", "Example 3.4: Σ*(σ̄1σ1{n}+σ̄2σ2{n})"),
+        (
+            ".*([^ac][ac]{8}|[^bc][bc]{8})",
+            "Example 3.4: Σ*(σ̄1σ1{n}+σ̄2σ2{n})",
+        ),
         ("a(bc){1,3}d", "Fig. 4: a(bc){1,3}d"),
     ];
     for (pattern, label) in examples {
@@ -49,11 +52,17 @@ fn main() {
     let parsed = recama::syntax::parse(".*a{4}").unwrap();
     let res = check(&parsed.regex, Method::HybridWitness, &cfg);
     let witness = res.witness.expect("ambiguous regex yields a witness");
-    println!("witness for Σ*a{{4}}: {:?}", String::from_utf8_lossy(&witness));
+    println!(
+        "witness for Σ*a{{4}}: {:?}",
+        String::from_utf8_lossy(&witness)
+    );
     let nca = Nca::from_regex(&parsed.regex);
     let mut engine = TokenSetEngine::new(&nca);
     engine.matches(&witness);
-    println!("replaying it puts {} tokens on one state (degree ≥ 2 = ambiguous)", engine.observed_degree());
+    println!(
+        "replaying it puts {} tokens on one state (degree ≥ 2 = ambiguous)",
+        engine.observed_degree()
+    );
     assert!(engine.observed_degree() >= 2);
 
     println!("\n== Lemma 3.3: solving SUBSET-SUM with the checker =======");

@@ -30,7 +30,13 @@ fn main() {
         ("unfold ≤ 50", UnfoldPolicy::UpTo(50)),
         ("unfold all (CAMA baseline)", UnfoldPolicy::All),
     ] {
-        let out = compile_ruleset(&patterns, &CompileOptions { unfold, ..Default::default() });
+        let out = compile_ruleset(
+            &patterns,
+            &CompileOptions {
+                unfold,
+                ..Default::default()
+            },
+        );
         let report = run(&out.network, &input, AreaGranularity::WholeModule);
         println!(
             "{label:38} {:>7} nodes  {:>9.4} nJ/B  {:>8.5} mm²  {} reports",
@@ -43,7 +49,10 @@ fn main() {
     }
 
     // All three configurations implement the same rules: reports agree.
-    assert_eq!(results[0].2, results[2].2, "designs must report identically");
+    assert_eq!(
+        results[0].2, results[2].2,
+        "designs must report identically"
+    );
     let reduction = 100.0 * (1.0 - results[0].1 / results[2].1);
     println!("\nenergy reduction of the augmented design vs unfolding: {reduction:.1}%");
 }

@@ -21,7 +21,9 @@ fn main() {
     let placement = place(&out.network);
     println!("motifs compiled:       {}", out.rules.len());
     let (stes, counters, bitvectors) = out.network.counts_by_type();
-    println!("network:               {stes} STEs, {counters} counters, {bitvectors} bit-vector segments");
+    println!(
+        "network:               {stes} STEs, {counters} counters, {bitvectors} bit-vector segments"
+    );
     println!(
         "bit-vector sharing:    {} segments ({} bits) in {} physical modules ({} bits wasted)",
         placement.bitvector_segments,
@@ -43,10 +45,16 @@ fn main() {
     if let Some(rule) = out.rules.first() {
         let mut sw = recama::nca::CompiledEngine::conservative(&rule.nca);
         use recama::nca::Engine;
-        let sw_ends: Vec<usize> =
-            sw.match_ends(&sequence).into_iter().filter(|&e| e > 0).collect();
+        let sw_ends: Vec<usize> = sw
+            .match_ends(&sequence)
+            .into_iter()
+            .filter(|&e| e > 0)
+            .collect();
         let mut hw = recama::hw::HwSimulator::new(&rule.network);
         assert_eq!(hw.match_ends(&sequence), sw_ends);
-        println!("cross-check:           rule 0 hardware == software ({} hits)", sw_ends.len());
+        println!(
+            "cross-check:           rule 0 hardware == software ({} hits)",
+            sw_ends.len()
+        );
     }
 }

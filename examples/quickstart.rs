@@ -15,7 +15,11 @@ fn main() {
 
     // 1. Parse + static analysis: is the counting counter-ambiguous?
     let parsed = recama::syntax::parse(source).expect("pattern parses");
-    let verdict = check(&parsed.for_stream(), Method::Hybrid, &CheckConfig::default());
+    let verdict = check(
+        &parsed.for_stream(),
+        Method::Hybrid,
+        &CheckConfig::default(),
+    );
     println!("pattern:          {source}");
     println!(
         "counter-ambiguous: {:?} ({} token pairs explored in {:?})",

@@ -13,12 +13,18 @@ use recama::Pattern;
 
 fn main() {
     let ruleset = generate(BenchmarkId::SpamAssassin, 0.02, 3786);
-    println!("SpamAssassin-like ruleset at 2% scale: {} patterns\n", ruleset.patterns.len());
+    println!(
+        "SpamAssassin-like ruleset at 2% scale: {} patterns\n",
+        ruleset.patterns.len()
+    );
 
     // Show the compiler's decision for a handful of counting rules.
     let mut shown = 0;
     for (pattern, class) in &ruleset.patterns {
-        if !matches!(class, PatternClass::CountingAmbiguous | PatternClass::CountingUnambiguous) {
+        if !matches!(
+            class,
+            PatternClass::CountingAmbiguous | PatternClass::CountingUnambiguous
+        ) {
             continue;
         }
         let parsed = match recama::syntax::parse(pattern) {

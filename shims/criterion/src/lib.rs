@@ -1,0 +1,236 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion 0.5 API the workspace benches
+//! use — `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Bencher::iter`, `Throughput`, `BenchmarkId` — with a simple
+//! wall-clock median-of-samples measurement instead of criterion's
+//! statistical machinery. Output is one line per benchmark.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for per-byte/per-element rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Input bytes consumed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id (criterion's `from_parameter`).
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { name: s }
+    }
+}
+
+/// The measurement driver passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last `iter` call.
+    last: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`: a warm-up call, then `samples` timed batches; the
+    /// median batch is recorded.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up
+                              // Pick a batch size so one batch is not dominated by timer noise.
+        let probe = Instant::now();
+        black_box(routine());
+        let once = probe.elapsed().max(Duration::from_nanos(1));
+        let per_batch =
+            (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            times.push(start.elapsed() / per_batch);
+        }
+        times.sort_unstable();
+        self.last = times[times.len() / 2];
+    }
+}
+
+/// A named group of benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Declares the per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last: Duration::ZERO,
+        };
+        f(&mut b);
+        report(&self.name, &id.name, b.last, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last: Duration::ZERO,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.name, b.last, self.throughput);
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, id: &str, t: Duration, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if !t.is_zero() => {
+            format!(
+                "  {:>10.1} MiB/s",
+                n as f64 / t.as_secs_f64() / (1 << 20) as f64
+            )
+        }
+        Some(Throughput::Elements(n)) if !t.is_zero() => {
+            format!("  {:>10.1} elem/s", n as f64 / t.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!("{group}/{id:<40} {:>12.3} µs{rate}", t.as_secs_f64() * 1e6);
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Creates a group with default settings.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Bundles benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo passes --bench (and possibly filters); accepted, unused.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).throughput(Throughput::Bytes(1024));
+        let mut count = 0u64;
+        group.bench_function("count", |b| b.iter(|| count += 1));
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+}

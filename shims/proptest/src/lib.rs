@@ -1,0 +1,397 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot download crates, so this shim implements
+//! the subset of proptest the workspace's property tests use: composable
+//! [`Strategy`] values (`Just`, `select`, `collection::vec`, ranges,
+//! tuples, `prop_map`, `prop_recursive`, `prop_oneof!`) and the
+//! [`proptest!`] test macro with `prop_assume!` / `prop_assert!` /
+//! `prop_assert_eq!`.
+//!
+//! Differences from the real crate: cases are generated from a fixed seed
+//! (fully deterministic runs) and failing cases are **not shrunk** — the
+//! failure message reports the case index so a run can be reproduced by
+//! reading the generated value out of a debugger or an added `dbg!`.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::Rng as _;
+use std::rc::Rc;
+
+pub use rand::SeedableRng;
+
+/// Deterministic RNG used by the runner; one per test function.
+pub type TestRng = StdRng;
+
+/// A generator of values of type `Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erased, reference-counted copy of this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Rc::new(move |rng: &mut TestRng| self.generate(rng)),
+        }
+    }
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Recursive strategy: `recurse` receives a strategy for subterms and
+    /// returns the strategy for one more level of structure. `depth`
+    /// bounds the nesting; the size hints are accepted for API
+    /// compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _items: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        let base = self.boxed();
+        let mut cur = base.clone();
+        for _ in 0..depth {
+            // Subterms are a mix of leaves and the previous level, so
+            // generated trees thin out toward the leaves.
+            let sub = union(vec![base.clone(), base.clone(), cur]);
+            cur = recurse(sub).boxed();
+        }
+        union(vec![base, cur])
+    }
+}
+
+/// Type-erased strategy (`Rc`-shared, cheaply clonable).
+pub struct BoxedStrategy<T> {
+    inner: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.inner)(rng)
+    }
+    fn boxed(self) -> BoxedStrategy<T>
+    where
+        Self: Sized + 'static,
+    {
+        self
+    }
+}
+
+/// Uniform choice among already-boxed strategies (backs `prop_oneof!`).
+pub fn union<T>(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T>
+where
+    T: 'static,
+{
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    BoxedStrategy {
+        inner: Rc::new(move |rng: &mut TestRng| {
+            let k = rng.gen_range(0..arms.len());
+            arms[k].generate(rng)
+        }),
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl Strategy for std::ops::Range<u32> {
+    type Value = u32;
+    fn generate(&self, rng: &mut TestRng) -> u32 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for std::ops::Range<usize> {
+    type Value = usize;
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Types with a canonical "any value" strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy.
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary() -> BoxedStrategy<u8> {
+        BoxedStrategy {
+            inner: Rc::new(|rng: &mut TestRng| rng.gen::<u8>()),
+        }
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary() -> BoxedStrategy<bool> {
+        BoxedStrategy {
+            inner: Rc::new(|rng: &mut TestRng| rng.gen::<bool>()),
+        }
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::arbitrary()
+}
+
+/// Strategy combinator namespaces, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{BoxedStrategy, Strategy, TestRng};
+        use rand::Rng as _;
+        use std::rc::Rc;
+
+        /// `Vec`s of `element` with length drawn from `len`.
+        pub fn vec<S>(element: S, len: std::ops::Range<usize>) -> BoxedStrategy<Vec<S::Value>>
+        where
+            S: Strategy + 'static,
+            S::Value: 'static,
+        {
+            BoxedStrategy {
+                inner: Rc::new(move |rng: &mut TestRng| {
+                    let n = rng.gen_range(len.clone());
+                    (0..n).map(|_| element.generate(rng)).collect()
+                }),
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::{BoxedStrategy, TestRng};
+        use rand::Rng as _;
+        use std::rc::Rc;
+
+        /// Uniform choice from a fixed list.
+        pub fn select<T: Clone + 'static>(options: Vec<T>) -> BoxedStrategy<T> {
+            assert!(!options.is_empty(), "select from an empty list");
+            BoxedStrategy {
+                inner: Rc::new(move |rng: &mut TestRng| {
+                    options[rng.gen_range(0..options.len())].clone()
+                }),
+            }
+        }
+    }
+}
+
+/// Runner configuration (only `cases` is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Accepted for compatibility; unused (no shrinking).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Why a generated case did not run to completion.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs.
+    Reject,
+}
+
+/// Outcome of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Defines property tests: each `fn name(x in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = <$crate::TestRng as $crate::SeedableRng>::seed_from_u64(
+                    0x5eed ^ stringify!($name).len() as u64,
+                );
+                let mut ran: u32 = 0;
+                let mut generated: u32 = 0;
+                while ran < config.cases && generated < config.cases * 16 {
+                    generated += 1;
+                    $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)+
+                    #[allow(clippy::redundant_closure_call)] // the closure scopes prop_assume! early returns
+                    let outcome: $crate::TestCaseResult = (|| { $body Ok(()) })();
+                    match outcome {
+                        Ok(()) => ran += 1,
+                        Err($crate::TestCaseError::Reject) => continue,
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Skips the current case when the precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// `assert!` inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Uniform choice among heterogeneous strategy arms (boxed internally).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::union(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// The importable prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small() -> BoxedStrategy<u32> {
+        prop_oneof![Just(1u32), Just(2u32), (3u32..10).prop_map(|x| x)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn generated_values_in_range(x in small(), v in prop::collection::vec(small(), 0..5)) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(v.len() < 5);
+            for y in v {
+                prop_assert!((1..10).contains(&y));
+            }
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(n) => usize::from(*n < 2),
+                Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = prop::sample::select(vec![Tree::Leaf(0), Tree::Leaf(1)]).prop_recursive(
+            3,
+            16,
+            3,
+            |inner| prop::collection::vec(inner, 1..3).prop_map(Tree::Node),
+        );
+        let mut rng = <crate::TestRng as crate::SeedableRng>::seed_from_u64(9);
+        for _ in 0..200 {
+            let t = strat.generate(&mut rng);
+            assert!(depth(&t) <= 8, "runaway recursion: {t:?}");
+        }
+    }
+}

@@ -27,9 +27,8 @@ fn arb_regex() -> impl Strategy<Value = Regex> {
             prop::collection::vec(inner.clone(), 1..3).prop_map(Regex::concat),
             prop::collection::vec(inner.clone(), 2..3).prop_map(Regex::alt),
             inner.clone().prop_map(Regex::star),
-            (inner, 1u32..3, 0u32..4).prop_map(|(r, m, extra)| {
-                Regex::repeat(r, m, Some((m + extra).max(2)))
-            }),
+            (inner, 1u32..3, 0u32..4)
+                .prop_map(|(r, m, extra)| { Regex::repeat(r, m, Some((m + extra).max(2))) }),
         ]
     })
 }
@@ -156,7 +155,12 @@ proptest! {
 fn block_ambiguity_is_stronger_than_state_ambiguity() {
     // On a fixed corpus: same-state ambiguity implies block ambiguity, and
     // block-unambiguous counters never show diverging values dynamically.
-    for p in [".*a{3}", ".*x([ab][ab]){2,4}y", "a{2}b{3}", ".*[ab]([ab][ab]){2,4}y"] {
+    for p in [
+        ".*a{3}",
+        ".*x([ab][ab]){2,4}y",
+        "a{2}b{3}",
+        ".*[ab]([ab][ab]){2,4}y",
+    ] {
         let r = recama::syntax::parse(p).unwrap().regex;
         let nca = Nca::from_regex(&r);
         let analysis = analyze_nca(&nca, &ExactConfig::default());

@@ -15,17 +15,27 @@ fn analyze_reports_verdict_and_occurrences() {
         .args(["analyze", "^a{3}.*b{3}", "--method", "exact"])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("counter-AMBIGUOUS"), "{stdout}");
-    assert!(stdout.contains("occurrence #0 {3}: unambiguous"), "{stdout}");
+    assert!(
+        stdout.contains("occurrence #0 {3}: unambiguous"),
+        "{stdout}"
+    );
     assert!(stdout.contains("occurrence #1 {3}: AMBIGUOUS"), "{stdout}");
     assert!(stdout.contains("token pairs"), "{stdout}");
 }
 
 #[test]
 fn analyze_unambiguous_regex() {
-    let out = recama().args(["analyze", "^x[ab]{40}y"]).output().expect("binary runs");
+    let out = recama()
+        .args(["analyze", "^x[ab]{40}y"])
+        .output()
+        .expect("binary runs");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("counter-unambiguous"), "{stdout}");
@@ -44,7 +54,10 @@ fn analyze_witness_variant_prints_witness() {
 
 #[test]
 fn compile_emits_valid_mnrl_json() {
-    let out = recama().args(["compile", "x[ab]{3,5}y"]).output().expect("binary runs");
+    let out = recama()
+        .args(["compile", "x[ab]{3,5}y"])
+        .output()
+        .expect("binary runs");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     let net = recama::mnrl::MnrlNetwork::from_json(&stdout).expect("valid MNRL JSON");
@@ -80,7 +93,10 @@ fn run_reports_matches_and_costs() {
 
 #[test]
 fn bad_pattern_fails_cleanly() {
-    let out = recama().args(["analyze", "a(b"]).output().expect("binary runs");
+    let out = recama()
+        .args(["analyze", "a(b"])
+        .output()
+        .expect("binary runs");
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("parse error"), "{stderr}");

@@ -11,9 +11,7 @@
 use proptest::prelude::*;
 use recama::compiler::{compile, CompileOptions};
 use recama::hw::HwSimulator;
-use recama::nca::{
-    unfold, CompiledEngine, Engine, Nca, NfaEngine, TokenSetEngine, UnfoldPolicy,
-};
+use recama::nca::{unfold, CompiledEngine, Engine, Nca, NfaEngine, TokenSetEngine, UnfoldPolicy};
 use recama::syntax::{naive, ByteClass, Regex};
 
 /// A strategy for small counting regexes over {a, b, c}.
@@ -36,9 +34,8 @@ fn arb_regex() -> impl Strategy<Value = Regex> {
             prop::collection::vec(inner.clone(), 2..3).prop_map(Regex::alt),
             inner.clone().prop_map(Regex::star),
             inner.clone().prop_map(Regex::plus),
-            (inner.clone(), 0u32..3, 2u32..6).prop_map(|(r, m, extra)| {
-                Regex::repeat(r, m, Some(m + extra))
-            }),
+            (inner.clone(), 0u32..3, 2u32..6)
+                .prop_map(|(r, m, extra)| { Regex::repeat(r, m, Some(m + extra)) }),
             (inner, 1u32..4).prop_map(|(r, m)| Regex::repeat(r, m, Some(m))),
         ]
     })

@@ -23,9 +23,18 @@ fn table_1_proportions() {
             let fb = b as f64 / total_b.max(1) as f64;
             (fa - fb).abs() < 0.05
         };
-        assert!(close(got.supported, want.supported, got.total, want.total), "{id:?} supported");
-        assert!(close(got.counting, want.counting, got.total, want.total), "{id:?} counting");
-        assert!(close(got.ambiguous, want.ambiguous, got.total, want.total), "{id:?} ambiguous");
+        assert!(
+            close(got.supported, want.supported, got.total, want.total),
+            "{id:?} supported"
+        );
+        assert!(
+            close(got.counting, want.counting, got.total, want.total),
+            "{id:?} counting"
+        );
+        assert!(
+            close(got.ambiguous, want.ambiguous, got.total, want.total),
+            "{id:?} ambiguous"
+        );
     }
 }
 
@@ -38,12 +47,18 @@ fn fig_2_cost_growth() {
     for n in [8u32, 16, 32] {
         let r = recama::syntax::parse(&shape(n)).unwrap().regex;
         let exact = check(&r, Method::Exact, &CheckConfig::default());
-        assert!(exact.stats.pairs_created > last_pairs, "pairs must grow with μ");
+        assert!(
+            exact.stats.pairs_created > last_pairs,
+            "pairs must grow with μ"
+        );
         last_pairs = exact.stats.pairs_created;
         let approx = check(&r, Method::Approximate, &CheckConfig::default());
         if n >= 16 {
             // The linear/quadratic gap needs a little headroom to show.
-            assert!(approx.stats.pairs_created * 2 < exact.stats.pairs_created, "n={n}");
+            assert!(
+                approx.stats.pairs_created * 2 < exact.stats.pairs_created,
+                "n={n}"
+            );
         }
     }
 }
@@ -52,7 +67,9 @@ fn fig_2_cost_growth() {
 /// hybrid ≈ exact when the exact analysis is already cheap.
 #[test]
 fn fig_3_hybrid_speedup() {
-    let expensive = recama::syntax::parse(".*([^ac][ac]{150}|[^bc][bc]{150})").unwrap().regex;
+    let expensive = recama::syntax::parse(".*([^ac][ac]{150}|[^bc][bc]{150})")
+        .unwrap()
+        .regex;
     let exact = check(&expensive, Method::Exact, &CheckConfig::default());
     let hybrid = check(&expensive, Method::Hybrid, &CheckConfig::default());
     assert_eq!(exact.ambiguous, Some(false));
@@ -68,6 +85,7 @@ fn fig_3_hybrid_speedup() {
 /// Table 2 shape: the module delays close timing at CAMA's 2.14 GHz —
 /// "no performance penalty".
 #[test]
+#[allow(clippy::assertions_on_constants)] // deliberate checks of Table 2 constants
 fn table_2_timing_closure() {
     assert!(params::single_cycle_feasible());
     assert!(params::COUNTER_MODULE.delay_ps < params::CYCLE_PS);
@@ -86,12 +104,22 @@ fn fig_8_micro_tradeoffs() {
         let module = compile(&anchored.for_stream(), &CompileOptions::default());
         let unfolded = compile(
             &anchored.for_stream(),
-            &CompileOptions { unfold: UnfoldPolicy::All, ..Default::default() },
+            &CompileOptions {
+                unfold: UnfoldPolicy::All,
+                ..Default::default()
+            },
         );
-        let e_mod = run(&module.network, &input, AreaGranularity::ProRata).energy.nj_per_byte();
-        let e_unf = run(&unfolded.network, &input, AreaGranularity::ProRata).energy.nj_per_byte();
+        let e_mod = run(&module.network, &input, AreaGranularity::ProRata)
+            .energy
+            .nj_per_byte();
+        let e_unf = run(&unfolded.network, &input, AreaGranularity::ProRata)
+            .energy
+            .nj_per_byte();
         let ratio = e_unf / e_mod;
-        assert!(ratio > last_counter_ratio, "gap must grow with n (n={n}, ratio={ratio:.1})");
+        assert!(
+            ratio > last_counter_ratio,
+            "gap must grow with n (n={n}, ratio={ratio:.1})"
+        );
         last_counter_ratio = ratio;
 
         // Bit-vector case: Σ*a{n} (counter-ambiguous).
@@ -99,13 +127,27 @@ fn fig_8_micro_tradeoffs() {
         let bv = compile(&stream.for_stream(), &CompileOptions::default());
         let bv_unf = compile(
             &stream.for_stream(),
-            &CompileOptions { unfold: UnfoldPolicy::All, ..Default::default() },
+            &CompileOptions {
+                unfold: UnfoldPolicy::All,
+                ..Default::default()
+            },
         );
-        let e_bv = run(&bv.network, &input, AreaGranularity::ProRata).energy.nj_per_byte();
-        let e_bvu = run(&bv_unf.network, &input, AreaGranularity::ProRata).energy.nj_per_byte();
-        assert!(e_bvu / e_bv > 5.0, "bit vector must win at n={n}: {:.1}", e_bvu / e_bv);
+        let e_bv = run(&bv.network, &input, AreaGranularity::ProRata)
+            .energy
+            .nj_per_byte();
+        let e_bvu = run(&bv_unf.network, &input, AreaGranularity::ProRata)
+            .energy
+            .nj_per_byte();
+        assert!(
+            e_bvu / e_bv > 5.0,
+            "bit vector must win at n={n}: {:.1}",
+            e_bvu / e_bv
+        );
     }
-    assert!(last_counter_ratio > 100.0, "orders of magnitude at n=1024: {last_counter_ratio:.0}");
+    assert!(
+        last_counter_ratio > 100.0,
+        "orders of magnitude at n=1024: {last_counter_ratio:.0}"
+    );
 }
 
 /// Fig. 9 shape: MNRL node counts rise monotonically with the unfolding
@@ -123,7 +165,13 @@ fn fig_9_node_counts() {
         UnfoldPolicy::UpTo(100),
         UnfoldPolicy::All,
     ] {
-        let out = compile_ruleset(&patterns, &CompileOptions { unfold: policy, ..Default::default() });
+        let out = compile_ruleset(
+            &patterns,
+            &CompileOptions {
+                unfold: policy,
+                ..Default::default()
+            },
+        );
         let n = out.network.node_count();
         assert!(n >= last, "monotone in threshold");
         first = first.min(n);
@@ -141,18 +189,17 @@ fn fig_9_node_counts() {
 /// to neutral — and never substantially worse.
 #[test]
 fn fig_10_application_benchmarks() {
-    for (id, expect_large_saving) in [
-        (BenchmarkId::Snort, true),
-        (BenchmarkId::Protomata, false),
-    ] {
+    for (id, expect_large_saving) in [(BenchmarkId::Snort, true), (BenchmarkId::Protomata, false)] {
         let rs = generate(id, 0.004, 13);
         let patterns = rs.pattern_strings();
         let input = traffic(&rs, 4096, 0.001, 3);
-        let augmented =
-            compile_ruleset(&patterns, &CompileOptions::default());
+        let augmented = compile_ruleset(&patterns, &CompileOptions::default());
         let baseline = compile_ruleset(
             &patterns,
-            &CompileOptions { unfold: UnfoldPolicy::All, ..Default::default() },
+            &CompileOptions {
+                unfold: UnfoldPolicy::All,
+                ..Default::default()
+            },
         );
         let run_a = run(&augmented.network, &input, AreaGranularity::WholeModule);
         let run_b = run(&baseline.network, &input, AreaGranularity::WholeModule);

@@ -24,7 +24,11 @@ fn example_2_2_r1_language() {
     assert!(!engine.matches(b"b"));
     // And the matcher agrees with the oracle on a sweep.
     for w in ["abbb", "aabbb", "qbccc", "baaa", "", "bbb"] {
-        assert_eq!(engine.matches(w.as_bytes()), naive::matches(&r, w.as_bytes()), "{w}");
+        assert_eq!(
+            engine.matches(w.as_bytes()),
+            naive::matches(&r, w.as_bytes()),
+            "{w}"
+        );
     }
 }
 
@@ -39,7 +43,10 @@ fn example_2_2_r3_mixed_verdicts() {
     assert_eq!(res.occurrences[1].verdict, Verdict::Ambiguous);
     // Hardware: counter for {3}, bit vector for {2}.
     let out = compile(&r, &CompileOptions::default());
-    assert_eq!(out.modules, vec![ModuleKind::Counter, ModuleKind::BitVector]);
+    assert_eq!(
+        out.modules,
+        vec![ModuleKind::Counter, ModuleKind::BitVector]
+    );
     let mut hw = HwSimulator::new(&out.network);
     assert_eq!(hw.match_ends(b"aaaxxbb"), vec![7]);
     assert_eq!(hw.match_ends(b"aaabb"), vec![5]);
@@ -75,12 +82,22 @@ fn example_3_4_approximation_payoff() {
     }
     let exact_small = check(&small, Method::Exact, &cfg()).stats.pairs_created;
     let exact_large = check(&large, Method::Exact, &cfg()).stats.pairs_created;
-    let approx_small = check(&small, Method::Approximate, &cfg()).stats.pairs_created;
-    let approx_large = check(&large, Method::Approximate, &cfg()).stats.pairs_created;
+    let approx_small = check(&small, Method::Approximate, &cfg())
+        .stats
+        .pairs_created;
+    let approx_large = check(&large, Method::Approximate, &cfg())
+        .stats
+        .pairs_created;
     let exact_growth = exact_large as f64 / exact_small as f64;
     let approx_growth = approx_large as f64 / approx_small as f64;
-    assert!(exact_growth > 8.0, "exact should grow ~quadratically: {exact_growth:.1}");
-    assert!(approx_growth < 6.0, "approx should grow ~linearly: {approx_growth:.1}");
+    assert!(
+        exact_growth > 8.0,
+        "exact should grow ~quadratically: {exact_growth:.1}"
+    );
+    assert!(
+        approx_growth < 6.0,
+        "approx should grow ~linearly: {approx_growth:.1}"
+    );
 }
 
 /// Fig. 1: the two-counter NCA for Σ*σ1(σ2(σ3σ4){m,n}σ5){k}σ6.
@@ -127,8 +144,9 @@ fn figure_7_hardware() {
     while let Some(w) = queue.pop() {
         let hw_ends = hw.match_ends(&w);
         // Oracle: prefix membership at every end position.
-        let oracle_ends: Vec<usize> =
-            (1..=w.len()).filter(|&e| naive::matches(&r, &w[..e])).collect();
+        let oracle_ends: Vec<usize> = (1..=w.len())
+            .filter(|&e| naive::matches(&r, &w[..e]))
+            .collect();
         assert_eq!(hw_ends, oracle_ends, "input {w:?}");
         if w.len() < 8 {
             for &c in b"ab" {
@@ -154,7 +172,11 @@ fn lemma_3_3_reduction() {
     for (set, target, solvable) in instances {
         let regex = subset_sum_regex(set, target);
         let res = check_occurrence(&regex, target_occurrence(set.len()), Method::Exact, &cfg());
-        let expected = if solvable { Verdict::Ambiguous } else { Verdict::Unambiguous };
+        let expected = if solvable {
+            Verdict::Ambiguous
+        } else {
+            Verdict::Unambiguous
+        };
         assert_eq!(res.verdict, expected, "subset-sum {set:?} -> {target}");
     }
 }

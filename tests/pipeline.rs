@@ -35,7 +35,11 @@ fn every_stage_succeeds_for_the_pattern_zoo() {
         assert_eq!(&back, pattern.network(), "{p}: JSON round trip");
         // Placement covers every node.
         let placement = place(pattern.network());
-        assert_eq!(placement.per_node.len(), pattern.network().node_count(), "{p}");
+        assert_eq!(
+            placement.per_node.len(),
+            pattern.network().node_count(),
+            "{p}"
+        );
         // Simulation runs.
         let mut hw = HwSimulator::new(pattern.network());
         let _ = hw.match_ends(b"abcdefgh");
@@ -53,7 +57,13 @@ fn threshold_sweep_preserves_semantics() {
         UnfoldPolicy::UpTo(10),
         UnfoldPolicy::All,
     ] {
-        let out = compile(&parsed.for_stream(), &CompileOptions { unfold, ..Default::default() });
+        let out = compile(
+            &parsed.for_stream(),
+            &CompileOptions {
+                unfold,
+                ..Default::default()
+            },
+        );
         let mut hw = HwSimulator::new(&out.network);
         let ends = hw.match_ends(input);
         match &reference {
@@ -91,7 +101,9 @@ fn software_engine_and_hardware_agree_on_traffic() {
     let input = traffic(&ruleset, 4096, 0.001, 11);
     let mut checked = 0;
     for (p, _) in ruleset.patterns.iter() {
-        let Ok(pattern) = Pattern::compile(p) else { continue };
+        let Ok(pattern) = Pattern::compile(p) else {
+            continue;
+        };
         // Keep the test fast: skip giant unfolded rules.
         if pattern.network().node_count() > 3000 {
             continue;
@@ -117,7 +129,9 @@ fn analysis_informed_engine_reports_no_conflicts() {
     let input = traffic(&ruleset, 2048, 0.002, 23);
     let mut checked = 0;
     for (p, _) in ruleset.patterns.iter() {
-        let Ok(pattern) = Pattern::compile(p) else { continue };
+        let Ok(pattern) = Pattern::compile(p) else {
+            continue;
+        };
         if pattern.compiled().modules.is_empty() {
             continue;
         }
@@ -179,32 +193,50 @@ fn switch_model_is_additive_and_preserves_comparisons() {
     let augmented = compile(&parsed.for_stream(), &CompileOptions::default());
     let baseline = compile(
         &parsed.for_stream(),
-        &CompileOptions { unfold: UnfoldPolicy::All, ..Default::default() },
+        &CompileOptions {
+            unfold: UnfoldPolicy::All,
+            ..Default::default()
+        },
     );
     let input: Vec<u8> = std::iter::repeat_n(b'a', 2048).collect();
     let params = SwitchParams::default();
     for networks in [&augmented, &baseline] {
         let without = run_with(&networks.network, &input, AreaGranularity::ProRata, None);
-        let with = run_with(&networks.network, &input, AreaGranularity::ProRata, Some(&params));
+        let with = run_with(
+            &networks.network,
+            &input,
+            AreaGranularity::ProRata,
+            Some(&params),
+        );
         assert_eq!(without.energy.switch_fj, 0.0);
         assert!(with.energy.switch_fj > 0.0);
         assert!(with.energy.total_fj() > without.energy.total_fj());
         assert_eq!(with.match_ends, without.match_ends);
     }
     // The augmented design still wins with switches included.
-    let aug = run_with(&augmented.network, &input, AreaGranularity::ProRata, Some(&params));
-    let base = run_with(&baseline.network, &input, AreaGranularity::ProRata, Some(&params));
+    let aug = run_with(
+        &augmented.network,
+        &input,
+        AreaGranularity::ProRata,
+        Some(&params),
+    );
+    let base = run_with(
+        &baseline.network,
+        &input,
+        AreaGranularity::ProRata,
+        Some(&params),
+    );
     assert!(aug.energy.total_fj() * 5.0 < base.energy.total_fj());
 }
 
 #[test]
 fn throughput_is_constant_at_cama_clock() {
     use recama::hw::throughput;
-    let t = throughput(recama::hw::HwSimulator::new(
-        &Pattern::compile("a{9}").unwrap().compiled().network,
-    )
-    .match_ends(b"aaaaaaaaa")
-    .len() as u64);
+    let t = throughput(
+        recama::hw::HwSimulator::new(&Pattern::compile("a{9}").unwrap().compiled().network)
+            .match_ends(b"aaaaaaaaa")
+            .len() as u64,
+    );
     assert!((t.gbytes_per_second - 2.14).abs() < 1e-9);
 }
 
