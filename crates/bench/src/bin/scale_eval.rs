@@ -1,0 +1,130 @@
+//! scale-eval: compile a benchmark ruleset at scale with bank-aware
+//! sharding and print the full-scale evaluation numbers the paper's
+//! Table 1 / Fig. 9 discussion turns on — shard count, per-shard image
+//! size, compile time, and aggregate scan throughput (parallel over
+//! shards vs one thread over the same engines).
+//!
+//! ```sh
+//! # Full-scale Snort (Table 1: 5839 rules), one CAMA bank per shard:
+//! cargo run --release -p recama-bench --bin scale_eval
+//! # Software-parallelism sweep at 10% scale on an 8-core box:
+//! RECAMA_SCALE=0.1 RECAMA_SHARDS=8 cargo run --release -p recama-bench --bin scale_eval
+//! # CI smoke (tiny scale, exercises the multi-shard path end to end):
+//! RECAMA_SCALE=0.01 RECAMA_SHARDS=3 RECAMA_TRAFFIC=8192 \
+//!     cargo run --release -p recama-bench --bin scale_eval
+//! ```
+//!
+//! Knobs: `RECAMA_SCALE` (default **1.0** here, unlike the figure
+//! binaries), `RECAMA_SHARDS` (override the bank policy with a fixed
+//! shard count), `RECAMA_SEED`, `RECAMA_TRAFFIC`.
+
+use recama::compiler::CompileOptions;
+use recama::hw::{place, RuleCost, ShardPolicy};
+use recama::workloads::{generate, traffic, BenchmarkId};
+use recama::ShardedPatternSet;
+use recama_bench::{banner, ms, seed, traffic_len};
+use std::time::Instant;
+
+fn main() {
+    // This binary defaults to the paper's full scale.
+    let scale: f64 = std::env::var("RECAMA_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let policy = match std::env::var("RECAMA_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) => ShardPolicy::Fixed(n),
+        None => ShardPolicy::default(),
+    };
+    let id = BenchmarkId::Snort;
+    banner(&format!(
+        "scale-eval: {} at scale {scale}, policy {policy:?}",
+        id.name()
+    ));
+
+    let ruleset = generate(id, scale, seed());
+    let patterns = ruleset.pattern_strings();
+    let start = Instant::now();
+    let (set, rejected) =
+        ShardedPatternSet::compile_filtered(&patterns, &CompileOptions::default(), policy);
+    let compile_time = start.elapsed();
+    println!(
+        "{} patterns ({} accepted, {} rejected), compiled+sharded in {:.0} ms",
+        patterns.len(),
+        set.len(),
+        rejected.len(),
+        ms(compile_time)
+    );
+    println!(
+        "{} shard(s), shared alphabet: {} byte classes\n",
+        set.shard_count(),
+        set.multi().alphabet().len()
+    );
+
+    println!(
+        "{:<6} {:>6} {:>7} {:>9} {:>9} {:>9} {:>6}",
+        "shard", "rules", "nodes", "columns", "counters", "bv-bits", "banks"
+    );
+    let shown = set.shard_count().min(16);
+    for si in 0..shown {
+        let network = set.network(si);
+        let cost = RuleCost::of_network(network);
+        let placement = place(network);
+        println!(
+            "{:<6} {:>6} {:>7} {:>9} {:>9} {:>9} {:>6}",
+            si,
+            set.shard_members(si).len(),
+            network.node_count(),
+            cost.columns,
+            cost.counters,
+            cost.bitvector_bits,
+            placement.bank_count
+        );
+    }
+    if shown < set.shard_count() {
+        println!("... ({} more shards)", set.shard_count() - shown);
+    }
+
+    let input = traffic(&ruleset, traffic_len(), 0.0005, seed());
+    // Warm-up + hit count.
+    let hits = set.find_ends(&input).len();
+
+    // One thread over all shard engines: the single-MultiEngine baseline
+    // (same total automaton work, no parallelism).
+    let start = Instant::now();
+    let mut sequential_hits = 0usize;
+    for shard in set.multi().shards() {
+        sequential_hits += shard.engine().match_reports(&input).len();
+    }
+    let sequential = start.elapsed();
+
+    // Parallel scan (one scoped thread per shard).
+    let start = Instant::now();
+    let parallel_hits = set.find_ends(&input).len();
+    let parallel = start.elapsed();
+
+    let mib = input.len() as f64 / (1024.0 * 1024.0);
+    println!(
+        "\nscan of {} bytes: {hits} reports \
+         \n  sequential over shards: {:>8.1} ms ({:.3} MiB/s)\
+         \n  parallel over shards:   {:>8.1} ms ({:.3} MiB/s)\
+         \n  speedup: {:.2}x on {} core(s)",
+        input.len(),
+        ms(sequential),
+        mib / sequential.as_secs_f64(),
+        ms(parallel),
+        mib / parallel.as_secs_f64(),
+        sequential.as_secs_f64() / parallel.as_secs_f64().max(1e-9),
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
+    assert_eq!(
+        parallel_hits, hits,
+        "parallel scan must be deterministic across runs"
+    );
+    assert!(
+        sequential_hits >= hits,
+        "per-shard engines must cover every report (streams skip the $-filter)"
+    );
+}

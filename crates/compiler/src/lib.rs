@@ -27,6 +27,6 @@ mod pipeline;
 
 pub use codegen::emit;
 pub use pipeline::{
-    compile, compile_ruleset, CompileOptions, CompileOutput, CompileReport, ModuleKind,
-    RulesetOutput, BITVECTOR_DEFAULT_CAPACITY, COUNTER_MAX_BOUND,
+    compile, compile_ruleset, merge_rule_networks, CompileOptions, CompileOutput, CompileReport,
+    ModuleKind, RulesetOutput, BITVECTOR_DEFAULT_CAPACITY, COUNTER_MAX_BOUND,
 };

@@ -45,7 +45,9 @@ pub use recama_workloads as workloads;
 
 mod set;
 
-pub use set::{PatternSet, SetCompileError, SetMatch, SetStream};
+pub use set::{
+    PatternSet, SetCompileError, SetMatch, SetSpan, SetStream, ShardedPatternSet, ShardedSetStream,
+};
 
 use recama_compiler::{compile, CompileOptions, CompileOutput};
 use recama_nca::{CompilePlan, CompiledEngine, Engine, Nca, StateId};
@@ -209,21 +211,9 @@ impl Pattern {
         let reversed = self.reversed_nca();
         let mut engine = recama_nca::TokenSetEngine::new(reversed);
         ends.into_iter()
-            .map(|end| {
-                // Feed haystack[..end] reversed; accepting after k bytes
-                // means a match starts at end - k. Take the largest k.
-                engine.reset();
-                let mut start = end; // empty-match fallback
-                if engine.is_accepting() {
-                    start = end;
-                }
-                for (steps, &b) in haystack[..end].iter().rev().enumerate() {
-                    engine.step(b);
-                    if engine.is_accepting() {
-                        start = end - (steps + 1);
-                    }
-                }
-                MatchSpan { start, end }
+            .map(|end| MatchSpan {
+                start: earliest_start(&mut engine, haystack, end),
+                end,
             })
             .collect()
     }
@@ -234,6 +224,27 @@ impl Pattern {
         self.reversed
             .get_or_init(|| Nca::from_regex(&self.parsed.regex.reverse()))
     }
+}
+
+/// Runs `engine` — an engine over a *reversed* automaton — backward over
+/// `haystack[..end]` and returns the earliest start of a match ending at
+/// `end` (leftmost-longest flavor): accepting after `k` reversed bytes
+/// means a match starts at `end - k`, and the largest `k` wins. Shared by
+/// [`Pattern::find_spans`] and [`ShardedPatternSet::find_spans`].
+pub(crate) fn earliest_start(
+    engine: &mut recama_nca::TokenSetEngine<'_>,
+    haystack: &[u8],
+    end: usize,
+) -> usize {
+    engine.reset();
+    let mut start = end; // empty-match fallback
+    for (steps, &b) in haystack[..end].iter().rev().enumerate() {
+        engine.step(b);
+        if engine.is_accepting() {
+            start = end - (steps + 1);
+        }
+    }
+    start
 }
 
 #[cfg(test)]

@@ -1,37 +1,69 @@
-//! [`PatternSet`]: a whole ruleset compiled into one shared machine image
-//! and one software engine.
+//! [`PatternSet`] / [`ShardedPatternSet`]: whole rulesets compiled into
+//! shared machine images and software engines.
 //!
 //! The paper's evaluation operates on rulesets (Snort, Suricata,
 //! Protomata, SpamAssassin, ClamAV — Table 1), and deployments of this
-//! class of matcher always compile the full set into a single automaton
-//! scanned once per input stream. `PatternSet` is that subsystem:
+//! class of matcher always compile the full set into shared automata
+//! scanned once per input stream. Two deployment shapes live here:
 //!
-//! * each pattern runs the ordinary per-pattern pipeline (parse →
-//!   analysis → module selection), so the counter/bit-vector decisions of
-//!   §4.2 are reused unchanged;
-//! * the per-pattern MNRL networks merge into **one** network whose
-//!   reporting nodes carry per-pattern report ids;
-//! * the per-pattern NCAs merge into **one** shared automaton executed by
-//!   the batched [`MultiEngine`](recama_nca::MultiEngine) (shared
-//!   byte-class alphabet, dense state frontiers);
-//! * [`PatternSet::stream`] processes traffic in chunks without
-//!   re-scanning — the ingestion shape of a production deployment.
+//! * [`PatternSet`] — ONE merged network + ONE batched engine, the shape
+//!   that fits a single CAMA bank;
+//! * [`ShardedPatternSet`] — the banked shape: a
+//!   [`ShardPlan`](recama_hw::ShardPlan) partitions the rules into shards
+//!   whose sub-networks each fit one bank
+//!   ([`ShardPolicy`](recama_hw::ShardPolicy), default = one bank's
+//!   capacity), one [`MultiNca`](recama_nca::MultiNca) per shard shares a
+//!   single byte-class alphabet computed once over the whole set, and
+//!   [`ShardedPatternSet::find_ends`] scans the shards in parallel with
+//!   scoped threads, recombining reports with an ordered merge that keeps
+//!   the output **byte-identical** to the unsharded scan.
+//!
+//! `PatternSet` is simply the single-shard (`N = 1`) case of the sharded
+//! machinery — same compile front-end, same per-pattern pipeline (parse →
+//! analysis → module selection), same report semantics.
 
-use crate::Pattern;
+use crate::{MatchSpan, Pattern};
 use recama_compiler::{compile, CompileOptions, CompileOutput};
+use recama_hw::{RuleCost, ShardPlan, ShardPolicy};
 use recama_mnrl::MnrlNetwork;
-use recama_nca::{CompilePlan, MultiEngine, MultiNca, StateId};
-use recama_syntax::ParseError;
+use recama_nca::{
+    CompilePlan, MultiEngine, MultiNca, MultiReport, Nca, ShardedMulti, StateId, TokenSetEngine,
+};
+use recama_syntax::{ParseError, Parsed};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
-/// A match reported by a [`PatternSet`]: pattern `pattern` (index into
-/// the compiled set) matched ending at 1-based byte offset `end`.
+/// A match reported by a pattern set: pattern `pattern` (index into the
+/// compiled set) matched ending at 1-based byte offset `end`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SetMatch {
     /// Index of the matching pattern in the set.
     pub pattern: usize,
     /// 1-based end offset of the match.
     pub end: usize,
+}
+
+/// A located match of a pattern set: pattern `pattern` matched the byte
+/// span `[start, end)` — the set-level analogue of [`MatchSpan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SetSpan {
+    /// Index of the matching pattern in the set.
+    pub pattern: usize,
+    /// Start offset (inclusive), earliest-start (leftmost-longest flavor).
+    pub start: usize,
+    /// End offset (exclusive).
+    pub end: usize,
+}
+
+impl SetSpan {
+    /// The span as a [`MatchSpan`].
+    pub fn span(&self) -> MatchSpan {
+        MatchSpan {
+            start: self.start,
+            end: self.end,
+        }
+    }
 }
 
 /// Error from [`PatternSet::compile_many`]: pattern `index` failed.
@@ -55,60 +87,89 @@ impl std::error::Error for SetCompileError {
     }
 }
 
-/// A compiled ruleset: one merged extended-MNRL network and one shared
-/// software engine for the entire set.
+/// A compiled ruleset partitioned into bank-sized shards: one merged
+/// extended-MNRL network and one shared software automaton **per shard**,
+/// with a single byte-class alphabet shared by every shard.
 ///
-/// Mirrors [`Pattern`]'s API at set granularity: [`compile_many`] /
-/// [`find_ends`] / [`stream`] / [`network`] / [`hardware`].
+/// Mirrors [`PatternSet`]'s API at set granularity — [`compile_many`] /
+/// [`find_ends`] / [`find_spans`] / [`stream`] / [`hardware`] — and its
+/// report semantics exactly: for any shard plan (including the trivial
+/// one), [`find_ends`] returns the same reports in the same order as the
+/// unsharded [`PatternSet::find_ends`].
 ///
-/// [`compile_many`]: PatternSet::compile_many
-/// [`find_ends`]: PatternSet::find_ends
-/// [`stream`]: PatternSet::stream
-/// [`network`]: PatternSet::network
-/// [`hardware`]: PatternSet::hardware
+/// [`compile_many`]: ShardedPatternSet::compile_many
+/// [`find_ends`]: ShardedPatternSet::find_ends
+/// [`find_spans`]: ShardedPatternSet::find_spans
+/// [`stream`]: ShardedPatternSet::stream
+/// [`hardware`]: ShardedPatternSet::hardware
 ///
 /// # Examples
 ///
 /// ```
-/// use recama::PatternSet;
+/// use recama::hw::ShardPolicy;
+/// use recama::{compiler::CompileOptions, ShardedPatternSet};
 ///
-/// let set = PatternSet::compile_many(&["ab{2,3}c", "xyz", "k\\d{4}"]).unwrap();
+/// let set = ShardedPatternSet::compile_many_with(
+///     &["ab{2,3}c", "xyz", "k\\d{4}"],
+///     &CompileOptions::default(),
+///     ShardPolicy::Fixed(2),
+/// )
+/// .unwrap();
+/// assert_eq!(set.shard_count(), 2);
+/// // Reports are identical to the unsharded PatternSet, in the same order.
 /// let matches = set.find_ends(b"zabbc..xyz..k1234");
 /// let hits: Vec<(usize, usize)> = matches.iter().map(|m| (m.pattern, m.end)).collect();
 /// assert_eq!(hits, vec![(0, 5), (1, 10), (2, 17)]);
-/// // One merged network with per-pattern report ids:
-/// assert_eq!(set.network().report_ids(), vec![0, 1, 2]);
+/// // Each shard is its own machine image with global report ids.
+/// assert_eq!(set.network(0).report_ids(), vec![0, 1]);
+/// assert_eq!(set.network(1).report_ids(), vec![2]);
 /// ```
 #[derive(Debug)]
-pub struct PatternSet {
+pub struct ShardedPatternSet {
     sources: Vec<String>,
+    parsed: Vec<Parsed>,
     outputs: Vec<CompileOutput>,
     anchored_end: Vec<bool>,
-    network: MnrlNetwork,
-    multi: MultiNca,
+    plan: ShardPlan,
+    /// One merged machine image per shard (reporting nodes carry global
+    /// pattern ids).
+    networks: Vec<MnrlNetwork>,
+    multi: ShardedMulti,
+    /// Reversed automata for span location, built per pattern on first
+    /// use (repeated `find_spans` calls must not re-run Glushkov).
+    reversed: Vec<OnceLock<Nca>>,
 }
 
-impl PatternSet {
-    /// Compiles all `patterns` with default options.
+impl ShardedPatternSet {
+    /// Compiles all `patterns` with default options under the default
+    /// policy (one CAMA bank per shard).
     ///
     /// # Errors
     ///
     /// Fails on the first pattern that does not parse (or is outside the
     /// supported fragment), identifying its index. Use
-    /// [`PatternSet::compile_filtered`] to skip bad patterns instead.
-    pub fn compile_many<S: AsRef<str>>(patterns: &[S]) -> Result<PatternSet, SetCompileError> {
-        PatternSet::compile_many_with(patterns, &CompileOptions::default())
+    /// [`ShardedPatternSet::compile_filtered`] to skip bad patterns.
+    pub fn compile_many<S: AsRef<str>>(
+        patterns: &[S],
+    ) -> Result<ShardedPatternSet, SetCompileError> {
+        ShardedPatternSet::compile_many_with(
+            patterns,
+            &CompileOptions::default(),
+            ShardPolicy::default(),
+        )
     }
 
-    /// Compiles all `patterns` with explicit [`CompileOptions`].
+    /// Compiles all `patterns` with explicit [`CompileOptions`] and
+    /// [`ShardPolicy`].
     ///
     /// # Errors
     ///
-    /// Same as [`PatternSet::compile_many`].
+    /// Same as [`ShardedPatternSet::compile_many`].
     pub fn compile_many_with<S: AsRef<str>>(
         patterns: &[S],
         options: &CompileOptions,
-    ) -> Result<PatternSet, SetCompileError> {
+        policy: ShardPolicy,
+    ) -> Result<ShardedPatternSet, SetCompileError> {
         let mut accepted = Vec::with_capacity(patterns.len());
         for (index, p) in patterns.iter().enumerate() {
             match recama_syntax::parse(p.as_ref()) {
@@ -116,7 +177,7 @@ impl PatternSet {
                 Err(error) => return Err(SetCompileError { index, error }),
             }
         }
-        Ok(PatternSet::build(accepted, options))
+        Ok(ShardedPatternSet::build(accepted, options, policy))
     }
 
     /// Compiles the parseable subset of `patterns`, returning the set and
@@ -126,7 +187,8 @@ impl PatternSet {
     pub fn compile_filtered<S: AsRef<str>>(
         patterns: &[S],
         options: &CompileOptions,
-    ) -> (PatternSet, Vec<(usize, ParseError)>) {
+        policy: ShardPolicy,
+    ) -> (ShardedPatternSet, Vec<(usize, ParseError)>) {
         let mut accepted = Vec::with_capacity(patterns.len());
         let mut rejected = Vec::new();
         for (index, p) in patterns.iter().enumerate() {
@@ -135,25 +197,63 @@ impl PatternSet {
                 Err(error) => rejected.push((index, error)),
             }
         }
-        (PatternSet::build(accepted, options), rejected)
+        (
+            ShardedPatternSet::build(accepted, options, policy),
+            rejected,
+        )
     }
 
     fn build(
-        accepted: Vec<(String, recama_syntax::Parsed)>,
+        accepted: Vec<(String, Parsed)>,
         options: &CompileOptions,
-    ) -> PatternSet {
+        policy: ShardPolicy,
+    ) -> ShardedPatternSet {
         let mut sources = Vec::with_capacity(accepted.len());
+        let mut parsed_list = Vec::with_capacity(accepted.len());
         let mut outputs = Vec::with_capacity(accepted.len());
         let mut anchored_end = Vec::with_capacity(accepted.len());
-        let mut network = MnrlNetwork::new("pattern-set");
-        for (i, (source, parsed)) in accepted.into_iter().enumerate() {
+        for (source, parsed) in accepted {
             let out = compile(&parsed.for_stream(), options);
-            network.merge_as_rule(&out.network, &format!("r{i}_"), i as u32);
             sources.push(source);
             anchored_end.push(parsed.anchored_end);
+            parsed_list.push(parsed);
             outputs.push(out);
         }
-        let parts: Vec<(&recama_nca::Nca, CompilePlan)> = outputs
+
+        // Bank-aware partition, costed with the mapper's own estimates.
+        // The trivial policy never looks at costs, so skip the per-rule
+        // placements there (PatternSet compiles route through it).
+        let plan = if policy == ShardPolicy::Single {
+            ShardPlan::single(outputs.len())
+        } else {
+            let costs: Vec<RuleCost> = outputs
+                .iter()
+                .map(|out| RuleCost::of_network(&out.network))
+                .collect();
+            ShardPlan::plan(&costs, policy)
+        };
+
+        // One machine image per shard; reporting nodes carry the *global*
+        // pattern index, so hardware reports attribute without remapping.
+        let networks: Vec<MnrlNetwork> = plan
+            .shards()
+            .iter()
+            .enumerate()
+            .map(|(si, members)| {
+                let name = if plan.shard_count() == 1 {
+                    "pattern-set".to_string()
+                } else {
+                    format!("pattern-set-shard{si}")
+                };
+                recama_compiler::merge_rule_networks(
+                    &name,
+                    members.iter().map(|&g| (g, g as u32, &outputs[g].network)),
+                )
+            })
+            .collect();
+
+        // One shared automaton per shard over a single union alphabet.
+        let parts: Vec<(&Nca, CompilePlan)> = outputs
             .iter()
             .map(|out| {
                 let analysis = &out.analysis;
@@ -163,13 +263,18 @@ impl PatternSet {
                 (&out.nca, plan)
             })
             .collect();
-        let multi = MultiNca::merge(&parts);
-        PatternSet {
+        let multi = ShardedMulti::merge(&parts, plan.shards());
+
+        let reversed = (0..sources.len()).map(|_| OnceLock::new()).collect();
+        ShardedPatternSet {
             sources,
+            parsed: parsed_list,
             outputs,
             anchored_end,
-            network,
+            plan,
+            networks,
             multi,
+            reversed,
         }
     }
 
@@ -194,16 +299,373 @@ impl PatternSet {
         &self.outputs
     }
 
+    /// Number of shards (≥ 1; the empty set compiles to one empty shard).
+    pub fn shard_count(&self) -> usize {
+        self.networks.len()
+    }
+
+    /// The shard plan (which pattern lives in which shard).
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Global pattern indices of shard `shard`, ascending.
+    pub fn shard_members(&self, shard: usize) -> &[usize] {
+        self.plan.members(shard)
+    }
+
+    /// The merged extended-MNRL network of shard `shard`. Reporting nodes
+    /// of pattern `i` carry `report_id = i` (global numbering).
+    pub fn network(&self, shard: usize) -> &MnrlNetwork {
+        &self.networks[shard]
+    }
+
+    /// All per-shard machine images.
+    pub fn networks(&self) -> &[MnrlNetwork] {
+        &self.networks
+    }
+
+    /// The sharded automata (one merged `MultiNca` per shard, shared
+    /// byte-class alphabet).
+    pub fn multi(&self) -> &ShardedMulti {
+        &self.multi
+    }
+
+    /// All matches in `haystack`, in stream order (ascending end offset,
+    /// ascending pattern within one offset) — byte-identical to
+    /// [`PatternSet::find_ends`] on the same patterns, for any shard
+    /// plan. Large haystacks are scanned one scoped thread per shard;
+    /// small ones sequentially (thread spawn would cost more than the
+    /// scan).
+    ///
+    /// Semantics per pattern match [`Pattern::find_ends`]: search form
+    /// `Σ*·r` unless `^`-anchored, one report per (pattern, end), and a
+    /// trailing `$` keeps only that pattern's matches ending at the end
+    /// of the haystack.
+    pub fn find_ends(&self, haystack: &[u8]) -> Vec<SetMatch> {
+        let n = self.multi.shard_count();
+        if n <= 1 {
+            return self.scan_shard(0, haystack);
+        }
+        let per_shard: Vec<Vec<SetMatch>> = if haystack.len() >= PARALLEL_MIN_BYTES {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..n)
+                    .map(|si| scope.spawn(move || self.scan_shard(si, haystack)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard scan panicked"))
+                    .collect()
+            })
+        } else {
+            (0..n).map(|si| self.scan_shard(si, haystack)).collect()
+        };
+        let mut out = Vec::with_capacity(per_shard.iter().map(|v| v.len()).sum());
+        merge_ordered_by(&per_shard, |_, m| m, &mut out);
+        out
+    }
+
+    /// Scans one shard sequentially, translating local pattern indices to
+    /// global ones and applying the `$`-anchor filter. The per-shard
+    /// engine emits reports sorted by `(end, local pattern)`; ascending
+    /// members make that `(end, global pattern)` order.
+    fn scan_shard(&self, shard: usize, haystack: &[u8]) -> Vec<SetMatch> {
+        let mut engine = self.multi.shard(shard).engine();
+        engine
+            .match_reports(haystack)
+            .into_iter()
+            .map(|r| SetMatch {
+                pattern: self.multi.global_pattern(shard, r.pattern) as usize,
+                end: r.end as usize,
+            })
+            .filter(|m| !self.anchored_end[m.pattern] || m.end == haystack.len())
+            .collect()
+    }
+
+    /// Whether any pattern matches in `haystack`.
+    pub fn is_match(&self, haystack: &[u8]) -> bool {
+        !self.find_ends(haystack).is_empty()
+    }
+
+    /// Locates full match spans per pattern: for every reported match
+    /// end, the matching pattern's *reversed* automaton runs backward
+    /// from the end to the earliest start (leftmost-longest flavor), as
+    /// in [`Pattern::find_spans`]. Reversed automata are built lazily per
+    /// pattern and cached for the set's lifetime.
+    pub fn find_spans(&self, haystack: &[u8]) -> Vec<SetSpan> {
+        let matches = self.find_ends(haystack);
+        if matches.is_empty() {
+            return Vec::new();
+        }
+        // One backward engine per distinct pattern, reused across ends.
+        let mut engines: HashMap<usize, TokenSetEngine<'_>> = HashMap::new();
+        matches
+            .into_iter()
+            .map(|m| {
+                let engine = engines
+                    .entry(m.pattern)
+                    .or_insert_with(|| TokenSetEngine::new(self.reversed_nca(m.pattern)));
+                SetSpan {
+                    pattern: m.pattern,
+                    start: crate::earliest_start(engine, haystack, m.end),
+                    end: m.end,
+                }
+            })
+            .collect()
+    }
+
+    /// The reversed automaton of pattern `i`, built on first use.
+    fn reversed_nca(&self, i: usize) -> &Nca {
+        self.reversed[i].get_or_init(|| Nca::from_regex(&self.parsed[i].regex.reverse()))
+    }
+
+    /// A resumable streaming matcher holding one engine state per shard:
+    /// feed traffic in chunks and drain reports incrementally, without
+    /// re-scanning previous chunks. Large chunks are fanned out to the
+    /// shard engines on scoped threads.
+    ///
+    /// Note that a stream has no "end", so trailing-`$` anchors are not
+    /// applied: `$`-anchored patterns report every candidate end offset
+    /// (same contract as [`PatternSet::stream`]).
+    pub fn stream(&self) -> ShardedSetStream<'_> {
+        ShardedSetStream {
+            multi: &self.multi,
+            engines: self.multi.engines(),
+            bufs: vec![Vec::new(); self.multi.shard_count()],
+            merged: Vec::new(),
+        }
+    }
+
+    /// A hardware simulator for shard `shard`'s machine image; its report
+    /// vector attributes events to patterns via the stamped (global)
+    /// report ids.
+    pub fn hardware(&self, shard: usize) -> recama_hw::HwSimulator<'_> {
+        recama_hw::HwSimulator::new(&self.networks[shard])
+    }
+}
+
+/// Merges per-shard report lists into one list sorted by `(end,
+/// pattern)` — the order the unsharded engine emits. `translate` maps a
+/// shard-local entry to its global report; translated lists must arrive
+/// already sorted by `(end, pattern)` (guaranteed by
+/// [`MultiEngine`](recama_nca::MultiEngine)'s within-step ordering
+/// contract plus ascending shard members).
+fn merge_ordered_by<T: Copy>(
+    per_shard: &[Vec<T>],
+    translate: impl Fn(usize, T) -> SetMatch,
+    out: &mut Vec<SetMatch>,
+) {
+    debug_assert!(
+        per_shard.iter().enumerate().all(|(si, reports)| {
+            reports.windows(2).all(|w| {
+                let (a, b) = (translate(si, w[0]), translate(si, w[1]));
+                (a.end, a.pattern) < (b.end, b.pattern)
+            })
+        }),
+        "per-shard reports must arrive sorted by (end, pattern) — \
+         see MultiEngine::step_into's ordering contract"
+    );
+    let total: usize = per_shard.iter().map(|v| v.len()).sum();
+    let mut cursors = vec![0usize; per_shard.len()];
+    for _ in 0..total {
+        let mut best: Option<(usize, SetMatch)> = None;
+        for (si, reports) in per_shard.iter().enumerate() {
+            if let Some(&r) = reports.get(cursors[si]) {
+                let m = translate(si, r);
+                if best.is_none_or(|(_, b)| (m.end, m.pattern) < (b.end, b.pattern)) {
+                    best = Some((si, m));
+                }
+            }
+        }
+        let (si, m) = best.expect("total counted a remaining report");
+        out.push(m);
+        cursors[si] += 1;
+    }
+}
+
+/// A resumable chunk-at-a-time matcher over a [`ShardedPatternSet`] (one
+/// engine state per shard); create one with
+/// [`ShardedPatternSet::stream`]. The stream is `Send`, so per-flow
+/// states can move onto worker threads.
+pub struct ShardedSetStream<'a> {
+    multi: &'a ShardedMulti,
+    engines: Vec<MultiEngine<'a>>,
+    bufs: Vec<Vec<MultiReport>>,
+    merged: Vec<SetMatch>,
+}
+
+/// Inputs at least this large are fanned out to shard engines on scoped
+/// threads; smaller ones are processed sequentially (thread spawn would
+/// cost more than the scan).
+const PARALLEL_MIN_BYTES: usize = 4096;
+
+impl ShardedSetStream<'_> {
+    /// Consumes `chunk` and returns the matches it completed, in stream
+    /// order. End offsets are 1-based and *absolute* (counted from the
+    /// start of the stream, across all chunks fed so far).
+    pub fn feed(&mut self, chunk: &[u8]) -> impl Iterator<Item = SetMatch> + '_ {
+        if self.engines.len() > 1 && chunk.len() >= PARALLEL_MIN_BYTES {
+            std::thread::scope(|scope| {
+                for (engine, buf) in self.engines.iter_mut().zip(self.bufs.iter_mut()) {
+                    scope.spawn(move || {
+                        buf.clear();
+                        engine.feed_into(chunk, buf);
+                    });
+                }
+            });
+        } else {
+            for (engine, buf) in self.engines.iter_mut().zip(self.bufs.iter_mut()) {
+                buf.clear();
+                engine.feed_into(chunk, buf);
+            }
+        }
+        self.merged.clear();
+        let multi = self.multi;
+        merge_ordered_by(
+            &self.bufs,
+            |si, r: MultiReport| SetMatch {
+                pattern: multi.global_pattern(si, r.pattern) as usize,
+                end: r.end as usize,
+            },
+            &mut self.merged,
+        );
+        self.merged.iter().copied()
+    }
+
+    /// Number of shard engines this stream advances in lockstep.
+    pub fn shard_count(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Total bytes consumed since creation (or the last reset).
+    pub fn position(&self) -> u64 {
+        self.engines.first().map(|e| e.position()).unwrap_or(0)
+    }
+
+    /// Restarts the stream at position 0.
+    pub fn reset(&mut self) {
+        for engine in &mut self.engines {
+            engine.reset();
+        }
+    }
+}
+
+impl fmt::Debug for ShardedSetStream<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ShardedSetStream({} shards, position = {})",
+            self.shard_count(),
+            self.position()
+        )
+    }
+}
+
+/// A compiled ruleset: one merged extended-MNRL network and one shared
+/// software engine for the entire set — the single-shard (`N = 1`) case
+/// of [`ShardedPatternSet`], which it wraps.
+///
+/// Mirrors [`Pattern`]'s API at set granularity: [`compile_many`] /
+/// [`find_ends`] / [`stream`] / [`network`] / [`hardware`].
+///
+/// [`compile_many`]: PatternSet::compile_many
+/// [`find_ends`]: PatternSet::find_ends
+/// [`stream`]: PatternSet::stream
+/// [`network`]: PatternSet::network
+/// [`hardware`]: PatternSet::hardware
+///
+/// # Examples
+///
+/// ```
+/// use recama::PatternSet;
+///
+/// let set = PatternSet::compile_many(&["ab{2,3}c", "xyz", "k\\d{4}"]).unwrap();
+/// let matches = set.find_ends(b"zabbc..xyz..k1234");
+/// let hits: Vec<(usize, usize)> = matches.iter().map(|m| (m.pattern, m.end)).collect();
+/// assert_eq!(hits, vec![(0, 5), (1, 10), (2, 17)]);
+/// // One merged network with per-pattern report ids:
+/// assert_eq!(set.network().report_ids(), vec![0, 1, 2]);
+/// ```
+#[derive(Debug)]
+pub struct PatternSet {
+    inner: ShardedPatternSet,
+}
+
+impl PatternSet {
+    /// Compiles all `patterns` with default options.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first pattern that does not parse (or is outside the
+    /// supported fragment), identifying its index. Use
+    /// [`PatternSet::compile_filtered`] to skip bad patterns instead.
+    pub fn compile_many<S: AsRef<str>>(patterns: &[S]) -> Result<PatternSet, SetCompileError> {
+        PatternSet::compile_many_with(patterns, &CompileOptions::default())
+    }
+
+    /// Compiles all `patterns` with explicit [`CompileOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PatternSet::compile_many`].
+    pub fn compile_many_with<S: AsRef<str>>(
+        patterns: &[S],
+        options: &CompileOptions,
+    ) -> Result<PatternSet, SetCompileError> {
+        ShardedPatternSet::compile_many_with(patterns, options, ShardPolicy::Single)
+            .map(|inner| PatternSet { inner })
+    }
+
+    /// Compiles the parseable subset of `patterns`, returning the set and
+    /// the rejected `(index, error)` pairs — the tolerant entry point for
+    /// real rulesets, which always contain out-of-fragment rules
+    /// (Table 1's unsupported rows).
+    pub fn compile_filtered<S: AsRef<str>>(
+        patterns: &[S],
+        options: &CompileOptions,
+    ) -> (PatternSet, Vec<(usize, ParseError)>) {
+        let (inner, rejected) =
+            ShardedPatternSet::compile_filtered(patterns, options, ShardPolicy::Single);
+        (PatternSet { inner }, rejected)
+    }
+
+    /// Number of compiled patterns.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// The source text of pattern `i`.
+    pub fn pattern(&self, i: usize) -> &str {
+        self.inner.pattern(i)
+    }
+
+    /// Per-pattern compiler outputs (module decisions, analyses, NCAs),
+    /// indexed like the patterns.
+    pub fn outputs(&self) -> &[CompileOutput] {
+        self.inner.outputs()
+    }
+
     /// The merged extended-MNRL network for the whole set. Reporting
     /// nodes of pattern `i` carry `report_id = i`.
     pub fn network(&self) -> &MnrlNetwork {
-        &self.network
+        self.inner.network(0)
     }
 
     /// The merged shared automaton (one `q0`, shared byte-class
     /// alphabet, per-pattern state ranges).
     pub fn multi(&self) -> &MultiNca {
-        &self.multi
+        self.inner.multi().shard(0)
+    }
+
+    /// The sharded view of this set (a single shard holding every
+    /// pattern).
+    pub fn sharded(&self) -> &ShardedPatternSet {
+        &self.inner
     }
 
     /// All matches in `haystack`, in stream order (ascending end offset).
@@ -213,21 +675,34 @@ impl PatternSet {
     /// trailing `$` keeps only that pattern's matches ending at the end
     /// of the haystack.
     pub fn find_ends(&self, haystack: &[u8]) -> Vec<SetMatch> {
-        let mut engine = self.multi.engine();
-        engine
-            .match_reports(haystack)
-            .into_iter()
-            .filter(|r| !self.anchored_end[r.pattern as usize] || r.end == haystack.len() as u64)
-            .map(|r| SetMatch {
-                pattern: r.pattern as usize,
-                end: r.end as usize,
-            })
-            .collect()
+        self.inner.find_ends(haystack)
     }
 
     /// Whether any pattern matches in `haystack`.
     pub fn is_match(&self, haystack: &[u8]) -> bool {
-        !self.find_ends(haystack).is_empty()
+        self.inner.is_match(haystack)
+    }
+
+    /// Locates full match spans per pattern — the set-level analogue of
+    /// [`Pattern::find_spans`], reusing cached reversed automata.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use recama::{PatternSet, SetSpan};
+    ///
+    /// let set = PatternSet::compile_many(&["ab{2,3}c", "xyz"]).unwrap();
+    /// let spans = set.find_spans(b"zzabbc.xyz");
+    /// assert_eq!(
+    ///     spans,
+    ///     vec![
+    ///         SetSpan { pattern: 0, start: 2, end: 6 },
+    ///         SetSpan { pattern: 1, start: 7, end: 10 },
+    ///     ]
+    /// );
+    /// ```
+    pub fn find_spans(&self, haystack: &[u8]) -> Vec<SetSpan> {
+        self.inner.find_spans(haystack)
     }
 
     /// A resumable streaming matcher: feed traffic in chunks and drain
@@ -251,7 +726,7 @@ impl PatternSet {
     /// ```
     pub fn stream(&self) -> SetStream<'_> {
         SetStream {
-            engine: self.multi.engine(),
+            engine: self.multi().engine(),
             buf: Vec::new(),
         }
     }
@@ -259,12 +734,13 @@ impl PatternSet {
     /// A hardware simulator for the merged network; its report vector
     /// attributes events to patterns via the stamped report ids.
     pub fn hardware(&self) -> recama_hw::HwSimulator<'_> {
-        recama_hw::HwSimulator::new(&self.network)
+        self.inner.hardware(0)
     }
 }
 
 /// A resumable chunk-at-a-time matcher over a [`PatternSet`]; create one
-/// with [`PatternSet::stream`].
+/// with [`PatternSet::stream`]. The stream is `Send`, so per-flow engine
+/// states can move onto worker threads.
 pub struct SetStream<'a> {
     engine: MultiEngine<'a>,
     buf: Vec<recama_nca::MultiReport>,
@@ -324,6 +800,7 @@ impl PatternSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use recama_hw::ShardBudget;
 
     #[test]
     fn mirrors_per_pattern_find_ends() {
@@ -415,5 +892,138 @@ mod tests {
         assert!(set.is_empty());
         assert!(set.find_ends(b"anything").is_empty());
         assert!(set.network().validate().is_empty());
+        // The sharded view compiles to one empty shard.
+        assert_eq!(set.sharded().shard_count(), 1);
+        let sharded = ShardedPatternSet::compile_many::<&str>(&[]).unwrap();
+        assert!(sharded.find_ends(b"anything").is_empty());
+        assert_eq!(sharded.stream().feed(b"xy").count(), 0);
+    }
+
+    #[test]
+    fn sharded_reports_are_byte_identical_to_unsharded() {
+        let patterns = ["ab{2,3}c", "a{3}", "cab", "x[yz]{2}", "k\\d{2}"];
+        let single = PatternSet::compile_many(&patterns).unwrap();
+        let haystack = b"abbc.aaa.cab.xyz.k42.abbbc";
+        let expected = single.find_ends(haystack);
+        for policy in [
+            ShardPolicy::Single,
+            ShardPolicy::Fixed(2),
+            ShardPolicy::Fixed(3),
+            ShardPolicy::Fixed(5),
+            ShardPolicy::Banked(ShardBudget {
+                columns: 4,
+                counters: 8,
+                bitvector_bits: 2000,
+            }),
+        ] {
+            let sharded =
+                ShardedPatternSet::compile_many_with(&patterns, &CompileOptions::default(), policy)
+                    .unwrap();
+            // No sort: the order must match too.
+            assert_eq!(sharded.find_ends(haystack), expected, "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_networks_carry_global_report_ids() {
+        let patterns = ["^a{30}", "[xy]{5}z", "k\\d{2}"];
+        let set = ShardedPatternSet::compile_many_with(
+            &patterns,
+            &CompileOptions::default(),
+            ShardPolicy::Fixed(2),
+        )
+        .unwrap();
+        assert_eq!(set.shard_count(), 2);
+        let mut all_ids = Vec::new();
+        for si in 0..set.shard_count() {
+            assert!(set.network(si).validate().is_empty());
+            all_ids.extend(set.network(si).report_ids());
+        }
+        all_ids.sort();
+        assert_eq!(all_ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn sharded_stream_agrees_with_oneshot() {
+        let patterns = ["ab{2,4}c", "x{3}", "q[rs]{2}t"];
+        let set = ShardedPatternSet::compile_many_with(
+            &patterns,
+            &CompileOptions::default(),
+            ShardPolicy::Fixed(3),
+        )
+        .unwrap();
+        let input = b"zabbbc_xxx_qrst_abbc_xxxx";
+        let oneshot = set.find_ends(input);
+        for chunk_len in [1usize, 2, 7, input.len()] {
+            let mut stream = set.stream();
+            let mut got = Vec::new();
+            for chunk in input.chunks(chunk_len) {
+                got.extend(stream.feed(chunk));
+            }
+            assert_eq!(got, oneshot, "chunk length {chunk_len}");
+            assert_eq!(stream.position(), input.len() as u64);
+        }
+    }
+
+    #[test]
+    fn find_spans_locates_starts_per_pattern() {
+        let patterns = ["ab{2,3}c", "xyz"];
+        let set = PatternSet::compile_many(&patterns).unwrap();
+        let spans = set.find_spans(b"zzabbc..xyz..abbbc");
+        assert_eq!(
+            spans,
+            vec![
+                SetSpan {
+                    pattern: 0,
+                    start: 2,
+                    end: 6
+                },
+                SetSpan {
+                    pattern: 1,
+                    start: 8,
+                    end: 11
+                },
+                SetSpan {
+                    pattern: 0,
+                    start: 13,
+                    end: 18
+                },
+            ]
+        );
+        // Agreement with the per-pattern API.
+        for (pi, p) in patterns.iter().enumerate() {
+            let pattern = Pattern::compile(p).unwrap();
+            let expected: Vec<MatchSpan> = pattern.find_spans(b"zzabbc..xyz..abbbc");
+            let got: Vec<MatchSpan> = spans
+                .iter()
+                .filter(|s| s.pattern == pi)
+                .map(|s| s.span())
+                .collect();
+            assert_eq!(got, expected, "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn streams_are_send_and_debug() {
+        fn assert_send<T: Send>() {}
+        assert_send::<SetStream<'static>>();
+        assert_send::<ShardedSetStream<'static>>();
+        assert_send::<SetMatch>();
+        assert_send::<SetSpan>();
+        assert_send::<ShardedPatternSet>();
+        assert_send::<PatternSet>();
+
+        // Engines really do move onto worker threads.
+        let set = PatternSet::compile_many(&["kk"]).unwrap();
+        let mut stream = set.stream();
+        let hits = std::thread::scope(|scope| {
+            scope
+                .spawn(move || stream.feed(b"..kk").count())
+                .join()
+                .unwrap()
+        });
+        assert_eq!(hits, 1);
+        assert!(format!("{:?}", set.stream()).contains("position = 0"));
+        assert!(format!("{:?}", set.sharded().stream()).contains("1 shards"));
     }
 }

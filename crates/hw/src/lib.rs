@@ -12,6 +12,8 @@
 //!   the bit-vector module (Fig. 7);
 //! * [`place`] — the mapper (module port groups stay within one PE;
 //!   bit-vector segments share physical 2000-bit modules);
+//! * [`shard`] — bank-aware ruleset sharding: order-preserving partition
+//!   of compiled rules into shards that each fit one bank's capacity;
 //! * [`HwSimulator`] — the two-phase cycle simulator (the modified VASim);
 //! * [`cost`] — energy/area reports, with the waste accounting of Fig. 10
 //!   and the pro-rata accounting of Fig. 8.
@@ -37,6 +39,7 @@ pub mod cost;
 pub mod modules;
 pub mod params;
 pub mod place;
+pub mod shard;
 mod sim;
 pub mod switch;
 pub mod throughput;
@@ -45,6 +48,7 @@ pub use cost::{
     area_report, energy_report, run, run_with, AreaGranularity, AreaReport, EnergyReport, HwRun,
 };
 pub use place::{place, EdgeStats, Loc, Placement};
+pub use shard::{RuleCost, ShardBudget, ShardPlan, ShardPolicy};
 pub use sim::{Activity, HwSimulator};
 pub use switch::SwitchParams;
 pub use throughput::{throughput, ThroughputReport};

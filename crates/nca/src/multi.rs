@@ -60,7 +60,9 @@ pub struct MultiNca {
 }
 
 impl MultiNca {
-    /// Merges per-pattern automata (with their storage plans) into one.
+    /// Merges per-pattern automata (with their storage plans) into one,
+    /// computing the shared byte-class alphabet from the union of the
+    /// parts' predicates.
     ///
     /// # Panics
     ///
@@ -68,6 +70,24 @@ impl MultiNca {
     /// plan uses [`StorageMode::CountingSet`] (the batched engine keeps
     /// the module-faithful bit-vector representation instead).
     pub fn merge(parts: &[(&Nca, CompilePlan)]) -> MultiNca {
+        MultiNca::merge_with_alphabet(parts, union_alphabet(parts))
+    }
+
+    /// Like [`MultiNca::merge`], but with an externally supplied
+    /// byte-class alphabet — the sharded configuration, where one
+    /// alphabet is computed once over the *whole* pattern set and shared
+    /// by every per-shard automaton, so the input decoder classifies
+    /// each byte once for all shards.
+    ///
+    /// `alphabet` must *refine* every state predicate of `parts`: each
+    /// equivalence class is either fully inside or disjoint from every
+    /// state's class. Any alphabet built from a [`ByteClassSet`] that saw
+    /// (at least) all the parts' predicates satisfies this.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`MultiNca::merge`].
+    pub fn merge_with_alphabet(parts: &[(&Nca, CompilePlan)], alphabet: ByteAlphabet) -> MultiNca {
         let mut states: Vec<State> = vec![State {
             class: recama_syntax::ByteClass::EMPTY,
             counters: Vec::new(),
@@ -77,7 +97,6 @@ impl MultiNca {
         let mut transitions: Vec<Transition> = Vec::new();
         let mut modes: Vec<StorageMode> = vec![StorageMode::PureBit];
         let mut pattern_of_state: Vec<u32> = vec![u32::MAX];
-        let mut class_set = ByteClassSet::new();
 
         for (pi, (nca, plan)) in parts.iter().enumerate() {
             assert_eq!(plan.len(), nca.state_count(), "plan/automaton mismatch");
@@ -104,7 +123,12 @@ impl MultiNca {
                 GuardAtom::Eq(c, n) => GuardAtom::Eq(map_counter(c), n),
             };
             for (qi, s) in nca.states().iter().enumerate().skip(1) {
-                class_set.add(&s.class);
+                debug_assert!(
+                    (0..=255u8).all(|b| s.class.contains(b)
+                        == s.class
+                            .contains(alphabet.representative(alphabet.class_of(b)))),
+                    "alphabet does not refine a state predicate of pattern {pi}"
+                );
                 states.push(State {
                     class: s.class,
                     counters: s.counters.iter().map(|&c| map_counter(c)).collect(),
@@ -137,7 +161,6 @@ impl MultiNca {
         }
 
         let nca = Nca::new(states, counters, transitions);
-        let alphabet = class_set.freeze();
         let tables = EngineTables::build(&nca, &alphabet);
         MultiNca {
             nca,
@@ -181,6 +204,133 @@ impl MultiNca {
     pub fn engine(&self) -> MultiEngine<'_> {
         MultiEngine::new(self)
     }
+}
+
+/// A pattern set partitioned into shards: one [`MultiNca`] per shard,
+/// all sharing a single [`ByteAlphabet`] computed once over the union of
+/// every pattern's predicates.
+///
+/// Sharding is the banked deployment shape: each shard's automaton fits
+/// one accelerator bank, and the software twin runs one engine per shard
+/// (typically on its own thread). Because the alphabet is shared, every
+/// shard classifies an input byte identically, mirroring the single
+/// input decoder that feeds all banks.
+///
+/// Per-shard reports carry *local* pattern indices; translate them with
+/// [`ShardedMulti::global_pattern`].
+#[derive(Debug)]
+pub struct ShardedMulti {
+    shards: Vec<MultiNca>,
+    /// Global pattern index per (shard, local pattern index).
+    members: Vec<Vec<u32>>,
+    alphabet: ByteAlphabet,
+    pattern_count: usize,
+}
+
+impl ShardedMulti {
+    /// Merges `parts` (indexed globally) into one automaton per shard.
+    /// `shards` must partition `0..parts.len()` with strictly ascending
+    /// members per shard, so that per-shard report order (ascending local
+    /// index within a step) translates to ascending global order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is not such a partition, or under the
+    /// [`MultiNca::merge`] conditions.
+    pub fn merge(parts: &[(&Nca, CompilePlan)], shards: &[Vec<usize>]) -> ShardedMulti {
+        let mut seen = vec![false; parts.len()];
+        for members in shards {
+            for window in members.windows(2) {
+                assert!(window[0] < window[1], "shard members must be ascending");
+            }
+            for &i in members {
+                assert!(
+                    i < parts.len() && !std::mem::replace(&mut seen[i], true),
+                    "shards must partition the pattern indices (bad index {i})"
+                );
+            }
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "shards must cover every pattern exactly once"
+        );
+
+        let alphabet = union_alphabet(parts);
+        let built: Vec<MultiNca> = shards
+            .iter()
+            .map(|members| {
+                let sub: Vec<(&Nca, CompilePlan)> = members
+                    .iter()
+                    .map(|&i| (parts[i].0, parts[i].1.clone()))
+                    .collect();
+                MultiNca::merge_with_alphabet(&sub, alphabet.clone())
+            })
+            .collect();
+        ShardedMulti {
+            shards: built,
+            members: shards
+                .iter()
+                .map(|m| m.iter().map(|&i| i as u32).collect())
+                .collect(),
+            alphabet,
+            pattern_count: parts.len(),
+        }
+    }
+
+    /// Number of shards (≥ 1 whenever built from a [`ShardPlan`]-style
+    /// partition; 0 only if `shards` was empty).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard merged automata.
+    pub fn shards(&self) -> &[MultiNca] {
+        &self.shards
+    }
+
+    /// The merged automaton of shard `i`.
+    pub fn shard(&self, i: usize) -> &MultiNca {
+        &self.shards[i]
+    }
+
+    /// The alphabet shared by every shard.
+    pub fn alphabet(&self) -> &ByteAlphabet {
+        &self.alphabet
+    }
+
+    /// Total number of patterns across all shards.
+    pub fn pattern_count(&self) -> usize {
+        self.pattern_count
+    }
+
+    /// Global pattern indices of shard `i` (ascending), indexed by the
+    /// shard's local pattern index.
+    pub fn shard_members(&self, i: usize) -> &[u32] {
+        &self.members[i]
+    }
+
+    /// Translates a shard-local pattern index to the global index.
+    pub fn global_pattern(&self, shard: usize, local: u32) -> u32 {
+        self.members[shard][local as usize]
+    }
+
+    /// One engine per shard, ready for parallel stepping.
+    pub fn engines(&self) -> Vec<MultiEngine<'_>> {
+        self.shards.iter().map(|m| m.engine()).collect()
+    }
+}
+
+/// The byte-class alphabet induced by the union of all parts' state
+/// predicates — the partition every merged engine (single or sharded)
+/// classifies input bytes with.
+fn union_alphabet(parts: &[(&Nca, CompilePlan)]) -> ByteAlphabet {
+    let mut class_set = ByteClassSet::new();
+    for (nca, _) in parts {
+        for s in nca.states().iter().skip(1) {
+            class_set.add(&s.class);
+        }
+    }
+    class_set.freeze()
 }
 
 /// One outgoing transition, slot-resolved and class-indexed.
@@ -347,9 +497,14 @@ impl<'a> MultiEngine<'a> {
 
     /// Consumes one byte, appending `(pattern, end)` reports to `out`.
     ///
-    /// Reports are deduplicated per pattern. They are appended in merged
-    /// state order, not ascending pattern order; sort if you need the
-    /// latter. `end` is the current 1-based stream offset.
+    /// Reports are deduplicated per pattern and appended in merged state
+    /// order. Because [`MultiNca::merge`] lays out each pattern's states
+    /// contiguously in pattern order and the frontier is walked in state
+    /// order, this is **ascending pattern order within one step** — a
+    /// guaranteed contract: the sharded ordered merge
+    /// (`ShardedPatternSet` in `recama`) relies on it to recombine
+    /// per-shard reports byte-identically. `end` is the current 1-based
+    /// stream offset.
     pub fn step_into(&mut self, byte: u8, out: &mut Vec<MultiReport>) {
         self.position += 1;
         self.generation = self.generation.wrapping_add(1);
@@ -602,6 +757,83 @@ mod tests {
         let mut engine = m.engine();
         assert!(engine.match_reports(b"anything").is_empty());
         assert_eq!(m.pattern_count(), 0);
+    }
+
+    fn sharded(patterns: &[&str], shards: &[Vec<usize>]) -> ShardedMulti {
+        let ncas: Vec<Nca> = patterns.iter().map(|p| stream_nca(p)).collect();
+        let parts: Vec<(&Nca, CompilePlan)> = ncas
+            .iter()
+            .map(|n| (n, CompilePlan::conservative(n)))
+            .collect();
+        ShardedMulti::merge(&parts, shards)
+    }
+
+    #[test]
+    fn sharded_union_equals_single_merge() {
+        let patterns = ["ab{2,3}c", "a{3}", "x[yz]{2}", "cab", "k\\d{2}"];
+        let input = b"abbc.aaa.xyz.cab.k42.abbbc";
+        let single = multi(&patterns);
+        let mut expected = single.engine().match_reports(input);
+        expected.sort();
+        for shards in [
+            vec![vec![0, 1, 2, 3, 4]],
+            vec![vec![0, 1], vec![2, 3], vec![4]],
+            vec![vec![0], vec![1], vec![2], vec![3], vec![4]],
+            vec![vec![0, 1, 2], vec![3, 4]],
+        ] {
+            let sm = sharded(&patterns, &shards);
+            let mut got = Vec::new();
+            for (si, mut engine) in sm.engines().into_iter().enumerate() {
+                for r in engine.match_reports(input) {
+                    got.push(MultiReport {
+                        pattern: sm.global_pattern(si, r.pattern),
+                        end: r.end,
+                    });
+                }
+            }
+            got.sort();
+            assert_eq!(got, expected, "shards {shards:?}");
+        }
+    }
+
+    #[test]
+    fn shards_share_the_union_alphabet() {
+        let sm = sharded(&["a{3}", "[ab]{2}x", "\\d{4}"], &[vec![0, 1], vec![2]]);
+        // Union classes: {a}, {b}, {x}, digits, rest — even though shard 1
+        // alone would only need {digits, rest}.
+        assert_eq!(sm.alphabet().len(), 5);
+        for shard in sm.shards() {
+            assert_eq!(shard.alphabet().len(), 5, "every shard sees the union");
+        }
+        assert_eq!(sm.pattern_count(), 3);
+        assert_eq!(sm.shard_members(1), &[2]);
+    }
+
+    #[test]
+    fn merge_with_alphabet_accepts_finer_partitions() {
+        // An alphabet refined by predicates the pattern never uses is fine.
+        let nca = stream_nca("a{2}b");
+        let mut class_set = ByteClassSet::new();
+        for s in nca.states().iter().skip(1) {
+            class_set.add(&s.class);
+        }
+        class_set.add(&recama_syntax::ByteClass::digit()); // extra refinement
+        let parts = [(&nca, CompilePlan::conservative(&nca))];
+        let m = MultiNca::merge_with_alphabet(&parts, class_set.freeze());
+        let reports = m.engine().match_reports(b"xaab aab");
+        assert_eq!(reports.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every pattern")]
+    fn sharded_merge_rejects_incomplete_partitions() {
+        sharded(&["ab", "cd"], &[vec![0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition the pattern indices")]
+    fn sharded_merge_rejects_duplicates() {
+        sharded(&["ab", "cd"], &[vec![0, 1], vec![1]]);
     }
 
     #[test]
