@@ -1,0 +1,234 @@
+//! flow-eval: the many-flow serving benchmark. Compiles a Snort-profile
+//! ruleset into a [`ShardedPatternSet`], then drives a [`FlowScheduler`]
+//! with `flows` concurrent byte streams delivered in `chunk`-sized
+//! pieces over `rounds` rounds (one chunk per flow per round — the
+//! IDS-tap arrival pattern), for each requested worker-pool size.
+//! Reported per worker count: aggregate throughput (MiB/s, measured on
+//! batched rounds) and p50/p99 per-chunk scheduling latency (measured
+//! in a second pass that times every chunk's push-to-merged
+//! individually, so the p99 reflects real tail chunks).
+//!
+//! ```sh
+//! # Defaults: 2%-scale Snort, 32 flows x 8 rounds of 2 KiB chunks,
+//! # worker sweep 1,2,4:
+//! cargo run --release -p recama-bench --bin flow_eval
+//! # CI smoke with a machine-readable record on stdout:
+//! cargo run --release -p recama-bench --bin flow_eval -- \
+//!     --scale 0.01 --flows 8 --rounds 4 --chunk 512 --workers 1,2 --json
+//! ```
+//!
+//! Flags: `--flows N`, `--rounds N`, `--chunk BYTES`, `--workers CSV`,
+//! `--shards N`, `--scale F`, `--seed S`, `--json` (print ONLY the JSON
+//! document to stdout; the human-readable report moves to stderr).
+
+use recama::compiler::CompileOptions;
+use recama::hw::ShardPolicy;
+use recama::workloads::{generate, traffic, BenchmarkId};
+use recama::{FlowScheduler, ShardedPatternSet};
+use recama_bench::{ms, seed};
+use std::time::{Duration, Instant};
+
+struct Config {
+    flows: usize,
+    rounds: usize,
+    chunk: usize,
+    workers: Vec<usize>,
+    shards: usize,
+    scale: f64,
+    seed: u64,
+    json: bool,
+}
+
+fn parse_args() -> Config {
+    let mut config = Config {
+        flows: 32,
+        rounds: 8,
+        chunk: 2048,
+        workers: vec![1, 2, 4],
+        shards: 4,
+        scale: 0.02,
+        seed: seed(),
+        json: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} needs a value"))
+        };
+        match flag.as_str() {
+            "--flows" => config.flows = value("--flows").parse().expect("--flows"),
+            "--rounds" => config.rounds = value("--rounds").parse().expect("--rounds"),
+            "--chunk" => config.chunk = value("--chunk").parse().expect("--chunk"),
+            "--shards" => config.shards = value("--shards").parse().expect("--shards"),
+            "--scale" => config.scale = value("--scale").parse().expect("--scale"),
+            "--seed" => config.seed = value("--seed").parse().expect("--seed"),
+            "--workers" => {
+                config.workers = value("--workers")
+                    .split(',')
+                    .map(|w| w.trim().parse().expect("--workers takes a CSV of counts"))
+                    .collect()
+            }
+            "--json" => config.json = true,
+            other => panic!("unknown flag {other} (see the module docs)"),
+        }
+    }
+    assert!(config.flows > 0 && config.rounds > 0 && config.chunk > 0);
+    assert!(!config.workers.is_empty());
+    config
+}
+
+struct WorkerResult {
+    workers: usize,
+    mib_per_s: f64,
+    p50: Duration,
+    p99: Duration,
+    hits: usize,
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank]
+}
+
+fn main() {
+    let config = parse_args();
+    let say = |line: String| {
+        if config.json {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+    say(format!(
+        "flow-eval: Snort at scale {}, {} flows x {} rounds x {} B chunks, {} shard(s)",
+        config.scale, config.flows, config.rounds, config.chunk, config.shards
+    ));
+
+    let ruleset = generate(BenchmarkId::Snort, config.scale, config.seed);
+    let patterns = ruleset.pattern_strings();
+    let start = Instant::now();
+    let (set, rejected) = ShardedPatternSet::compile_filtered(
+        &patterns,
+        &CompileOptions::default(),
+        ShardPolicy::Fixed(config.shards),
+    );
+    say(format!(
+        "compiled {} patterns ({} rejected) into {} shard(s) in {:.0} ms",
+        set.len(),
+        rejected.len(),
+        set.shard_count(),
+        ms(start.elapsed())
+    ));
+
+    // Per-flow traffic with planted matches, distinct per flow.
+    let per_flow = config.rounds * config.chunk;
+    let streams: Vec<Vec<u8>> = (0..config.flows)
+        .map(|fi| traffic(&ruleset, per_flow, 0.0005, config.seed * 31 + fi as u64))
+        .collect();
+    let total_bytes = (config.flows * per_flow) as f64;
+    let mib = total_bytes / (1024.0 * 1024.0);
+
+    let mut results: Vec<WorkerResult> = Vec::new();
+    for &workers in &config.workers {
+        // Throughput pass: one chunk per flow per round, batched runs —
+        // the arrival pattern an IDS tap sees.
+        let sched = FlowScheduler::new(&set, workers);
+        let run = Instant::now();
+        for round in 0..config.rounds {
+            let at = round * config.chunk;
+            for (fi, bytes) in streams.iter().enumerate() {
+                sched.push(fi as u64, &bytes[at..at + config.chunk]);
+            }
+            sched.run();
+        }
+        let elapsed = run.elapsed();
+        let hits: usize = (0..config.flows)
+            .map(|fi| sched.poll(fi as u64).len())
+            .sum();
+
+        // Latency pass: one chunk scheduled at a time, each timed
+        // push-to-merged individually, so the percentiles are a real
+        // per-chunk distribution (flows x rounds samples) and a single
+        // slow chunk is not averaged away into a round mean.
+        let sched = FlowScheduler::new(&set, workers);
+        let mut per_chunk: Vec<Duration> = Vec::with_capacity(config.flows * config.rounds);
+        for round in 0..config.rounds {
+            let at = round * config.chunk;
+            for (fi, bytes) in streams.iter().enumerate() {
+                let t = Instant::now();
+                sched.push(fi as u64, &bytes[at..at + config.chunk]);
+                sched.run();
+                per_chunk.push(t.elapsed());
+            }
+        }
+        per_chunk.sort();
+        results.push(WorkerResult {
+            workers,
+            mib_per_s: mib / elapsed.as_secs_f64(),
+            p50: percentile(&per_chunk, 0.50),
+            p99: percentile(&per_chunk, 0.99),
+            hits,
+        });
+    }
+
+    say(format!(
+        "\n{:<8} {:>10} {:>12} {:>12} {:>8}",
+        "workers", "MiB/s", "p50/chunk", "p99/chunk", "hits"
+    ));
+    for r in &results {
+        say(format!(
+            "{:<8} {:>10.3} {:>9.1} us {:>9.1} us {:>8}",
+            r.workers,
+            r.mib_per_s,
+            r.p50.as_secs_f64() * 1e6,
+            r.p99.as_secs_f64() * 1e6,
+            r.hits
+        ));
+    }
+    for r in &results {
+        assert_eq!(
+            r.hits, results[0].hits,
+            "per-flow reports must not depend on the worker count"
+        );
+    }
+    if let (Some(first), Some(last)) = (results.first(), results.last()) {
+        if last.workers > first.workers {
+            say(format!(
+                "\nscaling {} -> {} workers: {:.2}x on {} core(s)",
+                first.workers,
+                last.workers,
+                last.mib_per_s / first.mib_per_s.max(1e-9),
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            ));
+        }
+    }
+
+    if config.json {
+        // Machine-readable record for the CI perf-tracking artifact.
+        let rows: Vec<String> = results
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"workers\":{},\"mib_per_s\":{:.3},\"p50_us\":{:.1},\"p99_us\":{:.1},\"hits\":{}}}",
+                    r.workers,
+                    r.mib_per_s,
+                    r.p50.as_secs_f64() * 1e6,
+                    r.p99.as_secs_f64() * 1e6,
+                    r.hits
+                )
+            })
+            .collect();
+        println!(
+            "{{\"bench\":\"flow_eval\",\"scale\":{},\"flows\":{},\"rounds\":{},\"chunk_bytes\":{},\
+             \"shards\":{},\"patterns\":{},\"results\":[{}]}}",
+            config.scale,
+            config.flows,
+            config.rounds,
+            config.chunk,
+            set.shard_count(),
+            set.len(),
+            rows.join(",")
+        );
+    }
+}

@@ -16,7 +16,9 @@
 //!
 //! Knobs: `RECAMA_SCALE` (default **1.0** here, unlike the figure
 //! binaries), `RECAMA_SHARDS` (override the bank policy with a fixed
-//! shard count), `RECAMA_SEED`, `RECAMA_TRAFFIC`.
+//! shard count), `RECAMA_SEED`, `RECAMA_TRAFFIC`. With `--json`, stdout
+//! carries ONLY a machine-readable record (for the CI perf-tracking
+//! artifact) and the human-readable report moves to stderr.
 
 use recama::compiler::CompileOptions;
 use recama::hw::{place, RuleCost, ShardPolicy};
@@ -26,6 +28,12 @@ use recama_bench::{banner, ms, seed, traffic_len};
 use std::time::Instant;
 
 fn main() {
+    let json = std::env::args().skip(1).any(|a| a == "--json");
+    macro_rules! say {
+        ($($arg:tt)*) => {
+            if json { eprintln!($($arg)*) } else { println!($($arg)*) }
+        };
+    }
     // This binary defaults to the paper's full scale.
     let scale: f64 = std::env::var("RECAMA_SCALE")
         .ok()
@@ -39,10 +47,17 @@ fn main() {
         None => ShardPolicy::default(),
     };
     let id = BenchmarkId::Snort;
-    banner(&format!(
-        "scale-eval: {} at scale {scale}, policy {policy:?}",
-        id.name()
-    ));
+    if json {
+        eprintln!(
+            "scale-eval: {} at scale {scale}, policy {policy:?}",
+            id.name()
+        );
+    } else {
+        banner(&format!(
+            "scale-eval: {} at scale {scale}, policy {policy:?}",
+            id.name()
+        ));
+    }
 
     let ruleset = generate(id, scale, seed());
     let patterns = ruleset.pattern_strings();
@@ -50,29 +65,35 @@ fn main() {
     let (set, rejected) =
         ShardedPatternSet::compile_filtered(&patterns, &CompileOptions::default(), policy);
     let compile_time = start.elapsed();
-    println!(
+    say!(
         "{} patterns ({} accepted, {} rejected), compiled+sharded in {:.0} ms",
         patterns.len(),
         set.len(),
         rejected.len(),
         ms(compile_time)
     );
-    println!(
+    say!(
         "{} shard(s), shared alphabet: {} byte classes\n",
         set.shard_count(),
         set.multi().alphabet().len()
     );
 
-    println!(
+    say!(
         "{:<6} {:>6} {:>7} {:>9} {:>9} {:>9} {:>6}",
-        "shard", "rules", "nodes", "columns", "counters", "bv-bits", "banks"
+        "shard",
+        "rules",
+        "nodes",
+        "columns",
+        "counters",
+        "bv-bits",
+        "banks"
     );
     let shown = set.shard_count().min(16);
     for si in 0..shown {
         let network = set.network(si);
         let cost = RuleCost::of_network(network);
         let placement = place(network);
-        println!(
+        say!(
             "{:<6} {:>6} {:>7} {:>9} {:>9} {:>9} {:>6}",
             si,
             set.shard_members(si).len(),
@@ -84,7 +105,7 @@ fn main() {
         );
     }
     if shown < set.shard_count() {
-        println!("... ({} more shards)", set.shard_count() - shown);
+        say!("... ({} more shards)", set.shard_count() - shown);
     }
 
     let input = traffic(&ruleset, traffic_len(), 0.0005, seed());
@@ -106,7 +127,7 @@ fn main() {
     let parallel = start.elapsed();
 
     let mib = input.len() as f64 / (1024.0 * 1024.0);
-    println!(
+    say!(
         "\nscan of {} bytes: {hits} reports \
          \n  sequential over shards: {:>8.1} ms ({:.3} MiB/s)\
          \n  parallel over shards:   {:>8.1} ms ({:.3} MiB/s)\
@@ -127,4 +148,23 @@ fn main() {
         sequential_hits >= hits,
         "per-shard engines must cover every report (streams skip the $-filter)"
     );
+
+    if json {
+        // Machine-readable record for the CI perf-tracking artifact.
+        println!(
+            "{{\"bench\":\"scale_eval\",\"scale\":{scale},\"patterns\":{},\"accepted\":{},\
+             \"shards\":{},\"byte_classes\":{},\"compile_ms\":{:.1},\"traffic_bytes\":{},\
+             \"hits\":{hits},\"sequential_mib_per_s\":{:.3},\"parallel_mib_per_s\":{:.3},\
+             \"speedup\":{:.3}}}",
+            patterns.len(),
+            set.len(),
+            set.shard_count(),
+            set.multi().alphabet().len(),
+            ms(compile_time),
+            input.len(),
+            mib / sequential.as_secs_f64(),
+            mib / parallel.as_secs_f64(),
+            sequential.as_secs_f64() / parallel.as_secs_f64().max(1e-9),
+        );
+    }
 }

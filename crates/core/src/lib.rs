@@ -43,8 +43,10 @@ pub use recama_nca as nca;
 pub use recama_syntax as syntax;
 pub use recama_workloads as workloads;
 
+pub mod sched;
 mod set;
 
+pub use sched::{FlowMatch, FlowScheduler};
 pub use set::{
     PatternSet, SetCompileError, SetMatch, SetSpan, SetStream, ShardedPatternSet, ShardedSetStream,
 };

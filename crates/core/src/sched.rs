@@ -1,0 +1,745 @@
+//! [`FlowScheduler`]: a many-flow scanning service over a sharded
+//! pattern set.
+//!
+//! The paper evaluates CAMA as an IDS-class engine (Snort/Suricata
+//! rulesets), and the workload such an engine serves is not one byte
+//! stream but **thousands of concurrent flows**, each delivering bytes in
+//! interleaved chunks — the shape of Suricata's flow-worker pipeline.
+//! What matters at deployment scale is aggregate multi-flow throughput,
+//! so the scheduling layer must keep every core busy with whatever flow
+//! has bytes pending instead of binding workers to flows.
+//!
+//! The scheduler owns `N flows × K shards` resumable engine states
+//! ([`ShardStream`](recama_nca::ShardStream)), fed through three moves:
+//!
+//! * [`push`](FlowScheduler::push) buffers a `(flow, chunk)` pair and
+//!   marks the flow's shard units *ready* (epoll-style readiness: a unit
+//!   is ready when its shard has unconsumed bytes and no worker holds its
+//!   engine);
+//! * [`run`](FlowScheduler::run) drains the readiness queue on a fixed
+//!   pool of scoped worker threads. The work unit is a **(flow, shard)**
+//!   pair, so two workers can advance *different shards of the same
+//!   flow* concurrently — that is why the per-shard states are split out
+//!   of [`ShardedSetStream`](crate::ShardedSetStream) individually;
+//! * [`poll`](FlowScheduler::poll) drains a flow's ordered report queue;
+//!   [`drain_global`](FlowScheduler::drain_global) drains the global
+//!   sink of `(flow, match)` events.
+//!
+//! Per-flow reports are **byte-identical** (same reports, same order) to
+//! feeding that flow's chunks through its own independent
+//! [`ShardedSetStream`](crate::ShardedSetStream): shard report buffers
+//! are merged by `(end, pattern)` up to the *watermark* — the least
+//! position any shard of the flow has consumed — so ordering never
+//! depends on which worker ran first. Like the streams, the scheduler
+//! applies no trailing-`$` filter mid-flow (a flow has no end until it
+//! is [`close`](FlowScheduler::close)d); once a closed flow drains,
+//! [`finishing`](FlowScheduler::finishing) resolves which `$`-anchored
+//! candidates actually landed on the final byte, mirroring
+//! [`ShardedSetStream::finish`](crate::ShardedSetStream::finish).
+
+use crate::set::DollarTracker;
+use crate::{SetMatch, ShardedPatternSet};
+use recama_nca::{MultiReport, ShardStream};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A match attributed to a flow — the global-sink event type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowMatch {
+    /// The flow the match occurred on.
+    pub flow: u64,
+    /// Index of the matching pattern in the set.
+    pub pattern: usize,
+    /// 1-based end offset, absolute within the flow's byte stream.
+    pub end: usize,
+}
+
+impl FlowMatch {
+    /// The match without its flow attribution.
+    pub fn set_match(&self) -> SetMatch {
+        SetMatch {
+            pattern: self.pattern,
+            end: self.end,
+        }
+    }
+}
+
+/// A buffered input chunk: `bytes` starts at absolute stream offset
+/// `start` within its flow. Chunks are `Arc`-shared so workers can scan
+/// them outside the scheduler lock while slower shards still reference
+/// them.
+#[derive(Clone)]
+struct Segment {
+    start: u64,
+    bytes: Arc<[u8]>,
+}
+
+impl Segment {
+    fn end(&self) -> u64 {
+        self.start + self.bytes.len() as u64
+    }
+}
+
+/// One checkout-able (flow, shard) engine unit.
+struct ShardSlot<'a> {
+    /// `None` while a worker holds the engine.
+    stream: Option<ShardStream<'a>>,
+    /// Reports not yet merged into the flow queue: global pattern ids,
+    /// absolute ends, sorted by `(end, pattern)`.
+    pending: VecDeque<MultiReport>,
+    /// Bytes of the flow this shard has consumed (as of last check-in).
+    pos: u64,
+    /// Whether the unit is in the ready queue *or* checked out — either
+    /// way it must not be enqueued again.
+    busy: bool,
+}
+
+/// Per-flow state: buffered input, one [`ShardSlot`] per shard, and the
+/// merged in-order report queue.
+struct Flow<'a> {
+    segments: VecDeque<Segment>,
+    /// Total bytes pushed (absolute length of the flow so far).
+    total: u64,
+    closed: bool,
+    /// Empty once a closed flow has fully drained (engines freed).
+    shards: Vec<ShardSlot<'a>>,
+    reports: VecDeque<SetMatch>,
+    /// Last `$`-anchored candidates, so closing the flow can resolve
+    /// which of them land on the final byte (the stream `finish`
+    /// contract, per flow).
+    dollar: DollarTracker<'a>,
+    /// The resolved finishing set of a finished flow, until drained by
+    /// [`FlowScheduler::finishing`].
+    finishing: Vec<SetMatch>,
+}
+
+impl<'a> Flow<'a> {
+    fn new(set: &'a ShardedPatternSet) -> Flow<'a> {
+        Flow {
+            segments: VecDeque::new(),
+            total: 0,
+            closed: false,
+            shards: set
+                .multi()
+                .shard_streams()
+                .into_iter()
+                .map(|stream| ShardSlot {
+                    stream: Some(stream),
+                    pending: VecDeque::new(),
+                    pos: 0,
+                    busy: false,
+                })
+                .collect(),
+            reports: VecDeque::new(),
+            dollar: DollarTracker::new(set.anchored_end()),
+            finishing: Vec::new(),
+        }
+    }
+
+    /// The least position any shard has consumed — reports with ends at
+    /// or below it are final and safe to merge in order.
+    fn watermark(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|slot| slot.pos)
+            .min()
+            .unwrap_or(self.total)
+    }
+
+    /// Merges shard-pending reports up to the watermark into the flow
+    /// queue (ordered by `(end, pattern)`, the stream order) and the
+    /// global sink, then drops input segments every shard has consumed.
+    fn merge_ready_reports(&mut self, flow_id: u64, sink: &mut Vec<FlowMatch>) {
+        let watermark = self.watermark();
+        loop {
+            let mut best: Option<(usize, (u64, u32))> = None;
+            for (si, slot) in self.shards.iter().enumerate() {
+                if let Some(r) = slot.pending.front() {
+                    if r.end <= watermark && best.is_none_or(|(_, key)| (r.end, r.pattern) < key) {
+                        best = Some((si, (r.end, r.pattern)));
+                    }
+                }
+            }
+            let Some((si, _)) = best else { break };
+            let r = self.shards[si].pending.pop_front().expect("best exists");
+            self.dollar.observe(r.pattern as usize, r.end);
+            self.reports.push_back(SetMatch {
+                pattern: r.pattern as usize,
+                end: r.end as usize,
+            });
+            sink.push(FlowMatch {
+                flow: flow_id,
+                pattern: r.pattern as usize,
+                end: r.end as usize,
+            });
+        }
+        while self
+            .segments
+            .front()
+            .is_some_and(|seg| seg.end() <= watermark)
+        {
+            self.segments.pop_front();
+        }
+    }
+
+    /// Frees the engines of a closed, fully-consumed flow and resolves
+    /// its `$`-anchored finishing set. The report queue stays pollable;
+    /// a later [`FlowScheduler::push`] with the same id starts a fresh
+    /// stream at position 0.
+    fn try_finish(&mut self) {
+        if self.shards.is_empty() {
+            return; // already finished
+        }
+        let drained = self
+            .shards
+            .iter()
+            .all(|slot| slot.stream.is_some() && !slot.busy && slot.pos == self.total);
+        if self.closed && drained {
+            debug_assert!(self.shards.iter().all(|slot| slot.pending.is_empty()));
+            self.shards.clear();
+            self.segments.clear();
+            self.finishing.extend(self.dollar.finish(self.total));
+        }
+    }
+
+    /// Whether the flow is closed and its engines have been freed.
+    fn finished(&self) -> bool {
+        self.closed && self.shards.is_empty()
+    }
+}
+
+/// Everything the scheduler lock protects.
+struct Shared<'a> {
+    flows: HashMap<u64, Flow<'a>>,
+    /// Readiness queue of `(flow, shard)` units with unconsumed bytes.
+    ready: VecDeque<(u64, usize)>,
+    /// Units currently checked out by workers.
+    in_flight: usize,
+    /// Global sink: every merged match, attributed to its flow.
+    sink: Vec<FlowMatch>,
+}
+
+/// A scanning service over a [`ShardedPatternSet`] for many concurrent
+/// flows. See the [module docs](self) for the architecture.
+///
+/// # Examples
+///
+/// ```
+/// use recama::{sched::FlowScheduler, ShardedPatternSet};
+///
+/// let set = ShardedPatternSet::compile_many(&["ab{2}c", "xyz"]).unwrap();
+/// let sched = FlowScheduler::new(&set, 2);
+///
+/// // Interleaved chunks from two flows; matches straddle the chunks.
+/// sched.push(7, b"..ab");
+/// sched.push(9, b"xy");
+/// sched.run();
+/// sched.push(9, b"z");
+/// sched.push(7, b"bc!");
+/// sched.run();
+///
+/// let hits: Vec<_> = sched.poll(7).iter().map(|m| (m.pattern, m.end)).collect();
+/// assert_eq!(hits, vec![(0, 6)]); // "abbc" ends at flow-7 offset 6
+/// let hits: Vec<_> = sched.poll(9).iter().map(|m| (m.pattern, m.end)).collect();
+/// assert_eq!(hits, vec![(1, 3)]); // "xyz" ends at flow-9 offset 3
+/// // The global sink saw both, attributed to their flows.
+/// assert_eq!(sched.drain_global().len(), 2);
+/// ```
+pub struct FlowScheduler<'a> {
+    set: &'a ShardedPatternSet,
+    workers: usize,
+    shared: Mutex<Shared<'a>>,
+    /// Signalled when the ready queue grows or `in_flight` drops —
+    /// idle workers wait here instead of spinning.
+    wake: Condvar,
+}
+
+impl<'a> FlowScheduler<'a> {
+    /// A scheduler over `set` with a pool of `workers` threads (at least
+    /// one) for [`run`](FlowScheduler::run).
+    pub fn new(set: &'a ShardedPatternSet, workers: usize) -> FlowScheduler<'a> {
+        FlowScheduler {
+            set,
+            workers: workers.max(1),
+            shared: Mutex::new(Shared {
+                flows: HashMap::new(),
+                ready: VecDeque::new(),
+                in_flight: 0,
+                sink: Vec::new(),
+            }),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// The compiled set this scheduler scans with.
+    pub fn set(&self) -> &'a ShardedPatternSet {
+        self.set
+    }
+
+    /// The worker-pool size [`run`](FlowScheduler::run) uses.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Buffers `chunk` for `flow`, opening the flow on first use. A
+    /// zero-length chunk opens the flow but schedules no work. Pushing to
+    /// a [`close`](FlowScheduler::close)d-and-drained id reopens it as a
+    /// **fresh** flow (new engine states, positions restarting at 0);
+    /// undrained reports of the previous incarnation stay pollable.
+    pub fn push(&self, flow: u64, chunk: &[u8]) {
+        let mut shared = self.shared.lock().expect("scheduler lock");
+        let Shared { flows, ready, .. } = &mut *shared;
+        let f = flows.entry(flow).or_insert_with(|| Flow::new(self.set));
+        if f.finished() {
+            let kept_reports = std::mem::take(&mut f.reports);
+            let kept_finishing = std::mem::take(&mut f.finishing);
+            *f = Flow::new(self.set);
+            f.reports = kept_reports;
+            f.finishing = kept_finishing;
+        }
+        assert!(
+            !f.closed,
+            "push to closed flow {flow}: run() + poll() it first, or use a new id"
+        );
+        if chunk.is_empty() {
+            return;
+        }
+        f.segments.push_back(Segment {
+            start: f.total,
+            bytes: Arc::from(chunk),
+        });
+        f.total += chunk.len() as u64;
+        for (si, slot) in f.shards.iter_mut().enumerate() {
+            if !slot.busy {
+                slot.busy = true;
+                ready.push_back((flow, si));
+            }
+        }
+        self.wake.notify_all();
+    }
+
+    /// Marks `flow` closed: already-buffered bytes are still scanned by
+    /// the next [`run`](FlowScheduler::run), after which the flow's
+    /// engine states are freed. Its reports stay pollable; the id can be
+    /// reused afterwards (see [`push`](FlowScheduler::push)). Closing an
+    /// unknown id is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// [`push`](FlowScheduler::push)ing to a closed flow that has not
+    /// drained yet panics — close is a promise that no more bytes come.
+    pub fn close(&self, flow: u64) {
+        let mut shared = self.shared.lock().expect("scheduler lock");
+        let Shared { flows, sink, .. } = &mut *shared;
+        if let Some(f) = flows.get_mut(&flow) {
+            f.closed = true;
+            f.merge_ready_reports(flow, sink);
+            f.try_finish();
+        }
+    }
+
+    /// Scans everything buffered so far on the worker pool, returning
+    /// once every flow's shards have consumed every pushed byte. Workers
+    /// pull `(flow, shard)` units off the readiness queue, scan outside
+    /// the lock, and check the engine back in; a unit that received more
+    /// bytes while checked out goes straight back on the queue.
+    ///
+    /// Engine states persist across calls — `push`/`run`/`poll` cycles
+    /// can repeat forever, which is the serving loop.
+    pub fn run(&self) {
+        if self.workers == 1 {
+            self.worker_loop();
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..self.workers {
+                    scope.spawn(|| self.worker_loop());
+                }
+            });
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            // Check a ready unit out (or conclude the batch is done).
+            let mut shared = self.shared.lock().expect("scheduler lock");
+            let (flow_id, si, mut stream, segments) = loop {
+                if let Some((flow_id, si)) = shared.ready.pop_front() {
+                    let f = shared
+                        .flows
+                        .get_mut(&flow_id)
+                        .expect("ready unit belongs to a live flow");
+                    let slot = &mut f.shards[si];
+                    debug_assert!(slot.busy, "queued units are marked busy");
+                    let stream = slot.stream.take().expect("ready slot holds its engine");
+                    let from = stream.position();
+                    let segments: Vec<Segment> = f
+                        .segments
+                        .iter()
+                        .filter(|seg| seg.end() > from)
+                        .cloned()
+                        .collect();
+                    shared.in_flight += 1;
+                    break (flow_id, si, stream, segments);
+                }
+                if shared.in_flight == 0 {
+                    return; // nothing ready, nothing pending: batch done
+                }
+                shared = self.wake.wait(shared).expect("scheduler lock");
+            };
+            drop(shared);
+
+            // If the scan panics while the unit is checked out, siblings
+            // waiting on `wake` would otherwise sleep forever (in_flight
+            // never drops) and thread::scope would never join — turning
+            // an engine panic into a deadlock. The guard settles the
+            // count on unwind so every worker exits and the panic
+            // propagates out of run().
+            let guard = InFlightGuard { sched: self };
+
+            // Scan outside the lock; other workers may be advancing other
+            // shards of the same flow right now.
+            let mut reports = Vec::new();
+            for seg in &segments {
+                let skip = (stream.position() - seg.start) as usize;
+                stream.feed_into(&seg.bytes[skip..], &mut reports);
+            }
+
+            // Check the unit back in and publish what became final.
+            let mut shared = self.shared.lock().expect("scheduler lock");
+            let Shared {
+                flows,
+                ready,
+                in_flight,
+                sink,
+            } = &mut *shared;
+            let f = flows
+                .get_mut(&flow_id)
+                .expect("flows persist while checked out");
+            let slot = &mut f.shards[si];
+            slot.pos = stream.position();
+            slot.stream = Some(stream);
+            slot.pending.extend(reports);
+            if slot.pos < f.total {
+                ready.push_back((flow_id, si)); // more bytes arrived meanwhile
+            } else {
+                slot.busy = false;
+            }
+            f.merge_ready_reports(flow_id, sink);
+            f.try_finish();
+            *in_flight -= 1;
+            std::mem::forget(guard); // settled under the lock just above
+            self.wake.notify_all();
+        }
+    }
+
+    /// Drains `flow`'s ordered report queue (stream order: ascending end,
+    /// ascending pattern within an end). A finished flow whose reports
+    /// and finishing set have all been drained is forgotten, freeing its
+    /// table entry.
+    pub fn poll(&self, flow: u64) -> Vec<SetMatch> {
+        let mut shared = self.shared.lock().expect("scheduler lock");
+        let Some(f) = shared.flows.get_mut(&flow) else {
+            return Vec::new();
+        };
+        let out: Vec<SetMatch> = f.reports.drain(..).collect();
+        if f.finished() && f.finishing.is_empty() {
+            shared.flows.remove(&flow);
+        }
+        out
+    }
+
+    /// Drains `flow`'s **finishing set**: the `$`-anchored matches that
+    /// end exactly at the flow's final byte, resolved when the
+    /// [`close`](FlowScheduler::close)d flow finished draining — the
+    /// per-flow analogue of [`ShardedSetStream::finish`]. Empty for
+    /// open or still-draining flows ([`poll`](FlowScheduler::poll)
+    /// reports every `$` candidate mid-flow, because the end is unknown
+    /// until close; the non-`$` polled reports plus this set are
+    /// together what a one-shot `find_ends` over the whole flow
+    /// returns). Finishing matches do not appear in the global sink.
+    ///
+    /// [`ShardedSetStream::finish`]: crate::ShardedSetStream::finish
+    pub fn finishing(&self, flow: u64) -> Vec<SetMatch> {
+        let mut shared = self.shared.lock().expect("scheduler lock");
+        let Some(f) = shared.flows.get_mut(&flow) else {
+            return Vec::new();
+        };
+        let out = std::mem::take(&mut f.finishing);
+        if f.finished() && f.reports.is_empty() {
+            shared.flows.remove(&flow);
+        }
+        out
+    }
+
+    /// Drains the global sink: every merged match of every flow, in the
+    /// order the scheduler finalized them. Within one flow this is stream
+    /// order; across flows the interleaving follows scheduling and is not
+    /// deterministic.
+    pub fn drain_global(&self) -> Vec<FlowMatch> {
+        std::mem::take(&mut self.shared.lock().expect("scheduler lock").sink)
+    }
+
+    /// Number of flows currently tracked (open, or closed with undrained
+    /// reports).
+    pub fn flow_count(&self) -> usize {
+        self.shared.lock().expect("scheduler lock").flows.len()
+    }
+
+    /// Bytes pushed to `flow` so far (`None` for unknown flows). After a
+    /// close + reopen this restarts from the new incarnation's bytes.
+    pub fn flow_len(&self, flow: u64) -> Option<u64> {
+        self.shared
+            .lock()
+            .expect("scheduler lock")
+            .flows
+            .get(&flow)
+            .map(|f| f.total)
+    }
+
+    /// Total bytes buffered but not yet consumed by every shard — the
+    /// scan debt the next [`run`](FlowScheduler::run) clears.
+    pub fn pending_bytes(&self) -> u64 {
+        let shared = self.shared.lock().expect("scheduler lock");
+        shared
+            .flows
+            .values()
+            .map(|f| {
+                f.shards
+                    .iter()
+                    .map(|slot| f.total - slot.pos)
+                    .max()
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+}
+
+/// Unwind protection for a checked-out `(flow, shard)` unit: if the
+/// owning worker panics during its unlocked scan, dropping this settles
+/// `in_flight` and wakes the siblings so they can observe the drained
+/// queue and exit (letting `thread::scope` join and propagate the
+/// panic). The normal check-in path settles the count under the lock
+/// and `mem::forget`s the guard. The scheduler is left with that unit's
+/// engine lost — consistent with the panic making the run's results
+/// unusable anyway.
+struct InFlightGuard<'s, 'a> {
+    sched: &'s FlowScheduler<'a>,
+}
+
+impl Drop for InFlightGuard<'_, '_> {
+    fn drop(&mut self) {
+        // Never panic in drop: a poisoned lock (panic while merging
+        // under the lock) is taken anyway just to fix the count.
+        let mut shared = self
+            .sched
+            .shared
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        shared.in_flight -= 1;
+        self.sched.wake.notify_all();
+    }
+}
+
+impl fmt::Debug for FlowScheduler<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let shared = self.shared.lock().expect("scheduler lock");
+        write!(
+            f,
+            "FlowScheduler({} flows, {} shards, {} workers, {} ready)",
+            shared.flows.len(),
+            self.set.shard_count(),
+            self.workers,
+            shared.ready.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recama_compiler::CompileOptions;
+    use recama_hw::ShardPolicy;
+
+    fn sharded(patterns: &[&str], shards: usize) -> ShardedPatternSet {
+        ShardedPatternSet::compile_many_with(
+            patterns,
+            &CompileOptions::default(),
+            ShardPolicy::Fixed(shards),
+        )
+        .unwrap()
+    }
+
+    /// Per-flow scheduler output must equal an independent stream fed the
+    /// same chunks.
+    fn expected_stream(set: &ShardedPatternSet, chunks: &[&[u8]]) -> Vec<SetMatch> {
+        let mut stream = set.stream();
+        let mut out = Vec::new();
+        for chunk in chunks {
+            out.extend(stream.feed(chunk));
+        }
+        out
+    }
+
+    #[test]
+    fn interleaved_flows_match_independent_streams() {
+        let set = sharded(&["ab{2,4}c", "x{3}", "q[rs]{2}t"], 3);
+        let flow_a: Vec<&[u8]> = vec![b"zab", b"bbc_x", b"xx"];
+        let flow_b: Vec<&[u8]> = vec![b"qrst", b"", b"_abbc"];
+        for workers in [1, 2, 5] {
+            let sched = FlowScheduler::new(&set, workers);
+            // Interleave pushes; run mid-way and at the end.
+            sched.push(1, flow_a[0]);
+            sched.push(2, flow_b[0]);
+            sched.run();
+            sched.push(2, flow_b[1]);
+            sched.push(1, flow_a[1]);
+            sched.push(2, flow_b[2]);
+            sched.push(1, flow_a[2]);
+            sched.run();
+            assert_eq!(sched.poll(1), expected_stream(&set, &flow_a));
+            assert_eq!(sched.poll(2), expected_stream(&set, &flow_b));
+            assert_eq!(sched.pending_bytes(), 0);
+        }
+    }
+
+    #[test]
+    fn global_sink_attributes_every_match() {
+        let set = sharded(&["kk", "zz"], 2);
+        let sched = FlowScheduler::new(&set, 2);
+        sched.push(10, b"akka");
+        sched.push(20, b"zz");
+        sched.run();
+        let mut global = sched.drain_global();
+        global.sort();
+        assert_eq!(
+            global,
+            vec![
+                FlowMatch {
+                    flow: 10,
+                    pattern: 0,
+                    end: 3
+                },
+                FlowMatch {
+                    flow: 20,
+                    pattern: 1,
+                    end: 2
+                },
+            ]
+        );
+        assert_eq!(global[0].set_match(), SetMatch { pattern: 0, end: 3 });
+        // The sink drains once.
+        assert!(sched.drain_global().is_empty());
+        // Per-flow queues are independent of the sink.
+        assert_eq!(sched.poll(10).len(), 1);
+        assert_eq!(sched.poll(20).len(), 1);
+    }
+
+    #[test]
+    fn close_frees_engines_and_id_reuse_starts_fresh() {
+        let set = sharded(&["ab"], 1);
+        let sched = FlowScheduler::new(&set, 1);
+        sched.push(5, b"..ab");
+        sched.close(5); // close with bytes still pending
+        sched.run();
+        assert_eq!(sched.poll(5), vec![SetMatch { pattern: 0, end: 4 }]);
+        // Finished + drained: the flow entry is gone.
+        assert_eq!(sched.flow_count(), 0);
+        // Same id again: a fresh stream, positions restart at 1.
+        sched.push(5, b"ab");
+        sched.run();
+        assert_eq!(sched.poll(5), vec![SetMatch { pattern: 0, end: 2 }]);
+        assert_eq!(sched.flow_len(5), Some(2));
+    }
+
+    #[test]
+    fn close_then_reopen_before_poll_keeps_old_reports() {
+        let set = sharded(&["ab"], 1);
+        let sched = FlowScheduler::new(&set, 1);
+        sched.push(5, b"ab");
+        sched.close(5);
+        sched.run();
+        // Reopen before polling: the undrained report survives, and the
+        // new incarnation's reports queue up behind it.
+        sched.push(5, b"xab");
+        sched.run();
+        assert_eq!(
+            sched.poll(5),
+            vec![
+                SetMatch { pattern: 0, end: 2 },
+                SetMatch { pattern: 0, end: 3 },
+            ]
+        );
+    }
+
+    #[test]
+    fn finishing_resolves_dollar_anchors_at_flow_end() {
+        let set = sharded(&["ab$", "ab", "cd$"], 2);
+        let sched = FlowScheduler::new(&set, 2);
+        sched.push(1, b"ab.c");
+        sched.push(1, b"d");
+        sched.close(1);
+        sched.run();
+        // Mid-flow, every candidate end is reported (stream contract)...
+        assert_eq!(
+            sched.poll(1),
+            vec![
+                SetMatch { pattern: 0, end: 2 },
+                SetMatch { pattern: 1, end: 2 },
+                SetMatch { pattern: 2, end: 5 },
+            ]
+        );
+        // ...and the finishing set keeps only the $-match on the final
+        // byte — exactly what the flow's own stream would finish with.
+        let mut stream = set.stream();
+        stream.feed(b"ab.c").count();
+        stream.feed(b"d").count();
+        assert_eq!(sched.finishing(1), stream.finish());
+        assert_eq!(sched.finishing(1), vec![], "finishing drains once");
+        assert_eq!(sched.flow_count(), 0, "fully drained flows are forgotten");
+
+        // A flow whose $-candidate is NOT on the final byte finishes empty.
+        sched.push(2, b"ab.");
+        sched.close(2);
+        sched.run();
+        assert_eq!(sched.poll(2).len(), 2);
+        assert!(sched.finishing(2).is_empty());
+    }
+
+    #[test]
+    fn zero_length_chunks_open_flows_but_schedule_nothing() {
+        let set = sharded(&["ab"], 1);
+        let sched = FlowScheduler::new(&set, 2);
+        sched.push(1, b"");
+        assert_eq!(sched.flow_count(), 1);
+        assert_eq!(sched.pending_bytes(), 0);
+        sched.run(); // no ready units: returns immediately
+        assert!(sched.poll(1).is_empty());
+        // Empty chunks interleaved with real ones change nothing.
+        sched.push(1, b"a");
+        sched.push(1, b"");
+        sched.push(1, b"b");
+        sched.run();
+        assert_eq!(sched.poll(1), vec![SetMatch { pattern: 0, end: 2 }]);
+    }
+
+    #[test]
+    fn empty_set_and_unknown_flows_are_harmless() {
+        let set = ShardedPatternSet::compile_many::<&str>(&[]).unwrap();
+        let sched = FlowScheduler::new(&set, 2);
+        sched.push(1, b"anything");
+        sched.run();
+        assert!(sched.poll(1).is_empty());
+        assert!(sched.poll(999).is_empty()); // never-opened flow
+        sched.close(999); // no-op
+        assert!(sched.drain_global().is_empty());
+        assert!(format!("{sched:?}").contains("2 workers"));
+    }
+
+    #[test]
+    fn scheduler_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FlowScheduler<'static>>();
+        assert_send_sync::<FlowMatch>();
+    }
+}

@@ -27,7 +27,8 @@ use recama_compiler::{compile, CompileOptions, CompileOutput};
 use recama_hw::{RuleCost, ShardPlan, ShardPolicy};
 use recama_mnrl::MnrlNetwork;
 use recama_nca::{
-    CompilePlan, MultiEngine, MultiNca, MultiReport, Nca, ShardedMulti, StateId, TokenSetEngine,
+    CompilePlan, MultiEngine, MultiNca, MultiReport, Nca, ShardStream, ShardedMulti, StateId,
+    TokenSetEngine,
 };
 use recama_syntax::{ParseError, Parsed};
 use std::collections::HashMap;
@@ -424,16 +425,27 @@ impl ShardedPatternSet {
     /// re-scanning previous chunks. Large chunks are fanned out to the
     /// shard engines on scoped threads.
     ///
-    /// Note that a stream has no "end", so trailing-`$` anchors are not
-    /// applied: `$`-anchored patterns report every candidate end offset
-    /// (same contract as [`PatternSet::stream`]).
+    /// Note that a stream has no "end" until [`finish`] declares one, so
+    /// trailing-`$` anchors are not applied during [`feed`]: `$`-anchored
+    /// patterns report every candidate end offset (same contract as
+    /// [`PatternSet::stream`]). Call [`finish`] at end-of-stream to learn
+    /// which `$`-anchored matches actually end on the final byte.
+    ///
+    /// [`feed`]: ShardedSetStream::feed
+    /// [`finish`]: ShardedSetStream::finish
     pub fn stream(&self) -> ShardedSetStream<'_> {
         ShardedSetStream {
-            multi: &self.multi,
-            engines: self.multi.engines(),
+            shards: self.multi.shard_streams(),
             bufs: vec![Vec::new(); self.multi.shard_count()],
             merged: Vec::new(),
+            dollar: DollarTracker::new(&self.anchored_end),
         }
+    }
+
+    /// Whether pattern `i` carries a trailing-`$` anchor (one-shot scans
+    /// keep only its matches ending at the end of the haystack).
+    pub(crate) fn anchored_end(&self) -> &[bool] {
+        &self.anchored_end
     }
 
     /// A hardware simulator for shard `shard`'s machine image; its report
@@ -483,15 +495,70 @@ fn merge_ordered_by<T: Copy>(
     }
 }
 
+/// Tracks the last candidate end per trailing-`$` pattern. Streams (and
+/// the flow scheduler) report every candidate end of a `$`-anchored
+/// pattern because mid-stream the end is unknown; this records the most
+/// recent one so declaring end-of-stream can resolve which candidates
+/// actually land on the final byte. State lives across feeds —
+/// including zero-byte ones — so a candidate two chunks old still
+/// finishes correctly when the stream ends on an empty chunk.
+#[derive(Debug)]
+pub(crate) struct DollarTracker<'a> {
+    /// Trailing-`$` flags per (global) pattern.
+    anchored_end: &'a [bool],
+    last: HashMap<usize, u64>,
+}
+
+impl<'a> DollarTracker<'a> {
+    pub(crate) fn new(anchored_end: &'a [bool]) -> DollarTracker<'a> {
+        DollarTracker {
+            anchored_end,
+            last: HashMap::new(),
+        }
+    }
+
+    /// Records a reported candidate `(pattern, end)`; non-`$` patterns
+    /// are ignored.
+    pub(crate) fn observe(&mut self, pattern: usize, end: u64) {
+        if self.anchored_end[pattern] {
+            self.last.insert(pattern, end);
+        }
+    }
+
+    /// The finishing set for a stream ending at `position`: `$`-anchored
+    /// matches whose last candidate ends exactly there, sorted by
+    /// pattern — what a one-shot `find_ends` would have kept of them.
+    pub(crate) fn finish(&self, position: u64) -> Vec<SetMatch> {
+        let mut out: Vec<SetMatch> = self
+            .last
+            .iter()
+            .filter(|&(_, &end)| end == position)
+            .map(|(&pattern, &end)| SetMatch {
+                pattern,
+                end: end as usize,
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.last.clear();
+    }
+}
+
 /// A resumable chunk-at-a-time matcher over a [`ShardedPatternSet`] (one
-/// engine state per shard); create one with
+/// [`ShardStream`] per shard); create one with
 /// [`ShardedPatternSet::stream`]. The stream is `Send`, so per-flow
-/// states can move onto worker threads.
+/// states can move onto worker threads — and its per-shard states are
+/// individually detachable ([`ShardedMulti::shard_stream`]), which is
+/// what [`FlowScheduler`](crate::sched::FlowScheduler) builds on to let
+/// two workers advance different shards of the same flow.
 pub struct ShardedSetStream<'a> {
-    multi: &'a ShardedMulti,
-    engines: Vec<MultiEngine<'a>>,
+    shards: Vec<ShardStream<'a>>,
     bufs: Vec<Vec<MultiReport>>,
     merged: Vec<SetMatch>,
+    dollar: DollarTracker<'a>,
 }
 
 /// Inputs at least this large are fanned out to shard engines on scoped
@@ -504,49 +571,67 @@ impl ShardedSetStream<'_> {
     /// order. End offsets are 1-based and *absolute* (counted from the
     /// start of the stream, across all chunks fed so far).
     pub fn feed(&mut self, chunk: &[u8]) -> impl Iterator<Item = SetMatch> + '_ {
-        if self.engines.len() > 1 && chunk.len() >= PARALLEL_MIN_BYTES {
+        if self.shards.len() > 1 && chunk.len() >= PARALLEL_MIN_BYTES {
             std::thread::scope(|scope| {
-                for (engine, buf) in self.engines.iter_mut().zip(self.bufs.iter_mut()) {
+                for (shard, buf) in self.shards.iter_mut().zip(self.bufs.iter_mut()) {
                     scope.spawn(move || {
                         buf.clear();
-                        engine.feed_into(chunk, buf);
+                        shard.feed_into(chunk, buf);
                     });
                 }
             });
         } else {
-            for (engine, buf) in self.engines.iter_mut().zip(self.bufs.iter_mut()) {
+            for (shard, buf) in self.shards.iter_mut().zip(self.bufs.iter_mut()) {
                 buf.clear();
-                engine.feed_into(chunk, buf);
+                shard.feed_into(chunk, buf);
             }
         }
         self.merged.clear();
-        let multi = self.multi;
         merge_ordered_by(
             &self.bufs,
-            |si, r: MultiReport| SetMatch {
-                pattern: multi.global_pattern(si, r.pattern) as usize,
+            |_, r: MultiReport| SetMatch {
+                pattern: r.pattern as usize,
                 end: r.end as usize,
             },
             &mut self.merged,
         );
+        for m in &self.merged {
+            self.dollar.observe(m.pattern, m.end as u64);
+        }
         self.merged.iter().copied()
+    }
+
+    /// Declares end-of-stream and returns, sorted by pattern, the
+    /// `$`-anchored matches that end **exactly at the final byte** — the
+    /// ones a one-shot [`ShardedPatternSet::find_ends`] over the whole
+    /// stream would keep. (`feed` reports every candidate end of a
+    /// `$`-anchored pattern, because mid-stream the end is unknown; the
+    /// non-`$` reports of `feed` plus this finishing set are together
+    /// byte-identical to the one-shot scan.)
+    ///
+    /// The finishing set survives trailing empty chunks: a candidate end
+    /// on the final byte is reported even if the last `feed` before
+    /// `finish` consumed zero bytes.
+    pub fn finish(self) -> Vec<SetMatch> {
+        self.dollar.finish(self.position())
     }
 
     /// Number of shard engines this stream advances in lockstep.
     pub fn shard_count(&self) -> usize {
-        self.engines.len()
+        self.shards.len()
     }
 
     /// Total bytes consumed since creation (or the last reset).
     pub fn position(&self) -> u64 {
-        self.engines.first().map(|e| e.position()).unwrap_or(0)
+        self.shards.first().map(|s| s.position()).unwrap_or(0)
     }
 
     /// Restarts the stream at position 0.
     pub fn reset(&mut self) {
-        for engine in &mut self.engines {
-            engine.reset();
+        for shard in &mut self.shards {
+            shard.reset();
         }
+        self.dollar.clear();
     }
 }
 
@@ -728,6 +813,7 @@ impl PatternSet {
         SetStream {
             engine: self.multi().engine(),
             buf: Vec::new(),
+            dollar: DollarTracker::new(self.inner.anchored_end()),
         }
     }
 
@@ -744,6 +830,7 @@ impl PatternSet {
 pub struct SetStream<'a> {
     engine: MultiEngine<'a>,
     buf: Vec<recama_nca::MultiReport>,
+    dollar: DollarTracker<'a>,
 }
 
 impl SetStream<'_> {
@@ -753,10 +840,20 @@ impl SetStream<'_> {
     pub fn feed(&mut self, chunk: &[u8]) -> impl Iterator<Item = SetMatch> + '_ {
         self.buf.clear();
         self.engine.feed_into(chunk, &mut self.buf);
+        for r in &self.buf {
+            self.dollar.observe(r.pattern as usize, r.end);
+        }
         self.buf.iter().map(|r| SetMatch {
             pattern: r.pattern as usize,
             end: r.end as usize,
         })
+    }
+
+    /// Declares end-of-stream and returns the `$`-anchored matches that
+    /// end exactly at the final byte — same contract as
+    /// [`ShardedSetStream::finish`].
+    pub fn finish(self) -> Vec<SetMatch> {
+        self.dollar.finish(self.engine.position())
     }
 
     /// Total bytes consumed since creation (or the last reset).
@@ -767,6 +864,7 @@ impl SetStream<'_> {
     /// Restarts the stream at position 0.
     pub fn reset(&mut self) {
         self.engine.reset();
+        self.dollar.clear();
     }
 }
 
@@ -876,6 +974,71 @@ mod tests {
         stream.reset();
         let hits: Vec<SetMatch> = stream.feed(b"kk").collect();
         assert_eq!(hits, vec![SetMatch { pattern: 0, end: 2 }]);
+    }
+
+    /// Regression pin: the finishing set must come from state that lives
+    /// across `feed` calls, not from the last chunk's report buffer — an
+    /// empty final chunk clears that buffer, and a match ending exactly
+    /// on the final byte must still be reported by `finish()`.
+    #[test]
+    fn stream_finish_survives_empty_final_chunk() {
+        let patterns = ["ab$", "ab", "cd$"];
+        let input: &[u8] = b"ab.cd";
+        let single = PatternSet::compile_many(&patterns).unwrap();
+        let expected = single.find_ends(input); // the $-filtered one-shot scan
+
+        // Unsharded stream: non-$ feed reports + finish == find_ends.
+        let mut stream = single.stream();
+        let mut got = Vec::new();
+        for chunk in [&b"ab"[..], b".c", b"d", b""] {
+            got.extend(
+                stream
+                    .feed(chunk)
+                    .filter(|m| !["ab$", "cd$"].contains(&patterns[m.pattern])),
+            );
+        }
+        let finishing = stream.finish();
+        assert_eq!(
+            finishing,
+            vec![SetMatch { pattern: 2, end: 5 }],
+            "the cd$ candidate arrived two feeds before the empty final chunk"
+        );
+        got.extend(finishing);
+        got.sort();
+        assert_eq!(got, expected);
+
+        // Sharded stream, same chunking, same contract.
+        let sharded = ShardedPatternSet::compile_many_with(
+            &patterns,
+            &CompileOptions::default(),
+            ShardPolicy::Fixed(2),
+        )
+        .unwrap();
+        let mut stream = sharded.stream();
+        let mut got = Vec::new();
+        for chunk in [&b"ab"[..], b".c", b"d", b""] {
+            got.extend(
+                stream
+                    .feed(chunk)
+                    .filter(|m| !["ab$", "cd$"].contains(&patterns[m.pattern])),
+            );
+        }
+        got.extend(stream.finish());
+        got.sort();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn stream_finish_is_empty_when_no_dollar_match_ends_the_stream() {
+        let set = PatternSet::compile_many(&["ab$", "xy"]).unwrap();
+        // Candidate at 2, but the stream continues past it.
+        let mut stream = set.stream();
+        assert_eq!(stream.feed(b"ab").count(), 1);
+        assert_eq!(stream.feed(b"xy").count(), 1);
+        assert!(stream.finish().is_empty());
+        // A never-fed stream finishes empty too.
+        assert!(set.stream().finish().is_empty());
+        assert!(set.sharded().stream().finish().is_empty());
     }
 
     #[test]

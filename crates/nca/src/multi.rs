@@ -318,6 +318,88 @@ impl ShardedMulti {
     pub fn engines(&self) -> Vec<MultiEngine<'_>> {
         self.shards.iter().map(|m| m.engine()).collect()
     }
+
+    /// A resumable scanning state for shard `i`, reporting **global**
+    /// pattern indices — the unit a many-flow scheduler checks out.
+    pub fn shard_stream(&self, i: usize) -> ShardStream<'_> {
+        ShardStream {
+            members: &self.members[i],
+            shard: i,
+            engine: self.shards[i].engine(),
+        }
+    }
+
+    /// One detachable [`ShardStream`] per shard — together they scan one
+    /// logical byte stream (every shard must be fed the same bytes).
+    pub fn shard_streams(&self) -> Vec<ShardStream<'_>> {
+        (0..self.shards.len())
+            .map(|i| self.shard_stream(i))
+            .collect()
+    }
+}
+
+/// A resumable per-shard scanning state: ONE shard's batched engine plus
+/// the shard-local → global report translation, detached from its sibling
+/// shards so each can be advanced independently.
+///
+/// All shards of a [`ShardedMulti`] scan the *same* logical byte stream;
+/// a `ShardStream` tracks its own position in that stream, so a scheduler
+/// can hand different shards of one flow to different workers and let
+/// them progress at different rates. The stream is `Send` (it owns its
+/// mutable engine state and only borrows the immutable automaton), and
+/// reports already carry global pattern indices, so no per-shard
+/// translation table travels with it.
+pub struct ShardStream<'a> {
+    members: &'a [u32],
+    shard: usize,
+    engine: MultiEngine<'a>,
+}
+
+impl ShardStream<'_> {
+    /// The shard index this stream advances.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Bytes of the logical stream this shard has consumed.
+    pub fn position(&self) -> u64 {
+        self.engine.position()
+    }
+
+    /// Number of live states in this shard's frontier.
+    pub fn active_states(&self) -> usize {
+        self.engine.active_states()
+    }
+
+    /// Returns this shard to the start of the stream.
+    pub fn reset(&mut self) {
+        self.engine.reset();
+    }
+
+    /// Consumes `chunk`, appending reports with **global** pattern
+    /// indices and absolute 1-based end offsets to `out`. Appended
+    /// reports are sorted by `(end, pattern)`: ends ascend with the
+    /// stream position, and within one step the engine emits ascending
+    /// local indices, which ascending shard members keep ascending
+    /// globally.
+    pub fn feed_into(&mut self, chunk: &[u8], out: &mut Vec<MultiReport>) {
+        let start = out.len();
+        self.engine.feed_into(chunk, out);
+        for r in &mut out[start..] {
+            r.pattern = self.members[r.pattern as usize];
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardStream<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ShardStream(shard = {}, position = {})",
+            self.shard,
+            self.position()
+        )
+    }
 }
 
 /// The byte-class alphabet induced by the union of all parts' state
@@ -834,6 +916,29 @@ mod tests {
     #[should_panic(expected = "partition the pattern indices")]
     fn sharded_merge_rejects_duplicates() {
         sharded(&["ab", "cd"], &[vec![0, 1], vec![1]]);
+    }
+
+    #[test]
+    fn shard_streams_translate_and_resume_independently() {
+        let patterns = ["ab{2,3}c", "a{3}", "x[yz]{2}", "cab", "k\\d{2}"];
+        let input = b"abbc.aaa.xyz.cab.k42.abbbc";
+        let mut expected = multi(&patterns).engine().match_reports(input);
+        expected.sort();
+
+        let sm = sharded(&patterns, &[vec![0, 1], vec![2, 3], vec![4]]);
+        let mut streams = sm.shard_streams();
+        let mut got = Vec::new();
+        // Advance shards at *different* rates and in arbitrary order —
+        // each keeps its own position in the logical stream.
+        for (si, stream) in streams.iter_mut().enumerate() {
+            assert_eq!(stream.shard(), si);
+            for chunk in input.chunks(si + 1) {
+                stream.feed_into(chunk, &mut got);
+            }
+            assert_eq!(stream.position(), input.len() as u64);
+        }
+        got.sort();
+        assert_eq!(got, expected, "reports carry global pattern ids");
     }
 
     #[test]
