@@ -4,9 +4,20 @@
 //! ruleset into one machine image.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId as CritId, Criterion, Throughput};
+use recama::hw::ShardPolicy;
 use recama::workloads::{generate, traffic, BenchmarkId, PatternClass};
-use recama::{Pattern, PatternSet};
+use recama::{Engine, Pattern, PatternSet};
 use recama_bench::{scale, seed, traffic_len};
+
+/// The unsharded (single-image) engine the benches compare against.
+fn single_shard(patterns: &[String]) -> recama::ShardedPatternSet {
+    Engine::builder()
+        .patterns(patterns)
+        .shard_policy(ShardPolicy::Single)
+        .build()
+        .expect("set compiles")
+        .into_set()
+}
 
 fn workload(id: BenchmarkId) -> (Vec<String>, Vec<u8>) {
     let ruleset = generate(id, scale(), seed());
@@ -28,7 +39,7 @@ fn bench_shared_vs_loop(c: &mut Criterion) {
         let (patterns, input) = workload(id);
         group.throughput(Throughput::Bytes(input.len() as u64));
 
-        let set = PatternSet::compile_many(&patterns).expect("set compiles");
+        let set = single_shard(&patterns);
         group.bench_with_input(
             CritId::new("shared_engine", id.name()),
             &input,
@@ -56,7 +67,7 @@ fn bench_streaming_chunks(c: &mut Criterion) {
     let mut group = c.benchmark_group("patternset_stream");
     group.sample_size(10);
     let (patterns, input) = workload(BenchmarkId::Snort);
-    let set = PatternSet::compile_many(&patterns).expect("set compiles");
+    let set = single_shard(&patterns);
     group.throughput(Throughput::Bytes(input.len() as u64));
     for chunk in [1500usize, 64 * 1024] {
         group.bench_with_input(CritId::new("chunked_feed", chunk), &input, |b, input| {
@@ -78,9 +89,9 @@ fn bench_set_compile(c: &mut Criterion) {
     group.sample_size(10);
     let (patterns, _) = workload(BenchmarkId::Snort);
     group.bench_with_input(
-        CritId::new("compile_many", patterns.len()),
+        CritId::new("engine_build", patterns.len()),
         &patterns,
-        |b, patterns| b.iter(|| PatternSet::compile_many(patterns).expect("compiles").len()),
+        |b, patterns| b.iter(|| single_shard(patterns).len()),
     );
     group.finish();
 }

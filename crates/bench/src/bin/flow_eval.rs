@@ -1,6 +1,7 @@
 //! flow-eval: the many-flow serving benchmark. Compiles a Snort-profile
-//! ruleset into a [`ShardedPatternSet`], then drives a [`FlowScheduler`]
-//! with `flows` concurrent byte streams delivered in `chunk`-sized
+//! ruleset with [`Engine::builder`], then drives a
+//! [`recama::FlowScheduler`] (`engine.scheduler_with(workers)`) with
+//! `flows` concurrent byte streams delivered in `chunk`-sized
 //! pieces over `rounds` rounds (one chunk per flow per round — the
 //! IDS-tap arrival pattern), for each requested worker-pool size.
 //! Reported per worker count: aggregate throughput (MiB/s, measured on
@@ -21,10 +22,9 @@
 //! `--shards N`, `--scale F`, `--seed S`, `--json` (print ONLY the JSON
 //! document to stdout; the human-readable report moves to stderr).
 
-use recama::compiler::CompileOptions;
 use recama::hw::ShardPolicy;
 use recama::workloads::{generate, traffic, BenchmarkId};
-use recama::{FlowScheduler, ShardedPatternSet};
+use recama::Engine;
 use recama_bench::{ms, seed};
 use std::time::{Duration, Instant};
 
@@ -108,16 +108,17 @@ fn main() {
     let ruleset = generate(BenchmarkId::Snort, config.scale, config.seed);
     let patterns = ruleset.pattern_strings();
     let start = Instant::now();
-    let (set, rejected) = ShardedPatternSet::compile_filtered(
-        &patterns,
-        &CompileOptions::default(),
-        ShardPolicy::Fixed(config.shards),
-    );
+    let engine = Engine::builder()
+        .patterns(&patterns)
+        .shard_policy(ShardPolicy::Fixed(config.shards))
+        .lossy(true)
+        .build()
+        .expect("lossy builds are infallible");
     say(format!(
         "compiled {} patterns ({} rejected) into {} shard(s) in {:.0} ms",
-        set.len(),
-        rejected.len(),
-        set.shard_count(),
+        engine.len(),
+        engine.skipped().len(),
+        engine.shard_count(),
         ms(start.elapsed())
     ));
 
@@ -133,7 +134,7 @@ fn main() {
     for &workers in &config.workers {
         // Throughput pass: one chunk per flow per round, batched runs —
         // the arrival pattern an IDS tap sees.
-        let sched = FlowScheduler::new(&set, workers);
+        let sched = engine.scheduler_with(workers);
         let run = Instant::now();
         for round in 0..config.rounds {
             let at = round * config.chunk;
@@ -151,7 +152,7 @@ fn main() {
         // push-to-merged individually, so the percentiles are a real
         // per-chunk distribution (flows x rounds samples) and a single
         // slow chunk is not averaged away into a round mean.
-        let sched = FlowScheduler::new(&set, workers);
+        let sched = engine.scheduler_with(workers);
         let mut per_chunk: Vec<Duration> = Vec::with_capacity(config.flows * config.rounds);
         for round in 0..config.rounds {
             let at = round * config.chunk;
@@ -226,8 +227,8 @@ fn main() {
             config.flows,
             config.rounds,
             config.chunk,
-            set.shard_count(),
-            set.len(),
+            engine.shard_count(),
+            engine.len(),
             rows.join(",")
         );
     }

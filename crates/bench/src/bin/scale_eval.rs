@@ -20,10 +20,9 @@
 //! carries ONLY a machine-readable record (for the CI perf-tracking
 //! artifact) and the human-readable report moves to stderr.
 
-use recama::compiler::CompileOptions;
 use recama::hw::{place, RuleCost, ShardPolicy};
 use recama::workloads::{generate, traffic, BenchmarkId};
-use recama::ShardedPatternSet;
+use recama::Engine;
 use recama_bench::{banner, ms, seed, traffic_len};
 use std::time::Instant;
 
@@ -62,20 +61,24 @@ fn main() {
     let ruleset = generate(id, scale, seed());
     let patterns = ruleset.pattern_strings();
     let start = Instant::now();
-    let (set, rejected) =
-        ShardedPatternSet::compile_filtered(&patterns, &CompileOptions::default(), policy);
+    let engine = Engine::builder()
+        .patterns(&patterns)
+        .shard_policy(policy)
+        .lossy(true)
+        .build()
+        .expect("lossy builds are infallible");
     let compile_time = start.elapsed();
     say!(
         "{} patterns ({} accepted, {} rejected), compiled+sharded in {:.0} ms",
         patterns.len(),
-        set.len(),
-        rejected.len(),
+        engine.len(),
+        engine.skipped().len(),
         ms(compile_time)
     );
     say!(
         "{} shard(s), shared alphabet: {} byte classes\n",
-        set.shard_count(),
-        set.multi().alphabet().len()
+        engine.shard_count(),
+        engine.set().multi().alphabet().len()
     );
 
     say!(
@@ -88,15 +91,15 @@ fn main() {
         "bv-bits",
         "banks"
     );
-    let shown = set.shard_count().min(16);
+    let shown = engine.shard_count().min(16);
     for si in 0..shown {
-        let network = set.network(si);
+        let network = engine.network(si);
         let cost = RuleCost::of_network(network);
         let placement = place(network);
         say!(
             "{:<6} {:>6} {:>7} {:>9} {:>9} {:>9} {:>6}",
             si,
-            set.shard_members(si).len(),
+            engine.set().shard_members(si).len(),
             network.node_count(),
             cost.columns,
             cost.counters,
@@ -104,26 +107,26 @@ fn main() {
             placement.bank_count
         );
     }
-    if shown < set.shard_count() {
-        say!("... ({} more shards)", set.shard_count() - shown);
+    if shown < engine.shard_count() {
+        say!("... ({} more shards)", engine.shard_count() - shown);
     }
 
     let input = traffic(&ruleset, traffic_len(), 0.0005, seed());
     // Warm-up + hit count.
-    let hits = set.find_ends(&input).len();
+    let hits = engine.scan(&input).len();
 
     // One thread over all shard engines: the single-MultiEngine baseline
     // (same total automaton work, no parallelism).
     let start = Instant::now();
     let mut sequential_hits = 0usize;
-    for shard in set.multi().shards() {
+    for shard in engine.set().multi().shards() {
         sequential_hits += shard.engine().match_reports(&input).len();
     }
     let sequential = start.elapsed();
 
     // Parallel scan (one scoped thread per shard).
     let start = Instant::now();
-    let parallel_hits = set.find_ends(&input).len();
+    let parallel_hits = engine.scan(&input).len();
     let parallel = start.elapsed();
 
     let mib = input.len() as f64 / (1024.0 * 1024.0);
@@ -157,9 +160,9 @@ fn main() {
              \"hits\":{hits},\"sequential_mib_per_s\":{:.3},\"parallel_mib_per_s\":{:.3},\
              \"speedup\":{:.3}}}",
             patterns.len(),
-            set.len(),
-            set.shard_count(),
-            set.multi().alphabet().len(),
+            engine.len(),
+            engine.shard_count(),
+            engine.set().multi().alphabet().len(),
             ms(compile_time),
             input.len(),
             mib / sequential.as_secs_f64(),

@@ -7,10 +7,9 @@
 //! demonstrate pool speedup); use `cargo run --release -p recama-bench
 //! --bin flow_eval` for the full sweep.
 
-use recama::compiler::CompileOptions;
 use recama::hw::ShardPolicy;
 use recama::workloads::{generate, traffic, BenchmarkId, PatternClass};
-use recama::{FlowScheduler, SetMatch, ShardedPatternSet};
+use recama::{Engine, FlowScheduler, SetMatch, ShardedPatternSet};
 use std::time::Instant;
 
 const FLOWS: usize = 16;
@@ -55,12 +54,12 @@ fn flow_scheduler_is_byte_identical_and_scales_with_workers() {
         "degenerate workload: {}",
         patterns.len()
     );
-    let set = ShardedPatternSet::compile_many_with(
-        &patterns,
-        &CompileOptions::default(),
-        ShardPolicy::Fixed(4),
-    )
-    .expect("sharded set compiles");
+    let set = Engine::builder()
+        .patterns(&patterns)
+        .shard_policy(ShardPolicy::Fixed(4))
+        .build()
+        .expect("sharded set compiles")
+        .into_set();
 
     let streams: Vec<Vec<u8>> = (0..FLOWS)
         .map(|fi| traffic(&ruleset, ROUNDS * CHUNK, 0.0005, 2022 * 31 + fi as u64))

@@ -6,8 +6,9 @@
 //! only the live frontier once), so a plain faster-than assertion is
 //! stable even on noisy CI machines.
 
+use recama::hw::ShardPolicy;
 use recama::workloads::{generate, traffic, BenchmarkId, PatternClass};
-use recama::PatternSet;
+use recama::{Engine, PatternSet};
 use std::time::Instant;
 
 #[test]
@@ -27,7 +28,12 @@ fn shared_engine_beats_pattern_loop_on_snort() {
     );
     let input = traffic(&ruleset, 8 * 1024, 0.001, 2022);
 
-    let set = PatternSet::compile_many(&patterns).expect("set compiles");
+    let set = Engine::builder()
+        .patterns(&patterns)
+        .shard_policy(ShardPolicy::Single)
+        .build()
+        .expect("set compiles")
+        .into_set();
     let baseline = PatternSet::compile_baseline(&patterns).expect("baseline compiles");
 
     // Warm-up + correctness cross-check in the same pass.

@@ -7,10 +7,9 @@
 //! `RECAMA_SCALE=0.1 RECAMA_SHARDS=8 cargo run --release -p recama-bench
 //! --bin scale_eval` for the full 10%-scale measurement.
 
-use recama::compiler::CompileOptions;
 use recama::hw::ShardPolicy;
 use recama::workloads::{generate, traffic, BenchmarkId, PatternClass};
-use recama::{PatternSet, ShardedPatternSet};
+use recama::Engine;
 use std::time::Instant;
 
 #[test]
@@ -32,13 +31,18 @@ fn sharded_scan_is_byte_identical_and_scales_with_cores() {
 
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let shards = cores.clamp(2, 8);
-    let single = PatternSet::compile_many(&patterns).expect("single set compiles");
-    let sharded = ShardedPatternSet::compile_many_with(
-        &patterns,
-        &CompileOptions::default(),
-        ShardPolicy::Fixed(shards),
-    )
-    .expect("sharded set compiles");
+    let single = Engine::builder()
+        .patterns(&patterns)
+        .shard_policy(ShardPolicy::Single)
+        .build()
+        .expect("single set compiles")
+        .into_set();
+    let sharded = Engine::builder()
+        .patterns(&patterns)
+        .shard_policy(ShardPolicy::Fixed(shards))
+        .build()
+        .expect("sharded set compiles")
+        .into_set();
     assert_eq!(sharded.shard_count(), shards);
 
     // Acceptance: byte-identical reports, same order, no sort. This also

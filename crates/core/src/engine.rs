@@ -1,0 +1,497 @@
+//! [`Engine`]: the one builder-based facade over compile, scan, stream,
+//! and flow serving.
+//!
+//! The paper's pipeline is a single conceptual object — regexes in, a
+//! CAMA-mapped multi-pattern machine out — and this module gives it a
+//! single API shape, mirroring the design that scaled for software
+//! matchers (Hyperscan's `hs_compile_multi` + scratch/stream handles):
+//! one compile-time builder, one compiled artifact, cheap per-use
+//! handles.
+//!
+//! * [`Engine::builder`] collects rules (with optional per-rule ids), a
+//!   [`ShardPolicy`], [`CompileOptions`], a worker count, and a
+//!   [`ServiceConfig`];
+//! * [`EngineBuilder::build`] compiles everything into an [`Engine`] —
+//!   or a structured [`CompileError`] naming the failing rule's index,
+//!   source text, and pipeline phase;
+//! * the `Engine` then hands out the per-use handles:
+//!   [`scan`](Engine::scan) / [`scan_spans`](Engine::scan_spans) for
+//!   block mode, [`stream`](Engine::stream) for one resumable flow,
+//!   [`scheduler`](Engine::scheduler) for batch many-flow scanning, and
+//!   [`service`](Engine::service) for long-lived serving with
+//!   backpressure and idle-flow eviction.
+//!
+//! The older entry points (`PatternSet::compile_many`,
+//! `ShardedPatternSet::compile_many_with`, `compile_filtered`) are thin
+//! deprecated wrappers over this builder.
+
+use crate::service::FlowService;
+use crate::set::{SetMatch, SetSpan, ShardedPatternSet, ShardedSetStream};
+use crate::FlowScheduler;
+use recama_compiler::{CompileOptions, CompileOutput};
+use recama_hw::{ShardPlan, ShardPolicy};
+use recama_mnrl::MnrlNetwork;
+use recama_syntax::ParseError;
+use std::fmt;
+use std::time::Duration;
+
+/// The pipeline phase in which compiling a rule failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompilePhase {
+    /// Parsing / fragment support (`syntax`): the only phase that can
+    /// currently fail — mapping and sharding are total.
+    Parse,
+    /// Module selection and MNRL mapping (`compiler`).
+    Map,
+    /// Bank-aware shard planning (`hw`).
+    Shard,
+}
+
+impl fmt::Display for CompilePhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CompilePhase::Parse => "parse",
+            CompilePhase::Map => "map",
+            CompilePhase::Shard => "shard",
+        })
+    }
+}
+
+/// A structured ruleset-compile failure: which rule (by input index),
+/// its source text, the pipeline [`CompilePhase`] that rejected it, and
+/// the underlying error.
+///
+/// ```
+/// use recama::{CompilePhase, Engine};
+///
+/// let err = Engine::builder()
+///     .patterns(["ok", "bad(", "ok2"])
+///     .build()
+///     .unwrap_err();
+/// assert_eq!(err.index, 1);
+/// assert_eq!(err.pattern, "bad(");
+/// assert_eq!(err.phase, CompilePhase::Parse);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompileError {
+    /// Index of the offending rule in the order it was added.
+    pub index: usize,
+    /// The rule's source text.
+    pub pattern: String,
+    /// The pipeline phase that rejected it.
+    pub phase: CompilePhase,
+    /// The underlying parse/support error.
+    pub error: ParseError,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pattern #{} (`{}`) failed in {} phase: {}",
+            self.index, self.pattern, self.phase, self.error
+        )
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// A rule a lossy ([`EngineBuilder::lossy`]) build skipped, queryable
+/// via [`Engine::skipped`]: real rulesets always contain
+/// out-of-fragment rules (Table 1's unsupported rows), and deployments
+/// need to report *which* rules are not being enforced.
+#[derive(Debug, Clone)]
+pub struct SkippedRule {
+    /// Index of the rule in the order it was added to the builder.
+    pub index: usize,
+    /// The rule's id (explicit from [`EngineBuilder::rule`], or the
+    /// add-order index).
+    pub id: u64,
+    /// The rule's source text.
+    pub pattern: String,
+    /// Why it was skipped.
+    pub error: ParseError,
+}
+
+/// Configuration of the long-lived [`FlowService`] an [`Engine`] serves
+/// flows with — the knobs of the backpressured serving loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Per-flow input budget in bytes — the admission rule of
+    /// [`FlowService::try_push`]: a chunk is accepted if the flow
+    /// currently buffers **nothing** (so chunks larger than the whole
+    /// budget still make progress), or if `buffered + chunk.len()`
+    /// stays within this budget; otherwise `Poll::Pending`. A flow
+    /// therefore never buffers more than `flow_budget` bytes beyond a
+    /// single oversized first chunk.
+    pub flow_budget: usize,
+    /// Evict (close) flows that have seen no push *attempt* for this
+    /// long — a backpressured producer whose `try_push` keeps returning
+    /// `Pending` still counts as activity. `None` disables eviction.
+    /// Eviction still scans every buffered byte and resolves
+    /// `$`-anchored finishing matches, exactly like an explicit
+    /// [`FlowService::close`].
+    pub idle_timeout: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            flow_budget: 1 << 20, // 1 MiB per flow
+            idle_timeout: None,
+        }
+    }
+}
+
+/// Builder for an [`Engine`] — the single place every compile-time knob
+/// lives. Created by [`Engine::builder`].
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    rules: Vec<(u64, String)>,
+    options: CompileOptions,
+    policy: ShardPolicy,
+    workers: usize,
+    service: ServiceConfig,
+    lossy: bool,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> EngineBuilder {
+        EngineBuilder {
+            rules: Vec::new(),
+            options: CompileOptions::default(),
+            policy: ShardPolicy::default(),
+            workers: 1,
+            service: ServiceConfig::default(),
+            lossy: false,
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// Adds one pattern; its rule id defaults to its add-order index.
+    pub fn pattern(mut self, pattern: impl AsRef<str>) -> EngineBuilder {
+        let id = self.rules.len() as u64;
+        self.rules.push((id, pattern.as_ref().to_string()));
+        self
+    }
+
+    /// Adds one pattern with an explicit rule id (e.g. a Snort SID).
+    /// Ids are opaque to the engine — matches report the rule *index*,
+    /// and [`Engine::rule_id`] translates.
+    pub fn rule(mut self, id: u64, pattern: impl AsRef<str>) -> EngineBuilder {
+        self.rules.push((id, pattern.as_ref().to_string()));
+        self
+    }
+
+    /// Adds many patterns, ids defaulting to their add-order indices.
+    pub fn patterns<I>(mut self, patterns: I) -> EngineBuilder
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
+        for p in patterns {
+            self = self.pattern(p);
+        }
+        self
+    }
+
+    /// Sets the [`CompileOptions`] (unfolding threshold, bit-vector
+    /// capacity, analysis budget).
+    pub fn options(mut self, options: CompileOptions) -> EngineBuilder {
+        self.options = options;
+        self
+    }
+
+    /// Sets the [`ShardPolicy`] partitioning rules into bank-sized
+    /// shards. Default: one CAMA bank per shard.
+    /// [`ShardPolicy::Single`] collapses to the unsharded (`N = 1`)
+    /// machine image.
+    pub fn shard_policy(mut self, policy: ShardPolicy) -> EngineBuilder {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the worker-thread count [`Engine::scheduler`] and
+    /// [`Engine::service`] scan with (at least one).
+    pub fn workers(mut self, workers: usize) -> EngineBuilder {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the [`ServiceConfig`] for [`Engine::service`].
+    pub fn service_config(mut self, config: ServiceConfig) -> EngineBuilder {
+        self.service = config;
+        self
+    }
+
+    /// Makes the build lossy: rules that fail to compile are skipped
+    /// (recorded queryably in [`Engine::skipped`]) instead of failing
+    /// the build — the tolerant mode real rulesets need.
+    pub fn lossy(mut self, lossy: bool) -> EngineBuilder {
+        self.lossy = lossy;
+        self
+    }
+
+    /// Compiles every added rule into an [`Engine`].
+    ///
+    /// # Errors
+    ///
+    /// On a strict (default) build, the first failing rule aborts the
+    /// build with a [`CompileError`] carrying its index, source text,
+    /// and phase. A [`lossy`](EngineBuilder::lossy) build never fails:
+    /// failing rules land in [`Engine::skipped`].
+    pub fn build(self) -> Result<Engine, CompileError> {
+        let mut accepted = Vec::with_capacity(self.rules.len());
+        let mut ids = Vec::with_capacity(self.rules.len());
+        let mut indices = Vec::with_capacity(self.rules.len());
+        let mut skipped = Vec::new();
+        for (index, (id, source)) in self.rules.into_iter().enumerate() {
+            match recama_syntax::parse(&source) {
+                Ok(parsed) => {
+                    accepted.push((source, parsed));
+                    ids.push(id);
+                    indices.push(index);
+                }
+                Err(error) if self.lossy => skipped.push(SkippedRule {
+                    index,
+                    id,
+                    pattern: source,
+                    error,
+                }),
+                Err(error) => {
+                    return Err(CompileError {
+                        index,
+                        pattern: source,
+                        phase: CompilePhase::Parse,
+                        error,
+                    })
+                }
+            }
+        }
+        let set = ShardedPatternSet::build(accepted, &self.options, self.policy);
+        Ok(Engine {
+            set,
+            ids,
+            indices,
+            skipped,
+            workers: self.workers,
+            service: self.service,
+        })
+    }
+}
+
+/// A compiled ruleset behind one facade: block scans, span location,
+/// resumable streams, batch many-flow scheduling, and long-lived flow
+/// serving — all from a single [`builder`](Engine::builder)-built
+/// artifact.
+///
+/// ```
+/// use recama::Engine;
+///
+/// let engine = Engine::builder()
+///     .patterns(["ab{2,3}c", "xyz", "k\\d{4}"])
+///     .build()
+///     .unwrap();
+///
+/// // Block mode: (rule index, end offset) reports, stream order.
+/// let hits: Vec<_> = engine
+///     .scan(b"zabbc..xyz..k1234")
+///     .iter()
+///     .map(|m| (m.pattern, m.end))
+///     .collect();
+/// assert_eq!(hits, vec![(0, 5), (1, 10), (2, 17)]);
+///
+/// // Streaming: matches may straddle chunk boundaries.
+/// let mut stream = engine.stream();
+/// assert!(stream.feed(b"..ab").next().is_none());
+/// assert_eq!(stream.feed(b"bc").next().unwrap().end, 6);
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    set: ShardedPatternSet,
+    /// Rule ids by compiled index.
+    ids: Vec<u64>,
+    /// Builder add-order index by compiled index (they differ when a
+    /// lossy build skipped rules).
+    indices: Vec<usize>,
+    skipped: Vec<SkippedRule>,
+    workers: usize,
+    service: ServiceConfig,
+}
+
+impl Engine {
+    /// Starts a builder with default options (default [`ShardPolicy`]
+    /// — one CAMA bank per shard, one worker, strict compile).
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// Compiles `patterns` with every default — the one-liner for the
+    /// common case.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EngineBuilder::build`].
+    pub fn new<I>(patterns: I) -> Result<Engine, CompileError>
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
+        Engine::builder().patterns(patterns).build()
+    }
+
+    // ---- compiled artifact ------------------------------------------
+
+    /// Number of compiled rules (skipped rules not counted).
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the engine has no compiled rules.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// The source text of compiled rule `i` (the index reported in
+    /// [`SetMatch::pattern`]).
+    pub fn pattern(&self, i: usize) -> &str {
+        self.set.pattern(i)
+    }
+
+    /// The id of compiled rule `i` (explicit via
+    /// [`EngineBuilder::rule`], or its builder add-order index).
+    pub fn rule_id(&self, i: usize) -> u64 {
+        self.ids[i]
+    }
+
+    /// The builder add-order index of compiled rule `i`. Differs from
+    /// `i` only when a lossy build skipped earlier rules.
+    pub fn source_index(&self, i: usize) -> usize {
+        self.indices[i]
+    }
+
+    /// Rules a [`lossy`](EngineBuilder::lossy) build skipped, in add
+    /// order. Empty on strict builds.
+    pub fn skipped(&self) -> &[SkippedRule] {
+        &self.skipped
+    }
+
+    /// Per-rule compiler outputs (module decisions, analyses, NCAs),
+    /// indexed like the compiled rules.
+    pub fn outputs(&self) -> &[CompileOutput] {
+        self.set.outputs()
+    }
+
+    /// Number of bank-sized shards the ruleset compiled into (≥ 1).
+    pub fn shard_count(&self) -> usize {
+        self.set.shard_count()
+    }
+
+    /// The shard plan (which rule lives in which shard).
+    pub fn plan(&self) -> &ShardPlan {
+        self.set.plan()
+    }
+
+    /// The merged extended-MNRL machine image of shard `shard`;
+    /// reporting nodes carry global rule indices.
+    pub fn network(&self, shard: usize) -> &MnrlNetwork {
+        self.set.network(shard)
+    }
+
+    /// All per-shard machine images.
+    pub fn networks(&self) -> &[MnrlNetwork] {
+        self.set.networks()
+    }
+
+    /// A hardware simulator for shard `shard`'s machine image.
+    pub fn hardware(&self, shard: usize) -> recama_hw::HwSimulator<'_> {
+        self.set.hardware(shard)
+    }
+
+    /// The worker-thread count [`scheduler`](Engine::scheduler) and
+    /// [`service`](Engine::service) scan with.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The [`ServiceConfig`] new [`service`](Engine::service) handles
+    /// start with.
+    pub fn service_config(&self) -> ServiceConfig {
+        self.service
+    }
+
+    /// The underlying sharded set — the escape hatch to every lower
+    /// layer (per-shard automata, spans, per-shard hardware).
+    pub fn set(&self) -> &ShardedPatternSet {
+        &self.set
+    }
+
+    /// Unwraps the engine into its underlying [`ShardedPatternSet`]
+    /// (what the deprecated `compile_many` wrappers return).
+    pub fn into_set(self) -> ShardedPatternSet {
+        self.set
+    }
+
+    // ---- block mode -------------------------------------------------
+
+    /// All matches in `haystack`, in stream order (ascending end,
+    /// ascending rule index within one end). Shards scan in parallel on
+    /// scoped threads for large inputs; reports are byte-identical for
+    /// any shard plan.
+    pub fn scan(&self, haystack: &[u8]) -> Vec<SetMatch> {
+        self.set.find_ends(haystack)
+    }
+
+    /// Located match spans (`[start, end)` per rule): for every match
+    /// end, the rule's reversed automaton runs backward to the earliest
+    /// start (leftmost-longest flavor).
+    pub fn scan_spans(&self, haystack: &[u8]) -> Vec<SetSpan> {
+        self.set.find_spans(haystack)
+    }
+
+    /// Whether any rule matches in `haystack`.
+    pub fn is_match(&self, haystack: &[u8]) -> bool {
+        self.set.is_match(haystack)
+    }
+
+    // ---- per-use handles --------------------------------------------
+
+    /// A resumable streaming matcher for ONE flow: feed chunks, drain
+    /// reports, [`finish`](ShardedSetStream::finish) to resolve
+    /// trailing-`$` anchors at end-of-stream.
+    pub fn stream(&self) -> ShardedSetStream<'_> {
+        self.set.stream()
+    }
+
+    /// A batch many-flow scheduler (`push`/`run`/`poll` cycles) over
+    /// this engine, using the configured
+    /// [`workers`](EngineBuilder::workers).
+    pub fn scheduler(&self) -> FlowScheduler<'_> {
+        FlowScheduler::new(&self.set, self.workers)
+    }
+
+    /// Like [`scheduler`](Engine::scheduler) with an explicit worker
+    /// count — for sweeps over the parallelism knob.
+    pub fn scheduler_with(&self, workers: usize) -> FlowScheduler<'_> {
+        FlowScheduler::new(&self.set, workers)
+    }
+
+    /// A long-lived flow-serving handle over this engine: workers park
+    /// on the readiness condvar, [`try_push`](FlowService::try_push)
+    /// applies backpressure at the configured per-flow budget, and idle
+    /// flows are evicted. Drive it inside [`FlowService::run`].
+    pub fn service(&self) -> FlowService<'_> {
+        FlowService::new(&self.set, self.workers, self.service)
+    }
+
+    /// Like [`service`](Engine::service) with an explicit
+    /// [`ServiceConfig`] and worker count.
+    pub fn service_with(&self, workers: usize, config: ServiceConfig) -> FlowService<'_> {
+        FlowService::new(&self.set, workers.max(1), config)
+    }
+}

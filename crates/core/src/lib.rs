@@ -43,16 +43,23 @@ pub use recama_nca as nca;
 pub use recama_syntax as syntax;
 pub use recama_workloads as workloads;
 
+mod engine;
 pub mod sched;
+mod service;
 mod set;
 
+pub use engine::{CompileError, CompilePhase, Engine, EngineBuilder, ServiceConfig, SkippedRule};
 pub use sched::{FlowMatch, FlowScheduler};
-pub use set::{
-    PatternSet, SetCompileError, SetMatch, SetSpan, SetStream, ShardedPatternSet, ShardedSetStream,
-};
+pub use service::FlowService;
+#[allow(deprecated)]
+pub use set::SetCompileError;
+pub use set::{PatternSet, SetMatch, SetSpan, SetStream, ShardedPatternSet, ShardedSetStream};
 
 use recama_compiler::{compile, CompileOptions, CompileOutput};
-use recama_nca::{CompilePlan, CompiledEngine, Engine, Nca, StateId};
+// The nca `Engine` trait is imported anonymously: only its methods are
+// needed, and the bare name belongs to the crate-level `Engine` facade.
+use recama_nca::Engine as _;
+use recama_nca::{CompilePlan, CompiledEngine, Nca, StateId};
 use recama_syntax::{ParseError, Parsed};
 use std::sync::OnceLock;
 

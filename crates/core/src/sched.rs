@@ -10,7 +10,7 @@
 //! has bytes pending instead of binding workers to flows.
 //!
 //! The scheduler owns `N flows × K shards` resumable engine states
-//! ([`ShardStream`](recama_nca::ShardStream)), fed through three moves:
+//! ([`ShardStream`]), fed through three moves:
 //!
 //! * [`push`](FlowScheduler::push) buffers a `(flow, chunk)` pair and
 //!   marks the flow's shard units *ready* (epoll-style readiness: a unit
@@ -70,7 +70,7 @@ impl FlowMatch {
 /// them outside the scheduler lock while slower shards still reference
 /// them.
 #[derive(Clone)]
-struct Segment {
+pub(crate) struct Segment {
     start: u64,
     bytes: Arc<[u8]>,
 }
@@ -96,12 +96,14 @@ struct ShardSlot<'a> {
 }
 
 /// Per-flow state: buffered input, one [`ShardSlot`] per shard, and the
-/// merged in-order report queue.
-struct Flow<'a> {
+/// merged in-order report queue. Shared between the batch-mode
+/// [`FlowScheduler`] and the long-lived
+/// [`FlowService`](crate::FlowService).
+pub(crate) struct Flow<'a> {
     segments: VecDeque<Segment>,
     /// Total bytes pushed (absolute length of the flow so far).
     total: u64,
-    closed: bool,
+    pub(crate) closed: bool,
     /// Empty once a closed flow has fully drained (engines freed).
     shards: Vec<ShardSlot<'a>>,
     reports: VecDeque<SetMatch>,
@@ -135,6 +137,12 @@ impl<'a> Flow<'a> {
             dollar: DollarTracker::new(set.anchored_end()),
             finishing: Vec::new(),
         }
+    }
+
+    /// Bytes pushed but not yet consumed by every shard — the quantity
+    /// the [`FlowService`](crate::FlowService) input budget bounds.
+    pub(crate) fn buffered(&self) -> u64 {
+        self.total - self.watermark()
     }
 
     /// The least position any shard has consumed — reports with ends at
@@ -204,21 +212,220 @@ impl<'a> Flow<'a> {
     }
 
     /// Whether the flow is closed and its engines have been freed.
-    fn finished(&self) -> bool {
+    pub(crate) fn finished(&self) -> bool {
         self.closed && self.shards.is_empty()
     }
 }
 
-/// Everything the scheduler lock protects.
-struct Shared<'a> {
-    flows: HashMap<u64, Flow<'a>>,
+/// Everything the scheduler (or service) lock protects: the flow table,
+/// the readiness queue, and the global sink. The scheduling moves —
+/// open/buffer on push, checkout/check-in around an unlocked scan —
+/// live here so the batch-mode [`FlowScheduler`] and the long-lived
+/// [`FlowService`](crate::FlowService) share one implementation.
+pub(crate) struct Shared<'a> {
+    pub(crate) flows: HashMap<u64, Flow<'a>>,
     /// Readiness queue of `(flow, shard)` units with unconsumed bytes.
-    ready: VecDeque<(u64, usize)>,
+    pub(crate) ready: VecDeque<(u64, usize)>,
     /// Units currently checked out by workers.
-    in_flight: usize,
+    pub(crate) in_flight: usize,
     /// Global sink: every merged match, attributed to its flow.
     sink: Vec<FlowMatch>,
 }
+
+/// A `(flow, shard)` unit checked out of the readiness queue: the
+/// shard's engine plus the input segments it still has to consume,
+/// detached from the lock so the scan runs unlocked.
+pub(crate) struct CheckedOut<'a> {
+    flow: u64,
+    shard: usize,
+    stream: ShardStream<'a>,
+    segments: Vec<Segment>,
+}
+
+impl CheckedOut<'_> {
+    /// The flow this unit belongs to.
+    pub(crate) fn flow(&self) -> u64 {
+        self.flow
+    }
+
+    /// Scans every unconsumed byte of the checked-out segments,
+    /// returning the shard's reports (global pattern ids, absolute
+    /// ends). Runs WITHOUT the lock held.
+    pub(crate) fn scan(&mut self) -> Vec<MultiReport> {
+        let mut reports = Vec::new();
+        for seg in &self.segments {
+            let skip = (self.stream.position() - seg.start) as usize;
+            self.stream.feed_into(&seg.bytes[skip..], &mut reports);
+        }
+        reports
+    }
+}
+
+impl<'a> Shared<'a> {
+    pub(crate) fn new() -> Shared<'a> {
+        Shared {
+            flows: HashMap::new(),
+            ready: VecDeque::new(),
+            in_flight: 0,
+            sink: Vec::new(),
+        }
+    }
+
+    /// Opens (or reopens) `flow` for pushing and returns it. Reopening a
+    /// finished flow starts a fresh incarnation whose undrained reports
+    /// and finishing set survive. Fails if the flow is closed but not
+    /// yet drained — close is a promise that no more bytes come.
+    pub(crate) fn open_flow(
+        &mut self,
+        set: &'a ShardedPatternSet,
+        flow: u64,
+    ) -> Result<&mut Flow<'a>, PushToClosed> {
+        let f = self.flows.entry(flow).or_insert_with(|| Flow::new(set));
+        if f.finished() {
+            let kept_reports = std::mem::take(&mut f.reports);
+            let kept_finishing = std::mem::take(&mut f.finishing);
+            *f = Flow::new(set);
+            f.reports = kept_reports;
+            f.finishing = kept_finishing;
+        }
+        if f.closed {
+            return Err(PushToClosed);
+        }
+        Ok(f)
+    }
+
+    /// Buffers `chunk` for an open `flow` and marks its idle shard units
+    /// ready. Returns the flow's new total length. A zero-length chunk
+    /// schedules no work.
+    pub(crate) fn buffer_chunk(&mut self, flow: u64, chunk: &[u8]) -> u64 {
+        let f = self.flows.get_mut(&flow).expect("buffer_chunk: open flow");
+        if chunk.is_empty() {
+            return f.total;
+        }
+        f.segments.push_back(Segment {
+            start: f.total,
+            bytes: Arc::from(chunk),
+        });
+        f.total += chunk.len() as u64;
+        for (si, slot) in f.shards.iter_mut().enumerate() {
+            if !slot.busy {
+                slot.busy = true;
+                self.ready.push_back((flow, si));
+            }
+        }
+        f.total
+    }
+
+    /// Pops a ready `(flow, shard)` unit and checks its engine out,
+    /// along with the segments it has yet to consume.
+    pub(crate) fn checkout(&mut self) -> Option<CheckedOut<'a>> {
+        let (flow, si) = self.ready.pop_front()?;
+        let f = self
+            .flows
+            .get_mut(&flow)
+            .expect("ready unit belongs to a live flow");
+        let slot = &mut f.shards[si];
+        debug_assert!(slot.busy, "queued units are marked busy");
+        let stream = slot.stream.take().expect("ready slot holds its engine");
+        let from = stream.position();
+        let segments: Vec<Segment> = f
+            .segments
+            .iter()
+            .filter(|seg| seg.end() > from)
+            .cloned()
+            .collect();
+        self.in_flight += 1;
+        Some(CheckedOut {
+            flow,
+            shard: si,
+            stream,
+            segments,
+        })
+    }
+
+    /// Checks a scanned unit back in: publishes its reports, requeues it
+    /// if more bytes arrived while it was out, merges what became final,
+    /// and settles `in_flight`.
+    pub(crate) fn check_in(&mut self, unit: CheckedOut<'a>, reports: Vec<MultiReport>) {
+        let CheckedOut {
+            flow,
+            shard: si,
+            stream,
+            ..
+        } = unit;
+        let f = self
+            .flows
+            .get_mut(&flow)
+            .expect("flows persist while checked out");
+        let slot = &mut f.shards[si];
+        slot.pos = stream.position();
+        slot.stream = Some(stream);
+        slot.pending.extend(reports);
+        if slot.pos < f.total {
+            self.ready.push_back((flow, si)); // more bytes arrived meanwhile
+        } else {
+            slot.busy = false;
+        }
+        f.merge_ready_reports(flow, &mut self.sink);
+        f.try_finish();
+        self.in_flight -= 1;
+    }
+
+    /// Marks `flow` closed and finishes it if already drained. Closing
+    /// an unknown id is a no-op.
+    pub(crate) fn close_flow(&mut self, flow: u64) {
+        if let Some(f) = self.flows.get_mut(&flow) {
+            f.closed = true;
+            f.merge_ready_reports(flow, &mut self.sink);
+            f.try_finish();
+        }
+    }
+
+    /// Drains `flow`'s ordered report queue, forgetting a fully-drained
+    /// finished flow.
+    pub(crate) fn poll_flow(&mut self, flow: u64) -> Vec<SetMatch> {
+        let Some(f) = self.flows.get_mut(&flow) else {
+            return Vec::new();
+        };
+        let out: Vec<SetMatch> = f.reports.drain(..).collect();
+        if f.finished() && f.finishing.is_empty() {
+            self.flows.remove(&flow);
+        }
+        out
+    }
+
+    /// Drains `flow`'s finishing set, forgetting a fully-drained
+    /// finished flow.
+    pub(crate) fn finishing_flow(&mut self, flow: u64) -> Vec<SetMatch> {
+        let Some(f) = self.flows.get_mut(&flow) else {
+            return Vec::new();
+        };
+        let out = std::mem::take(&mut f.finishing);
+        if f.finished() && f.reports.is_empty() {
+            self.flows.remove(&flow);
+        }
+        out
+    }
+
+    /// Drains the global sink.
+    pub(crate) fn drain_sink(&mut self) -> Vec<FlowMatch> {
+        std::mem::take(&mut self.sink)
+    }
+
+    /// Bytes pushed to `flow` so far (`None` for unknown flows).
+    pub(crate) fn flow_len(&self, flow: u64) -> Option<u64> {
+        self.flows.get(&flow).map(|f| f.total)
+    }
+
+    /// Total bytes buffered but not yet consumed by every shard.
+    pub(crate) fn pending_bytes(&self) -> u64 {
+        self.flows.values().map(Flow::buffered).sum()
+    }
+}
+
+/// Rejected push: the flow is closed and has not finished draining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PushToClosed;
 
 /// A scanning service over a [`ShardedPatternSet`] for many concurrent
 /// flows. See the [module docs](self) for the architecture.
@@ -226,10 +433,10 @@ struct Shared<'a> {
 /// # Examples
 ///
 /// ```
-/// use recama::{sched::FlowScheduler, ShardedPatternSet};
+/// use recama::Engine;
 ///
-/// let set = ShardedPatternSet::compile_many(&["ab{2}c", "xyz"]).unwrap();
-/// let sched = FlowScheduler::new(&set, 2);
+/// let engine = Engine::builder().patterns(["ab{2}c", "xyz"]).build().unwrap();
+/// let sched = engine.scheduler_with(2);
 ///
 /// // Interleaved chunks from two flows; matches straddle the chunks.
 /// sched.push(7, b"..ab");
@@ -262,12 +469,7 @@ impl<'a> FlowScheduler<'a> {
         FlowScheduler {
             set,
             workers: workers.max(1),
-            shared: Mutex::new(Shared {
-                flows: HashMap::new(),
-                ready: VecDeque::new(),
-                in_flight: 0,
-                sink: Vec::new(),
-            }),
+            shared: Mutex::new(Shared::new()),
             wake: Condvar::new(),
         }
     }
@@ -289,33 +491,10 @@ impl<'a> FlowScheduler<'a> {
     /// undrained reports of the previous incarnation stay pollable.
     pub fn push(&self, flow: u64, chunk: &[u8]) {
         let mut shared = self.shared.lock().expect("scheduler lock");
-        let Shared { flows, ready, .. } = &mut *shared;
-        let f = flows.entry(flow).or_insert_with(|| Flow::new(self.set));
-        if f.finished() {
-            let kept_reports = std::mem::take(&mut f.reports);
-            let kept_finishing = std::mem::take(&mut f.finishing);
-            *f = Flow::new(self.set);
-            f.reports = kept_reports;
-            f.finishing = kept_finishing;
+        if shared.open_flow(self.set, flow).is_err() {
+            panic!("push to closed flow {flow}: run() + poll() it first, or use a new id");
         }
-        assert!(
-            !f.closed,
-            "push to closed flow {flow}: run() + poll() it first, or use a new id"
-        );
-        if chunk.is_empty() {
-            return;
-        }
-        f.segments.push_back(Segment {
-            start: f.total,
-            bytes: Arc::from(chunk),
-        });
-        f.total += chunk.len() as u64;
-        for (si, slot) in f.shards.iter_mut().enumerate() {
-            if !slot.busy {
-                slot.busy = true;
-                ready.push_back((flow, si));
-            }
-        }
+        shared.buffer_chunk(flow, chunk);
         self.wake.notify_all();
     }
 
@@ -330,13 +509,7 @@ impl<'a> FlowScheduler<'a> {
     /// [`push`](FlowScheduler::push)ing to a closed flow that has not
     /// drained yet panics — close is a promise that no more bytes come.
     pub fn close(&self, flow: u64) {
-        let mut shared = self.shared.lock().expect("scheduler lock");
-        let Shared { flows, sink, .. } = &mut *shared;
-        if let Some(f) = flows.get_mut(&flow) {
-            f.closed = true;
-            f.merge_ready_reports(flow, sink);
-            f.try_finish();
-        }
+        self.shared.lock().expect("scheduler lock").close_flow(flow);
     }
 
     /// Scans everything buffered so far on the worker pool, returning
@@ -363,24 +536,9 @@ impl<'a> FlowScheduler<'a> {
         loop {
             // Check a ready unit out (or conclude the batch is done).
             let mut shared = self.shared.lock().expect("scheduler lock");
-            let (flow_id, si, mut stream, segments) = loop {
-                if let Some((flow_id, si)) = shared.ready.pop_front() {
-                    let f = shared
-                        .flows
-                        .get_mut(&flow_id)
-                        .expect("ready unit belongs to a live flow");
-                    let slot = &mut f.shards[si];
-                    debug_assert!(slot.busy, "queued units are marked busy");
-                    let stream = slot.stream.take().expect("ready slot holds its engine");
-                    let from = stream.position();
-                    let segments: Vec<Segment> = f
-                        .segments
-                        .iter()
-                        .filter(|seg| seg.end() > from)
-                        .cloned()
-                        .collect();
-                    shared.in_flight += 1;
-                    break (flow_id, si, stream, segments);
+            let mut unit = loop {
+                if let Some(unit) = shared.checkout() {
+                    break unit;
                 }
                 if shared.in_flight == 0 {
                     return; // nothing ready, nothing pending: batch done
@@ -399,36 +557,12 @@ impl<'a> FlowScheduler<'a> {
 
             // Scan outside the lock; other workers may be advancing other
             // shards of the same flow right now.
-            let mut reports = Vec::new();
-            for seg in &segments {
-                let skip = (stream.position() - seg.start) as usize;
-                stream.feed_into(&seg.bytes[skip..], &mut reports);
-            }
+            let reports = unit.scan();
 
             // Check the unit back in and publish what became final.
             let mut shared = self.shared.lock().expect("scheduler lock");
-            let Shared {
-                flows,
-                ready,
-                in_flight,
-                sink,
-            } = &mut *shared;
-            let f = flows
-                .get_mut(&flow_id)
-                .expect("flows persist while checked out");
-            let slot = &mut f.shards[si];
-            slot.pos = stream.position();
-            slot.stream = Some(stream);
-            slot.pending.extend(reports);
-            if slot.pos < f.total {
-                ready.push_back((flow_id, si)); // more bytes arrived meanwhile
-            } else {
-                slot.busy = false;
-            }
-            f.merge_ready_reports(flow_id, sink);
-            f.try_finish();
-            *in_flight -= 1;
-            std::mem::forget(guard); // settled under the lock just above
+            shared.check_in(unit, reports);
+            std::mem::forget(guard); // settled by check_in under the lock
             self.wake.notify_all();
         }
     }
@@ -438,15 +572,7 @@ impl<'a> FlowScheduler<'a> {
     /// and finishing set have all been drained is forgotten, freeing its
     /// table entry.
     pub fn poll(&self, flow: u64) -> Vec<SetMatch> {
-        let mut shared = self.shared.lock().expect("scheduler lock");
-        let Some(f) = shared.flows.get_mut(&flow) else {
-            return Vec::new();
-        };
-        let out: Vec<SetMatch> = f.reports.drain(..).collect();
-        if f.finished() && f.finishing.is_empty() {
-            shared.flows.remove(&flow);
-        }
-        out
+        self.shared.lock().expect("scheduler lock").poll_flow(flow)
     }
 
     /// Drains `flow`'s **finishing set**: the `$`-anchored matches that
@@ -461,15 +587,10 @@ impl<'a> FlowScheduler<'a> {
     ///
     /// [`ShardedSetStream::finish`]: crate::ShardedSetStream::finish
     pub fn finishing(&self, flow: u64) -> Vec<SetMatch> {
-        let mut shared = self.shared.lock().expect("scheduler lock");
-        let Some(f) = shared.flows.get_mut(&flow) else {
-            return Vec::new();
-        };
-        let out = std::mem::take(&mut f.finishing);
-        if f.finished() && f.reports.is_empty() {
-            shared.flows.remove(&flow);
-        }
-        out
+        self.shared
+            .lock()
+            .expect("scheduler lock")
+            .finishing_flow(flow)
     }
 
     /// Drains the global sink: every merged match of every flow, in the
@@ -477,7 +598,7 @@ impl<'a> FlowScheduler<'a> {
     /// order; across flows the interleaving follows scheduling and is not
     /// deterministic.
     pub fn drain_global(&self) -> Vec<FlowMatch> {
-        std::mem::take(&mut self.shared.lock().expect("scheduler lock").sink)
+        self.shared.lock().expect("scheduler lock").drain_sink()
     }
 
     /// Number of flows currently tracked (open, or closed with undrained
@@ -489,29 +610,13 @@ impl<'a> FlowScheduler<'a> {
     /// Bytes pushed to `flow` so far (`None` for unknown flows). After a
     /// close + reopen this restarts from the new incarnation's bytes.
     pub fn flow_len(&self, flow: u64) -> Option<u64> {
-        self.shared
-            .lock()
-            .expect("scheduler lock")
-            .flows
-            .get(&flow)
-            .map(|f| f.total)
+        self.shared.lock().expect("scheduler lock").flow_len(flow)
     }
 
     /// Total bytes buffered but not yet consumed by every shard — the
     /// scan debt the next [`run`](FlowScheduler::run) clears.
     pub fn pending_bytes(&self) -> u64 {
-        let shared = self.shared.lock().expect("scheduler lock");
-        shared
-            .flows
-            .values()
-            .map(|f| {
-                f.shards
-                    .iter()
-                    .map(|slot| f.total - slot.pos)
-                    .max()
-                    .unwrap_or(0)
-            })
-            .sum()
+        self.shared.lock().expect("scheduler lock").pending_bytes()
     }
 }
 
@@ -558,16 +663,16 @@ impl fmt::Debug for FlowScheduler<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use recama_compiler::CompileOptions;
+    use crate::Engine;
     use recama_hw::ShardPolicy;
 
     fn sharded(patterns: &[&str], shards: usize) -> ShardedPatternSet {
-        ShardedPatternSet::compile_many_with(
-            patterns,
-            &CompileOptions::default(),
-            ShardPolicy::Fixed(shards),
-        )
-        .unwrap()
+        Engine::builder()
+            .patterns(patterns)
+            .shard_policy(ShardPolicy::Fixed(shards))
+            .build()
+            .unwrap()
+            .into_set()
     }
 
     /// Per-flow scheduler output must equal an independent stream fed the
@@ -725,7 +830,7 @@ mod tests {
 
     #[test]
     fn empty_set_and_unknown_flows_are_harmless() {
-        let set = ShardedPatternSet::compile_many::<&str>(&[]).unwrap();
+        let set = Engine::new(Vec::<String>::new()).unwrap().into_set();
         let sched = FlowScheduler::new(&set, 2);
         sched.push(1, b"anything");
         sched.run();

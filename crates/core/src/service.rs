@@ -1,0 +1,515 @@
+//! [`FlowService`]: the long-lived, backpressured many-flow serving
+//! loop over an [`Engine`](crate::Engine).
+//!
+//! [`FlowScheduler`](crate::FlowScheduler) is a *batch* API: `run()`
+//! scans what is buffered and returns when the queue drains. A serving
+//! deployment wants the opposite lifecycle — workers that stay parked
+//! on the readiness condvar between bursts, producers that are pushed
+//! back when a flow buffers faster than it scans, and flows that go
+//! quiet getting evicted instead of leaking engine state. That is what
+//! this module adds, as API rather than bolt-on:
+//!
+//! * [`FlowService::run`] spawns the worker pool on a scoped thread
+//!   pool and hands the service back to a producer closure; workers
+//!   **park** on the condvar when idle and only exit when the closure
+//!   returns (and the remaining buffered work has drained);
+//! * [`FlowService::try_push`] applies **backpressure**: it returns
+//!   [`Poll::Pending`] while the flow already buffers more unconsumed
+//!   bytes than the configured
+//!   [`flow_budget`](crate::ServiceConfig::flow_budget)
+//!   ([`FlowService::push`] is the blocking variant that waits for the
+//!   workers to free space);
+//! * flows that receive no push for
+//!   [`idle_timeout`](crate::ServiceConfig::idle_timeout) are
+//!   **evicted**: closed exactly like [`FlowService::close`], with
+//!   their buffered bytes still scanned, `$`-anchored finishing
+//!   matches resolved, and their ids queryable via
+//!   [`FlowService::evictions`].
+//!
+//! Report semantics are identical to the scheduler's (and therefore
+//! byte-identical to one independent
+//! [`ShardedSetStream`](crate::ShardedSetStream) per flow): the service
+//! reuses the same flow table, readiness queue, and watermark-ordered
+//! merge — [`sched`](crate::sched)'s `Shared` — under its own worker
+//! lifecycle.
+
+use crate::engine::ServiceConfig;
+use crate::sched::Shared;
+use crate::{FlowMatch, SetMatch, ShardedPatternSet};
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::task::Poll;
+use std::time::Instant;
+
+/// Everything the service lock protects: the scheduler core plus the
+/// service-lifecycle state.
+struct State<'a> {
+    core: Shared<'a>,
+    /// Set while a [`FlowService::run`] scope is live (workers exist).
+    running: bool,
+    /// Set when the producer closure returns: workers drain the queue
+    /// and exit instead of parking.
+    shutdown: bool,
+    /// Set when a worker panicked mid-scan: its `(flow, shard)` engine
+    /// unit is lost, so that flow can never drain — blocking producers
+    /// must panic out instead of waiting forever.
+    poisoned: bool,
+    /// Last push per open flow, for idle eviction.
+    activity: HashMap<u64, Instant>,
+    /// When the next idle sweep is due (sweeps run at `idle_timeout`
+    /// cadence even while every worker stays busy).
+    next_sweep: Option<Instant>,
+    /// Flows evicted by the idle sweep, until drained by
+    /// [`FlowService::evictions`].
+    evicted: Vec<u64>,
+}
+
+/// A long-lived many-flow scanning service; create one with
+/// [`Engine::service`](crate::Engine::service) and drive it inside
+/// [`run`](FlowService::run). See the module docs for the lifecycle.
+///
+/// ```
+/// use recama::Engine;
+/// use std::task::Poll;
+///
+/// let engine = Engine::builder()
+///     .patterns(["ab{2}c", "xyz"])
+///     .workers(2)
+///     .build()
+///     .unwrap();
+///
+/// let hits = engine.service().run(|svc| {
+///     svc.push(7, b"..ab"); // blocking push (waits if over budget)
+///     svc.push(7, b"bc!");  // match straddles the chunks
+///     assert!(matches!(svc.try_push(9, b"xyz"), Poll::Ready(3)));
+///     svc.barrier();        // every pushed byte scanned
+///     (svc.poll(7), svc.poll(9))
+/// });
+/// assert_eq!(hits.0[0].end, 6);
+/// assert_eq!(hits.1[0].end, 3);
+/// ```
+pub struct FlowService<'a> {
+    set: &'a ShardedPatternSet,
+    workers: usize,
+    config: ServiceConfig,
+    shared: Mutex<State<'a>>,
+    /// Parked workers wait here; signalled on push, close, shutdown,
+    /// and check-in.
+    wake: Condvar,
+    /// Producers blocked in [`FlowService::push`] (and
+    /// [`barrier`](FlowService::barrier)) wait here; signalled when a
+    /// worker checks a unit in (bytes were consumed — space freed).
+    space: Condvar,
+}
+
+impl<'a> FlowService<'a> {
+    pub(crate) fn new(
+        set: &'a ShardedPatternSet,
+        workers: usize,
+        config: ServiceConfig,
+    ) -> FlowService<'a> {
+        FlowService {
+            set,
+            workers: workers.max(1),
+            config,
+            shared: Mutex::new(State {
+                core: Shared::new(),
+                running: false,
+                shutdown: false,
+                poisoned: false,
+                activity: HashMap::new(),
+                next_sweep: None,
+                evicted: Vec::new(),
+            }),
+            wake: Condvar::new(),
+            space: Condvar::new(),
+        }
+    }
+
+    /// The worker-pool size [`run`](FlowService::run) spawns.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The backpressure/eviction configuration.
+    pub fn config(&self) -> ServiceConfig {
+        self.config
+    }
+
+    // ---- the serving scope ------------------------------------------
+
+    /// Serves flows for the duration of `producer`: spawns the worker
+    /// pool, runs the closure with the service handle, then shuts the
+    /// workers down once it returns — after they have drained every
+    /// buffered byte. Returns the closure's value.
+    ///
+    /// The service handle is `Sync`, so the closure may fan pushes out
+    /// to its own scoped producer threads. `run` is not reentrant, but
+    /// the service can be run again after it returns (flow state,
+    /// undrained reports, and evictions persist across runs).
+    pub fn run<R>(&self, producer: impl FnOnce(&Self) -> R) -> R {
+        {
+            let mut st = self.lock();
+            assert!(!st.running, "FlowService::run is not reentrant");
+            assert!(
+                !st.poisoned,
+                "FlowService is poisoned: a worker panicked mid-scan and its engine unit is lost"
+            );
+            st.running = true;
+            st.shutdown = false;
+        }
+        // Reset the lifecycle flags even if the producer (or a worker)
+        // panics, so the unwound service is observably not-running.
+        let _reset = ResetGuard { svc: self };
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                scope.spawn(|| self.worker_loop());
+            }
+            // If the producer panics, the guard still flips `shutdown`
+            // so the parked workers exit and the scope can join —
+            // otherwise the panic would deadlock instead of propagating.
+            let stop = StopGuard { svc: self };
+            let result = producer(self);
+            drop(stop);
+            result
+        })
+    }
+
+    fn worker_loop(&self) {
+        let mut st = self.lock();
+        loop {
+            // Idle sweeps are due-gated at the `idle_timeout` cadence and
+            // run on EVERY loop iteration, so sustained load (workers
+            // that always find ready work) cannot starve eviction.
+            self.evict_idle(&mut st);
+            if let Some(mut unit) = st.core.checkout() {
+                let flow = unit.flow();
+                drop(st);
+                // Panic protection, as in the scheduler: settle
+                // `in_flight` on unwind — and poison the service, since
+                // the unit's engine is lost and its flow can never
+                // drain — so siblings and blocked producers panic out
+                // instead of deadlocking, letting the scope join.
+                let guard = InFlightGuard { svc: self };
+                let reports = unit.scan();
+                let mut relocked = self.lock();
+                relocked.core.check_in(unit, reports);
+                std::mem::forget(guard); // settled by check_in
+                                         // Scan progress counts as activity: a flow whose
+                                         // backlog is still draining is not idle, and its
+                                         // (possibly blocked) producer gets a full idle window
+                                         // from the drain, not from its last accepted push.
+                if self.config.idle_timeout.is_some() {
+                    relocked.activity.insert(flow, Instant::now());
+                }
+                self.wake.notify_all();
+                self.space.notify_all();
+                st = relocked;
+                continue;
+            }
+            if st.shutdown && st.core.in_flight == 0 && st.core.ready.is_empty() {
+                return;
+            }
+            st = match self.config.idle_timeout {
+                // Periodic wake so the due-gated sweep keeps running
+                // while the service sits fully idle.
+                Some(timeout) => {
+                    let (guard, _) = self
+                        .wake
+                        .wait_timeout(st, timeout)
+                        .expect("service lock poisoned");
+                    guard
+                }
+                None => self.wake.wait(st).expect("service lock poisoned"),
+            };
+        }
+    }
+
+    /// Closes every open flow whose last push is older than the idle
+    /// timeout. Runs under the lock; due-gated so the sweep costs one
+    /// `Instant::now()` comparison per worker loop iteration.
+    fn evict_idle(&self, st: &mut MutexGuard<'_, State<'a>>) {
+        let Some(timeout) = self.config.idle_timeout else {
+            return;
+        };
+        let now = Instant::now();
+        match st.next_sweep {
+            Some(due) if now < due => return,
+            _ => st.next_sweep = Some(now + timeout),
+        }
+        let expired: Vec<u64> = st
+            .activity
+            .iter()
+            .filter(|&(_, &at)| now.duration_since(at) >= timeout)
+            .map(|(&flow, _)| flow)
+            .collect();
+        for flow in expired {
+            // Only fully-drained open flows are idle: a flow with
+            // buffered bytes is still being scanned (and check_in
+            // refreshes its activity anyway), and a backpressured
+            // producer refreshes activity on every rejected attempt —
+            // so eviction never splits a live stream in two.
+            match st.core.flows.get(&flow) {
+                Some(f) if !f.closed && f.buffered() == 0 => {
+                    st.activity.remove(&flow);
+                    st.core.close_flow(flow);
+                    st.evicted.push(flow);
+                    // The drained idle flow finishes immediately; its
+                    // engines are freed and a blocked producer may
+                    // reopen it.
+                    self.space.notify_all();
+                }
+                Some(f) if !f.closed => {} // backlog draining: not idle
+                _ => {
+                    st.activity.remove(&flow); // forgotten or already closed
+                }
+            }
+        }
+    }
+
+    // ---- producing --------------------------------------------------
+
+    /// Attempts to buffer `chunk` for `flow`, opening the flow on first
+    /// use. Returns `Poll::Ready(total)` — the flow's new byte length —
+    /// on acceptance, or [`Poll::Pending`] when accepting the chunk
+    /// would push the flow's buffered bytes past the configured
+    /// [`flow_budget`](crate::ServiceConfig::flow_budget) (or when the
+    /// flow is closed/evicted and not yet drained; once drained, the
+    /// next push reopens it fresh). On `Pending`, retry after the
+    /// workers have consumed — or use the blocking
+    /// [`push`](FlowService::push).
+    ///
+    /// A chunk is always accepted when the flow buffers nothing, so a
+    /// chunk larger than the whole budget still makes progress.
+    pub fn try_push(&self, flow: u64, chunk: &[u8]) -> Poll<u64> {
+        let mut st = self.lock();
+        assert!(
+            !st.poisoned,
+            "FlowService is poisoned: a worker panicked mid-scan, so pending flows can never drain"
+        );
+        let result = self.try_push_locked(&mut st, flow, chunk);
+        if result.is_ready() {
+            self.wake.notify_all();
+        }
+        result
+    }
+
+    fn try_push_locked(
+        &self,
+        st: &mut MutexGuard<'_, State<'a>>,
+        flow: u64,
+        chunk: &[u8],
+    ) -> Poll<u64> {
+        let Ok(f) = st.core.open_flow(self.set, flow) else {
+            return Poll::Pending; // closed, not yet drained
+        };
+        let buffered = f.buffered() as usize;
+        // A rejected attempt still proves the producer is alive: refresh
+        // activity either way, so a flow pinned at its budget by slow
+        // consumers is not mistaken for an idle one and evicted
+        // mid-stream (which would silently split it in two). Skipped
+        // entirely when eviction is off — nothing ever reads the map.
+        if self.config.idle_timeout.is_some() {
+            st.activity.insert(flow, Instant::now());
+        }
+        // Empty chunks buffer nothing and are accepted unconditionally.
+        if !chunk.is_empty()
+            && buffered > 0
+            && buffered.saturating_add(chunk.len()) > self.config.flow_budget
+        {
+            return Poll::Pending;
+        }
+        let total = st.core.buffer_chunk(flow, chunk);
+        Poll::Ready(total)
+    }
+
+    /// Buffers `chunk` for `flow`, blocking while the flow is over its
+    /// input budget until the workers free space. Returns the flow's
+    /// new byte length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if it would block with no workers running (outside
+    /// [`run`](FlowService::run)) — nothing would ever free the space.
+    pub fn push(&self, flow: u64, chunk: &[u8]) -> u64 {
+        let mut st = self.lock();
+        loop {
+            if let Poll::Ready(total) = self.try_push_locked(&mut st, flow, chunk) {
+                self.wake.notify_all();
+                return total;
+            }
+            assert!(
+                !st.poisoned,
+                "FlowService is poisoned: a worker panicked mid-scan, so this flow can never drain"
+            );
+            assert!(
+                st.running,
+                "FlowService::push would block forever with no workers running: \
+                 drive the service inside FlowService::run()"
+            );
+            st = self.space.wait(st).expect("service lock poisoned");
+        }
+    }
+
+    /// Marks `flow` closed: buffered bytes are still scanned, after
+    /// which the flow's engines are freed and its `$`-anchored
+    /// [`finishing`](FlowService::finishing) set resolves. Reports stay
+    /// pollable; pushing the id again after it drains reopens it fresh.
+    /// Closing an unknown id is a no-op.
+    pub fn close(&self, flow: u64) {
+        let mut st = self.lock();
+        st.activity.remove(&flow);
+        st.core.close_flow(flow);
+        self.wake.notify_all();
+    }
+
+    /// Blocks until every pushed byte has been consumed by every shard
+    /// — a producer-side flush point before polling for a batch of
+    /// results. (Without it, `poll` simply returns whatever is merged
+    /// so far.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with work pending and no workers running.
+    pub fn barrier(&self) {
+        let mut st = self.lock();
+        while st.core.pending_bytes() > 0 || st.core.in_flight > 0 {
+            assert!(
+                !st.poisoned,
+                "FlowService is poisoned: a worker panicked mid-scan, so the backlog can never drain"
+            );
+            assert!(
+                st.running,
+                "FlowService::barrier would block forever with no workers running: \
+                 drive the service inside FlowService::run()"
+            );
+            st = self.space.wait(st).expect("service lock poisoned");
+        }
+    }
+
+    // ---- consuming --------------------------------------------------
+
+    /// Drains `flow`'s ordered report queue (stream order: ascending
+    /// end, ascending rule within an end) — whatever has been merged so
+    /// far; see [`barrier`](FlowService::barrier) for a flush point.
+    pub fn poll(&self, flow: u64) -> Vec<SetMatch> {
+        self.lock().core.poll_flow(flow)
+    }
+
+    /// Drains `flow`'s finishing set: the `$`-anchored matches ending
+    /// exactly at the flow's final byte, resolved when the closed (or
+    /// evicted) flow finished draining.
+    pub fn finishing(&self, flow: u64) -> Vec<SetMatch> {
+        self.lock().core.finishing_flow(flow)
+    }
+
+    /// Drains the global sink: every merged match of every flow, in
+    /// merge order.
+    pub fn drain_global(&self) -> Vec<FlowMatch> {
+        self.lock().core.drain_sink()
+    }
+
+    /// Drains the ids of flows the idle sweep has evicted since the
+    /// last call. Evicted flows behave exactly like explicitly
+    /// [`close`](FlowService::close)d ones.
+    pub fn evictions(&self) -> Vec<u64> {
+        std::mem::take(&mut self.lock().evicted)
+    }
+
+    /// Number of flows currently tracked (open, or closed with
+    /// undrained reports).
+    pub fn flow_count(&self) -> usize {
+        self.lock().core.flows.len()
+    }
+
+    /// Bytes pushed to `flow` so far (`None` for unknown flows).
+    pub fn flow_len(&self, flow: u64) -> Option<u64> {
+        self.lock().core.flow_len(flow)
+    }
+
+    /// Total bytes buffered but not yet consumed by every shard.
+    pub fn pending_bytes(&self) -> u64 {
+        self.lock().core.pending_bytes()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State<'a>> {
+        self.shared.lock().expect("service lock poisoned")
+    }
+}
+
+impl std::fmt::Debug for FlowService<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.lock();
+        write!(
+            f,
+            "FlowService({} flows, {} shards, {} workers, running = {}, budget = {} B)",
+            st.core.flows.len(),
+            self.set.shard_count(),
+            self.workers,
+            st.running,
+            self.config.flow_budget
+        )
+    }
+}
+
+/// Flips `shutdown` when the producer closure ends (normally or by
+/// panic) so parked workers drain and exit, letting the scope join.
+struct StopGuard<'s, 'a> {
+    svc: &'s FlowService<'a>,
+}
+
+impl Drop for StopGuard<'_, '_> {
+    fn drop(&mut self) {
+        let mut st = self
+            .svc
+            .shared
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        st.shutdown = true;
+        self.svc.wake.notify_all();
+        self.svc.space.notify_all();
+    }
+}
+
+/// Clears the lifecycle flags once the scope has joined (normally or
+/// while unwinding a propagated panic).
+struct ResetGuard<'s, 'a> {
+    svc: &'s FlowService<'a>,
+}
+
+impl Drop for ResetGuard<'_, '_> {
+    fn drop(&mut self) {
+        let mut st = self
+            .svc
+            .shared
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        st.running = false;
+        st.shutdown = false;
+    }
+}
+
+/// Unwind protection for a checked-out unit (see the scheduler's
+/// equivalent): if the unlocked scan panics, the unit's engine is lost
+/// and its flow can never drain, so the drop settles `in_flight`,
+/// marks the service **poisoned**, and wakes both condvars — blocked
+/// producers then panic out of their waits (instead of re-blocking on
+/// a backlog that will never clear) and the scope joins, propagating
+/// the original panic out of [`FlowService::run`].
+struct InFlightGuard<'s, 'a> {
+    svc: &'s FlowService<'a>,
+}
+
+impl Drop for InFlightGuard<'_, '_> {
+    fn drop(&mut self) {
+        let mut st = self
+            .svc
+            .shared
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        st.core.in_flight -= 1;
+        st.poisoned = true;
+        self.svc.wake.notify_all();
+        self.svc.space.notify_all();
+    }
+}

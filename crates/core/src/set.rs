@@ -22,7 +22,8 @@
 //! machinery — same compile front-end, same per-pattern pipeline (parse →
 //! analysis → module selection), same report semantics.
 
-use crate::{MatchSpan, Pattern};
+use crate::engine::{CompileError, CompilePhase};
+use crate::{Engine, MatchSpan, Pattern};
 use recama_compiler::{compile, CompileOptions, CompileOutput};
 use recama_hw::{RuleCost, ShardPlan, ShardPolicy};
 use recama_mnrl::MnrlNetwork;
@@ -67,26 +68,15 @@ impl SetSpan {
     }
 }
 
-/// Error from [`PatternSet::compile_many`]: pattern `index` failed.
-#[derive(Debug)]
-pub struct SetCompileError {
-    /// Index of the offending pattern in the input list.
-    pub index: usize,
-    /// The underlying parse/support error.
-    pub error: ParseError,
-}
-
-impl fmt::Display for SetCompileError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "pattern #{}: {}", self.index, self.error)
-    }
-}
-
-impl std::error::Error for SetCompileError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        Some(&self.error)
-    }
-}
+/// The old name of the ruleset compile failure type. [`CompileError`]
+/// additionally carries the failing rule's source text and the pipeline
+/// phase; the `index` and `error` fields this name always had are still
+/// there.
+#[deprecated(
+    since = "0.2.0",
+    note = "use recama::CompileError (from Engine::builder)"
+)]
+pub type SetCompileError = CompileError;
 
 /// A compiled ruleset partitioned into bank-sized shards: one merged
 /// extended-MNRL network and one shared software automaton **per shard**,
@@ -104,18 +94,22 @@ impl std::error::Error for SetCompileError {
 /// [`stream`]: ShardedPatternSet::stream
 /// [`hardware`]: ShardedPatternSet::hardware
 ///
+/// New code should reach this type through
+/// [`Engine::builder`](crate::Engine::builder) (every compile knob lives
+/// there); the `compile_*` constructors here are deprecated wrappers.
+///
 /// # Examples
 ///
 /// ```
 /// use recama::hw::ShardPolicy;
-/// use recama::{compiler::CompileOptions, ShardedPatternSet};
+/// use recama::Engine;
 ///
-/// let set = ShardedPatternSet::compile_many_with(
-///     &["ab{2,3}c", "xyz", "k\\d{4}"],
-///     &CompileOptions::default(),
-///     ShardPolicy::Fixed(2),
-/// )
-/// .unwrap();
+/// let set = Engine::builder()
+///     .patterns(["ab{2,3}c", "xyz", "k\\d{4}"])
+///     .shard_policy(ShardPolicy::Fixed(2))
+///     .build()
+///     .unwrap()
+///     .into_set();
 /// assert_eq!(set.shard_count(), 2);
 /// // Reports are identical to the unsharded PatternSet, in the same order.
 /// let matches = set.find_ends(b"zabbc..xyz..k1234");
@@ -150,14 +144,12 @@ impl ShardedPatternSet {
     /// Fails on the first pattern that does not parse (or is outside the
     /// supported fragment), identifying its index. Use
     /// [`ShardedPatternSet::compile_filtered`] to skip bad patterns.
-    pub fn compile_many<S: AsRef<str>>(
-        patterns: &[S],
-    ) -> Result<ShardedPatternSet, SetCompileError> {
-        ShardedPatternSet::compile_many_with(
-            patterns,
-            &CompileOptions::default(),
-            ShardPolicy::default(),
-        )
+    #[deprecated(since = "0.2.0", note = "use Engine::builder().patterns(..).build()")]
+    pub fn compile_many<S: AsRef<str>>(patterns: &[S]) -> Result<ShardedPatternSet, CompileError> {
+        Engine::builder()
+            .patterns(patterns)
+            .build()
+            .map(Engine::into_set)
     }
 
     /// Compiles all `patterns` with explicit [`CompileOptions`] and
@@ -166,45 +158,52 @@ impl ShardedPatternSet {
     /// # Errors
     ///
     /// Same as [`ShardedPatternSet::compile_many`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Engine::builder().patterns(..).options(..).shard_policy(..).build()"
+    )]
     pub fn compile_many_with<S: AsRef<str>>(
         patterns: &[S],
         options: &CompileOptions,
         policy: ShardPolicy,
-    ) -> Result<ShardedPatternSet, SetCompileError> {
-        let mut accepted = Vec::with_capacity(patterns.len());
-        for (index, p) in patterns.iter().enumerate() {
-            match recama_syntax::parse(p.as_ref()) {
-                Ok(parsed) => accepted.push((p.as_ref().to_string(), parsed)),
-                Err(error) => return Err(SetCompileError { index, error }),
-            }
-        }
-        Ok(ShardedPatternSet::build(accepted, options, policy))
+    ) -> Result<ShardedPatternSet, CompileError> {
+        Engine::builder()
+            .patterns(patterns)
+            .options(*options)
+            .shard_policy(policy)
+            .build()
+            .map(Engine::into_set)
     }
 
     /// Compiles the parseable subset of `patterns`, returning the set and
     /// the rejected `(index, error)` pairs — the tolerant entry point for
     /// real rulesets, which always contain out-of-fragment rules
     /// (Table 1's unsupported rows).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Engine::builder().lossy(true) and Engine::skipped()"
+    )]
     pub fn compile_filtered<S: AsRef<str>>(
         patterns: &[S],
         options: &CompileOptions,
         policy: ShardPolicy,
     ) -> (ShardedPatternSet, Vec<(usize, ParseError)>) {
-        let mut accepted = Vec::with_capacity(patterns.len());
-        let mut rejected = Vec::new();
-        for (index, p) in patterns.iter().enumerate() {
-            match recama_syntax::parse(p.as_ref()) {
-                Ok(parsed) => accepted.push((p.as_ref().to_string(), parsed)),
-                Err(error) => rejected.push((index, error)),
-            }
-        }
-        (
-            ShardedPatternSet::build(accepted, options, policy),
-            rejected,
-        )
+        let engine = Engine::builder()
+            .patterns(patterns)
+            .options(*options)
+            .shard_policy(policy)
+            .lossy(true)
+            .build()
+            .expect("lossy builds are infallible");
+        let rejected = engine
+            .skipped()
+            .iter()
+            .map(|s| (s.index, s.error.clone()))
+            .collect();
+        (engine.into_set(), rejected)
     }
 
-    fn build(
+    pub(crate) fn build(
         accepted: Vec<(String, Parsed)>,
         options: &CompileOptions,
         policy: ShardPolicy,
@@ -659,9 +658,14 @@ impl fmt::Debug for ShardedSetStream<'_> {
 /// [`network`]: PatternSet::network
 /// [`hardware`]: PatternSet::hardware
 ///
+/// New code should use [`Engine::builder`](crate::Engine::builder) with
+/// [`ShardPolicy::Single`](recama_hw::ShardPolicy::Single); the
+/// `compile_*` constructors here are deprecated wrappers.
+///
 /// # Examples
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// use recama::PatternSet;
 ///
 /// let set = PatternSet::compile_many(&["ab{2,3}c", "xyz", "k\\d{4}"]).unwrap();
@@ -684,8 +688,18 @@ impl PatternSet {
     /// Fails on the first pattern that does not parse (or is outside the
     /// supported fragment), identifying its index. Use
     /// [`PatternSet::compile_filtered`] to skip bad patterns instead.
-    pub fn compile_many<S: AsRef<str>>(patterns: &[S]) -> Result<PatternSet, SetCompileError> {
-        PatternSet::compile_many_with(patterns, &CompileOptions::default())
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Engine::builder().patterns(..).shard_policy(ShardPolicy::Single).build()"
+    )]
+    pub fn compile_many<S: AsRef<str>>(patterns: &[S]) -> Result<PatternSet, CompileError> {
+        Engine::builder()
+            .patterns(patterns)
+            .shard_policy(ShardPolicy::Single)
+            .build()
+            .map(|e| PatternSet {
+                inner: e.into_set(),
+            })
     }
 
     /// Compiles all `patterns` with explicit [`CompileOptions`].
@@ -693,25 +707,54 @@ impl PatternSet {
     /// # Errors
     ///
     /// Same as [`PatternSet::compile_many`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Engine::builder().patterns(..).options(..).shard_policy(ShardPolicy::Single).build()"
+    )]
     pub fn compile_many_with<S: AsRef<str>>(
         patterns: &[S],
         options: &CompileOptions,
-    ) -> Result<PatternSet, SetCompileError> {
-        ShardedPatternSet::compile_many_with(patterns, options, ShardPolicy::Single)
-            .map(|inner| PatternSet { inner })
+    ) -> Result<PatternSet, CompileError> {
+        Engine::builder()
+            .patterns(patterns)
+            .options(*options)
+            .shard_policy(ShardPolicy::Single)
+            .build()
+            .map(|e| PatternSet {
+                inner: e.into_set(),
+            })
     }
 
     /// Compiles the parseable subset of `patterns`, returning the set and
     /// the rejected `(index, error)` pairs — the tolerant entry point for
     /// real rulesets, which always contain out-of-fragment rules
     /// (Table 1's unsupported rows).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Engine::builder().lossy(true) and Engine::skipped()"
+    )]
     pub fn compile_filtered<S: AsRef<str>>(
         patterns: &[S],
         options: &CompileOptions,
     ) -> (PatternSet, Vec<(usize, ParseError)>) {
-        let (inner, rejected) =
-            ShardedPatternSet::compile_filtered(patterns, options, ShardPolicy::Single);
-        (PatternSet { inner }, rejected)
+        let engine = Engine::builder()
+            .patterns(patterns)
+            .options(*options)
+            .shard_policy(ShardPolicy::Single)
+            .lossy(true)
+            .build()
+            .expect("lossy builds are infallible");
+        let rejected = engine
+            .skipped()
+            .iter()
+            .map(|s| (s.index, s.error.clone()))
+            .collect();
+        (
+            PatternSet {
+                inner: engine.into_set(),
+            },
+            rejected,
+        )
     }
 
     /// Number of compiled patterns.
@@ -774,6 +817,7 @@ impl PatternSet {
     /// # Examples
     ///
     /// ```
+    /// # #![allow(deprecated)]
     /// use recama::{PatternSet, SetSpan};
     ///
     /// let set = PatternSet::compile_many(&["ab{2,3}c", "xyz"]).unwrap();
@@ -799,6 +843,7 @@ impl PatternSet {
     /// # Examples
     ///
     /// ```
+    /// # #![allow(deprecated)]
     /// use recama::PatternSet;
     ///
     /// let set = PatternSet::compile_many(&["ab{2}c"]).unwrap();
@@ -882,19 +927,25 @@ impl PatternSet {
     /// # Errors
     ///
     /// Fails like [`PatternSet::compile_many`] on the first bad pattern.
-    pub fn compile_baseline<S: AsRef<str>>(
-        patterns: &[S],
-    ) -> Result<Vec<Pattern>, SetCompileError> {
+    pub fn compile_baseline<S: AsRef<str>>(patterns: &[S]) -> Result<Vec<Pattern>, CompileError> {
         patterns
             .iter()
             .enumerate()
             .map(|(index, p)| {
-                Pattern::compile(p.as_ref()).map_err(|error| SetCompileError { index, error })
+                Pattern::compile(p.as_ref()).map_err(|error| CompileError {
+                    index,
+                    pattern: p.as_ref().to_string(),
+                    phase: CompilePhase::Parse,
+                    error,
+                })
             })
             .collect()
     }
 }
 
+// The deprecated wrappers stay covered on purpose: their contract is
+// byte-identical delegation to the builder.
+#[allow(deprecated)]
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -10,7 +10,7 @@
 //! * [`cam`] — the two-nibble CAM product encoding of character classes;
 //! * [`modules`] — functional models of the counter module (Fig. 6) and
 //!   the bit-vector module (Fig. 7);
-//! * [`place`] — the mapper (module port groups stay within one PE;
+//! * [`place()`] — the mapper (module port groups stay within one PE;
 //!   bit-vector segments share physical 2000-bit modules);
 //! * [`shard`] — bank-aware ruleset sharding: order-preserving partition
 //!   of compiled rules into shards that each fit one bank's capacity;

@@ -7,7 +7,7 @@
 //! partition with one engine per shard on its own thread.
 //!
 //! * [`RuleCost`] measures a rule's footprint with the same estimates the
-//!   mapper ([`crate::place`]) uses: CAM columns under the two-nibble
+//!   mapper ([`crate::place()`]) uses: CAM columns under the two-nibble
 //!   encoding, counter modules, bit-vector bits;
 //! * [`ShardBudget`] is the capacity of one bank (or any coarser unit) in
 //!   those terms, derived from the [`crate::params`] hierarchy constants;

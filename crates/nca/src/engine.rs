@@ -79,7 +79,7 @@ impl<'a> TokenSetEngine<'a> {
         &self.config
     }
 
-    /// See [`TokenSetEngine::max_tokens_per_state`] field docs: a dynamic
+    /// See the `TokenSetEngine::max_tokens_per_state` field docs: a dynamic
     /// lower bound for `degree(q)` maximized over states and inputs seen.
     pub fn observed_degree(&self) -> usize {
         self.max_tokens_per_state

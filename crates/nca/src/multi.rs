@@ -277,7 +277,7 @@ impl ShardedMulti {
         }
     }
 
-    /// Number of shards (≥ 1 whenever built from a [`ShardPlan`]-style
+    /// Number of shards (≥ 1 whenever built from a `ShardPlan`-style
     /// partition; 0 only if `shards` was empty).
     pub fn shard_count(&self) -> usize {
         self.shards.len()

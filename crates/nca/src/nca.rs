@@ -206,7 +206,7 @@ impl CounterInfo {
 ///
 /// Build one from a regex with [`crate::glushkov::build`] (or the
 /// convenience [`Nca::from_regex`]); execute it with the engines in
-/// [`crate::engine`].
+/// the `engine` module.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Nca {
     states: Vec<State>,

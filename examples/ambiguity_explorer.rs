@@ -65,6 +65,24 @@ fn main() {
     );
     assert!(engine.observed_degree() >= 2);
 
+    println!("\n== Verdicts drive the compiled engine ===================");
+    // The same analysis picks the storage module when the patterns are
+    // compiled for real: unambiguous counting gets an O(log n) counter,
+    // ambiguous single-class counting gets a bit vector.
+    let engine = recama::Engine::builder()
+        .rule(32, "^head[0-9]{500}tail") // Example-3.2-style, unambiguous
+        .rule(22, "k.{500}") // Σ*σ{n}: counter-ambiguous
+        .build()
+        .unwrap();
+    for i in 0..engine.len() {
+        println!(
+            "  rule {} ({:40}) -> modules {:?}",
+            engine.rule_id(i),
+            engine.pattern(i),
+            engine.outputs()[i].modules
+        );
+    }
+
     println!("\n== Lemma 3.3: solving SUBSET-SUM with the checker =======");
     for (set, target) in [
         (vec![2u32, 3, 7], 10u32), // 3 + 7 ✓

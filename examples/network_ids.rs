@@ -55,4 +55,27 @@ fn main() {
     );
     let reduction = 100.0 * (1.0 - results[0].1 / results[2].1);
     println!("\nenergy reduction of the augmented design vs unfolding: {reduction:.1}%");
+
+    // The software twin of the same deployment: the whole ruleset behind
+    // the `Engine` facade (bank-aware sharding, parallel scan), attributing
+    // hits to rules.
+    let engine = recama::Engine::builder()
+        .patterns(&patterns)
+        .lossy(true)
+        .build()
+        .expect("lossy builds are infallible");
+    let hits = engine.scan(&input);
+    let mut per_rule = vec![0usize; engine.len()];
+    for m in &hits {
+        per_rule[m.pattern] += 1;
+    }
+    if let Some((rule, count)) = per_rule.iter().enumerate().max_by_key(|&(_, n)| n) {
+        println!(
+            "software engine: {} shard(s), {} reports; hottest rule {:?} with {} hits",
+            engine.shard_count(),
+            hits.len(),
+            engine.pattern(rule),
+            count
+        );
+    }
 }

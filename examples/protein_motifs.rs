@@ -41,6 +41,26 @@ fn main() {
         report.area.total_mm2()
     );
 
+    // Motif *extents* through the facade: the engine locates full
+    // `[start, end)` spans (automata report only ends; the reversed-NCA
+    // pass recovers starts), which is what an annotation pipeline wants.
+    let engine = recama::Engine::builder()
+        .patterns(&patterns)
+        .lossy(true)
+        .build()
+        .expect("lossy builds are infallible");
+    let spans = engine.scan_spans(&sequence);
+    println!("located motif spans:   {}", spans.len());
+    for s in spans.iter().take(3) {
+        println!(
+            "  motif #{} ({}) spans residues {}..{}",
+            s.pattern,
+            engine.pattern(s.pattern),
+            s.start,
+            s.end
+        );
+    }
+
     // Spot-check one hit against the software reference engine.
     if let Some(rule) = out.rules.first() {
         let mut sw = recama::nca::CompiledEngine::conservative(&rule.nca);

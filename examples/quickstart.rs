@@ -49,4 +49,20 @@ fn main() {
         report.area.total_mm2()
     );
     println!("hardware reports: {:?}", report.match_ends);
+
+    // 5. Rulesets scale through the same facade: `Engine::builder()` is
+    //    the one entry point for whole-set scanning, spans, streams, and
+    //    flow serving (see the ruleset_stream / network_ids examples).
+    let engine = recama::Engine::builder()
+        .rule(1, source)
+        .rule(2, r"Host: [a-z.]{1,40}\n")
+        .build()
+        .expect("ruleset compiles");
+    for m in engine.scan(haystack) {
+        println!(
+            "engine:           rule id {} matched ending at {}",
+            engine.rule_id(m.pattern),
+            m.end
+        );
+    }
 }

@@ -1,14 +1,15 @@
 //! Whole-ruleset streaming: compile a Snort-like ruleset into ONE shared
-//! machine image with `PatternSet`, stream traffic through it in
-//! MTU-sized chunks, and compare against the loop-over-`Pattern`
-//! baseline.
+//! machine image with `Engine::builder()` (single-shard policy), stream
+//! traffic through it in MTU-sized chunks, and compare against the
+//! loop-over-`Pattern` baseline.
 //!
 //! ```sh
 //! cargo run --release --example ruleset_stream
 //! ```
 
+use recama::hw::ShardPolicy;
 use recama::workloads::{generate, traffic, BenchmarkId, PatternClass};
-use recama::{Pattern, PatternSet};
+use recama::{Engine, Pattern};
 use std::time::Instant;
 
 fn main() {
@@ -24,24 +25,28 @@ fn main() {
     let input = traffic(&ruleset, 64 * 1024, 0.0005, 7);
 
     let start = Instant::now();
-    let (set, rejected) =
-        PatternSet::compile_filtered(&patterns, &recama::compiler::CompileOptions::default());
+    let engine = Engine::builder()
+        .patterns(&patterns)
+        .shard_policy(ShardPolicy::Single) // ONE merged machine image
+        .lossy(true) // skip out-of-fragment rules, queryably
+        .build()
+        .expect("lossy builds are infallible");
     println!(
         "compiled {} patterns into one image in {:?} ({} rejected)",
-        set.len(),
+        engine.len(),
         start.elapsed(),
-        rejected.len()
+        engine.skipped().len()
     );
-    let (stes, counters, bitvectors) = set.network().counts_by_type();
+    let (stes, counters, bitvectors) = engine.network(0).counts_by_type();
     println!("merged network: {stes} STEs + {counters} counters + {bitvectors} bit vectors");
     println!(
         "shared alphabet: {} byte classes instead of 256",
-        set.multi().alphabet().len()
+        engine.set().multi().alphabet().len()
     );
 
     // Stream the traffic in MTU-sized chunks, as an IDS tap would.
     let start = Instant::now();
-    let mut stream = set.stream();
+    let mut stream = engine.stream();
     let mut hits = 0usize;
     let mut first: Option<(usize, usize)> = None;
     for chunk in input.chunks(1500) {
@@ -60,7 +65,7 @@ fn main() {
     if let Some((p, end)) = first {
         println!(
             "first hit: pattern #{p} ({:?}) ending at byte {end}",
-            set.pattern(p)
+            engine.pattern(p)
         );
     }
 
@@ -81,7 +86,7 @@ fn main() {
 
     // The same image runs on the simulated accelerator, with reports
     // attributed to rules through the stamped report ids.
-    let mut hw = set.hardware();
+    let mut hw = engine.hardware(0);
     let sample = &input[..4096];
     let by_rule = hw.match_ends_by_rule(sample);
     println!(
@@ -91,7 +96,7 @@ fn main() {
     for (rule, end) in by_rule.iter().take(3) {
         println!(
             "  rule #{rule} ({:?}) at byte {end}",
-            set.pattern(*rule as usize)
+            engine.pattern(*rule as usize)
         );
     }
 }

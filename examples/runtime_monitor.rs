@@ -17,41 +17,72 @@
 //! cargo run --example runtime_monitor
 //! ```
 
-use recama::Pattern;
+use recama::{Engine, Pattern};
+
+/// Stable property ids for the monitor's rules (the ids an alert
+/// pipeline would key on).
+const VIOLATION: u64 = 901;
+const GRANTED: u64 = 902;
 
 fn main() {
-    // Alphabet: R = request, G = grant, '.' = idle tick.
-    // Violation: an R with no G in the next 8 ticks.
-    let violation = Pattern::compile(r"R[^G]{8}").expect("compiles");
-    // In-window grant: an R, 3–8 non-grant ticks, then a G (response
-    // arrived within the deadline but not too early).
-    let granted = Pattern::compile(r"R[^G]{3,8}G").expect("compiles");
+    // Alphabet: R = request, G = grant, '.' = idle tick. Both
+    // properties compile into ONE monitoring engine, each with an
+    // explicit rule id:
+    //   violation — an R with no G in the next 8 ticks;
+    //   granted   — an R, 3–8 non-grant ticks, then a G (response
+    //               within the deadline but not too early).
+    let monitor = Engine::builder()
+        .rule(VIOLATION, r"R[^G]{8}")
+        .rule(GRANTED, r"R[^G]{3,8}G")
+        .build()
+        .expect("compiles");
 
     let trace = b"...R....G.....R.........G...R..G......R....G";
     //               ^req  ^grant    ^req (late!)   ^too early  ^ok
 
     println!("trace:   {}", String::from_utf8_lossy(trace));
-    let violations = violation.find_ends(trace);
-    let grants = granted.find_ends(trace);
+    let mut violations = Vec::new();
+    let mut grants = Vec::new();
+    for m in monitor.scan(trace) {
+        match monitor.rule_id(m.pattern) {
+            VIOLATION => violations.push(m.end),
+            GRANTED => grants.push(m.end),
+            _ => unreachable!(),
+        }
+    }
     println!("violations detected at offsets: {violations:?}");
     println!("in-window grants at offsets:    {grants:?}");
 
     // The monitor hardware: one STE + one module per property, no
     // unfolding of the window.
-    for (name, p) in [("violation", &violation), ("granted", &granted)] {
+    for (name, i) in [("violation", 0usize), ("granted", 1)] {
+        let p = Pattern::compile(monitor.pattern(i)).expect("compiles");
         let (stes, counters, bitvectors) = p.network().counts_by_type();
         let modules = p.compiled().modules.clone();
         println!(
             "{name:10} -> {stes} STEs, {counters} counters, {bitvectors} bit vectors ({modules:?})"
         );
-        // Cross-check software and hardware streams.
+        // Cross-check the per-property software and hardware streams.
         let mut hw = p.hardware();
         assert_eq!(hw.match_ends(trace), p.find_ends(trace));
     }
+
+    // A monitor is a stream consumer: ticks arrive one at a time, and
+    // the engine's resumable stream raises the same alerts online.
+    let mut online = Vec::new();
+    let mut stream = monitor.stream();
+    for tick in trace {
+        for m in stream.feed(&[*tick]) {
+            if monitor.rule_id(m.pattern) == VIOLATION {
+                online.push(m.end);
+            }
+        }
+    }
+    assert_eq!(online, violations, "online monitoring agrees with batch");
 
     // Sanity: the second request (offset 14) is violated — 9+ idle ticks
     // before its grant.
     assert!(!violations.is_empty(), "the late grant must be flagged");
     assert!(!grants.is_empty(), "the compliant grants must be seen");
-    println!("\nhardware and software monitors agree on both properties");
+    println!("\nbatch, online, and hardware monitors agree on both properties");
 }

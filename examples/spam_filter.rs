@@ -51,13 +51,36 @@ fn main() {
         }
     }
 
-    // End-to-end: match one rule against a crafted email body.
-    let needle = "prize";
-    let pattern = Pattern::compile(&format!("{needle}[a-z ]{{4,30}}claim")).expect("compiles");
+    // End-to-end: the whole (parseable) ruleset in ONE engine, plus a
+    // crafted demo rule, scanned against an email body. `lossy(true)`
+    // skips the out-of-fragment rules and records them queryably.
+    let demo = "prize[a-z ]{4,30}claim";
+    let engine = recama::Engine::builder()
+        .patterns(ruleset.patterns.iter().map(|(p, _)| p.as_str()))
+        .pattern(demo)
+        .lossy(true)
+        .build()
+        .expect("lossy builds are infallible");
+    println!(
+        "\nwhole ruleset in one engine: {} rules compiled, {} skipped as unsupported",
+        engine.len(),
+        engine.skipped().len()
+    );
     let email = b"Subject: you won!\n\nYour prize is waiting to claim today. prize now claim.";
-    let ends = pattern.find_ends(email);
-    println!("\nmatch ends in the demo email: {ends:?}");
+    let demo_index = engine.len() - 1; // the demo rule was added last
+    let ends: Vec<usize> = engine
+        .scan(email)
+        .into_iter()
+        .filter(|m| m.pattern == demo_index)
+        .map(|m| m.end)
+        .collect();
+    println!("demo-rule match ends in the email: {ends:?}");
     assert!(!ends.is_empty());
+
+    // The single-pattern pipeline agrees, in software and simulated
+    // hardware alike.
+    let pattern = Pattern::compile(demo).expect("compiles");
+    assert_eq!(pattern.find_ends(email), ends, "engine agrees with Pattern");
     let mut hw = pattern.hardware();
     assert_eq!(hw.match_ends(email), ends, "hardware agrees with software");
     println!("hardware simulation agrees ({} reports)", ends.len());

@@ -1,0 +1,232 @@
+//! Snapshot of `recama`'s exported public surface (the crate root, not
+//! the re-exported sub-crates), without macros or rustdoc JSON:
+//!
+//! * `ROOT_EXPORTS` is the checked-in listing of every name exported
+//!   from the crate root — reviewed like a lockfile, so adding or
+//!   removing an export is a visible diff in this file;
+//! * the `signature pins` below coerce each important method to an
+//!   explicit `fn` pointer type, so changing an exported signature
+//!   fails to *compile* this test rather than silently drifting.
+//!
+//! When an intentional API change lands, update the listing/pins in the
+//! same commit — that is the review hook.
+
+#![allow(deprecated)] // the deprecated wrappers are part of the pinned surface
+
+use recama::compiler::CompileOptions;
+use recama::hw::ShardPolicy;
+use recama::syntax::ParseError;
+use recama::{
+    CompileError, CompilePhase, Engine, EngineBuilder, FlowMatch, FlowScheduler, FlowService,
+    MatchSpan, Pattern, PatternSet, ServiceConfig, SetCompileError, SetMatch, SetSpan, SetStream,
+    ShardedPatternSet, ShardedSetStream, SkippedRule,
+};
+use std::task::Poll;
+use std::time::Duration;
+
+/// Every name exported from the `recama` crate root, sorted. Module
+/// re-exports of the sub-crates (`analysis`, `compiler`, `hw`, `mnrl`,
+/// `nca`, `syntax`, `workloads`) and the `sched` module are listed as
+/// modules, not expanded.
+const ROOT_EXPORTS: &[&str] = &[
+    "CompileError",
+    "CompilePhase",
+    "Engine",
+    "EngineBuilder",
+    "FlowMatch",
+    "FlowScheduler",
+    "FlowService",
+    "MatchSpan",
+    "Pattern",
+    "PatternSet",
+    "ServiceConfig",
+    "SetCompileError (deprecated = CompileError)",
+    "SetMatch",
+    "SetSpan",
+    "SetStream",
+    "ShardedPatternSet",
+    "ShardedSetStream",
+    "SkippedRule",
+    "mod analysis",
+    "mod compiler",
+    "mod hw",
+    "mod mnrl",
+    "mod nca",
+    "mod sched",
+    "mod syntax",
+    "mod workloads",
+];
+
+#[test]
+fn export_listing_is_sorted_and_unique() {
+    assert!(
+        ROOT_EXPORTS.windows(2).all(|w| w[0] < w[1]),
+        "keep ROOT_EXPORTS sorted so diffs stay reviewable"
+    );
+}
+
+// ---- signature pins ----------------------------------------------------
+// Each binding coerces a public method to an explicit fn-pointer type.
+// A drifted signature is a compile error in this file.
+
+#[test]
+fn engine_builder_signatures() {
+    let _: fn() -> EngineBuilder = Engine::builder;
+    let _: fn(Vec<String>) -> Result<Engine, CompileError> = |p| Engine::new(p);
+    let _: fn(EngineBuilder, &str) -> EngineBuilder = |b, p| b.pattern(p);
+    let _: fn(EngineBuilder, u64, &str) -> EngineBuilder = |b, id, p| b.rule(id, p);
+    let _: fn(EngineBuilder, Vec<String>) -> EngineBuilder = |b, ps| b.patterns(ps);
+    let _: fn(EngineBuilder, CompileOptions) -> EngineBuilder = EngineBuilder::options;
+    let _: fn(EngineBuilder, ShardPolicy) -> EngineBuilder = EngineBuilder::shard_policy;
+    let _: fn(EngineBuilder, usize) -> EngineBuilder = EngineBuilder::workers;
+    let _: fn(EngineBuilder, ServiceConfig) -> EngineBuilder = EngineBuilder::service_config;
+    let _: fn(EngineBuilder, bool) -> EngineBuilder = EngineBuilder::lossy;
+    let _: fn(EngineBuilder) -> Result<Engine, CompileError> = EngineBuilder::build;
+}
+
+#[test]
+fn engine_signatures() {
+    let _: fn(&Engine, &[u8]) -> Vec<SetMatch> = |e, h| e.scan(h);
+    let _: fn(&Engine, &[u8]) -> Vec<SetSpan> = |e, h| e.scan_spans(h);
+    let _: fn(&Engine, &[u8]) -> bool = |e, h| e.is_match(h);
+    let _: for<'a> fn(&'a Engine) -> ShardedSetStream<'a> = |e| e.stream();
+    let _: for<'a> fn(&'a Engine) -> FlowScheduler<'a> = |e| e.scheduler();
+    let _: for<'a> fn(&'a Engine, usize) -> FlowScheduler<'a> = |e, w| e.scheduler_with(w);
+    let _: for<'a> fn(&'a Engine) -> FlowService<'a> = |e| e.service();
+    let _: for<'a> fn(&'a Engine, usize, ServiceConfig) -> FlowService<'a> =
+        |e, w, c| e.service_with(w, c);
+    let _: fn(&Engine) -> usize = Engine::len;
+    let _: fn(&Engine) -> bool = Engine::is_empty;
+    let _: for<'a> fn(&'a Engine, usize) -> &'a str = |e, i| e.pattern(i);
+    let _: fn(&Engine, usize) -> u64 = Engine::rule_id;
+    let _: fn(&Engine, usize) -> usize = Engine::source_index;
+    let _: for<'a> fn(&'a Engine) -> &'a [SkippedRule] = |e| e.skipped();
+    let _: fn(&Engine) -> usize = Engine::shard_count;
+    let _: fn(&Engine) -> usize = Engine::workers;
+    let _: fn(&Engine) -> ServiceConfig = Engine::service_config;
+    let _: for<'a> fn(&'a Engine) -> &'a ShardedPatternSet = |e| e.set();
+    let _: fn(Engine) -> ShardedPatternSet = Engine::into_set;
+}
+
+#[test]
+fn flow_service_signatures() {
+    let _: fn(&FlowService<'_>, u64, &[u8]) -> Poll<u64> = |s, f, c| s.try_push(f, c);
+    let _: fn(&FlowService<'_>, u64, &[u8]) -> u64 = |s, f, c| s.push(f, c);
+    let _: fn(&FlowService<'_>, u64) = |s, f| s.close(f);
+    let _: fn(&FlowService<'_>) = |s| s.barrier();
+    let _: fn(&FlowService<'_>, u64) -> Vec<SetMatch> = |s, f| s.poll(f);
+    let _: fn(&FlowService<'_>, u64) -> Vec<SetMatch> = |s, f| s.finishing(f);
+    let _: fn(&FlowService<'_>) -> Vec<FlowMatch> = |s| s.drain_global();
+    let _: fn(&FlowService<'_>) -> Vec<u64> = |s| s.evictions();
+    let _: fn(&FlowService<'_>) -> usize = |s| s.flow_count();
+    let _: fn(&FlowService<'_>, u64) -> Option<u64> = |s, f| s.flow_len(f);
+    let _: fn(&FlowService<'_>) -> u64 = |s| s.pending_bytes();
+    let _: fn(&FlowService<'_>) -> usize = |s| s.workers();
+    let _: fn(&FlowService<'_>) -> ServiceConfig = |s| s.config();
+}
+
+#[test]
+fn flow_scheduler_signatures() {
+    let _: for<'a> fn(&'a ShardedPatternSet, usize) -> FlowScheduler<'a> =
+        |s, w| FlowScheduler::new(s, w);
+    let _: fn(&FlowScheduler<'_>, u64, &[u8]) = |s, f, c| s.push(f, c);
+    let _: fn(&FlowScheduler<'_>) = |s| s.run();
+    let _: fn(&FlowScheduler<'_>, u64) = |s, f| s.close(f);
+    let _: fn(&FlowScheduler<'_>, u64) -> Vec<SetMatch> = |s, f| s.poll(f);
+    let _: fn(&FlowScheduler<'_>, u64) -> Vec<SetMatch> = |s, f| s.finishing(f);
+    let _: fn(&FlowScheduler<'_>) -> Vec<FlowMatch> = |s| s.drain_global();
+    let _: fn(&FlowScheduler<'_>) -> usize = |s| s.flow_count();
+    let _: fn(&FlowScheduler<'_>, u64) -> Option<u64> = |s, f| s.flow_len(f);
+    let _: fn(&FlowScheduler<'_>) -> u64 = |s| s.pending_bytes();
+}
+
+#[test]
+fn stream_signatures() {
+    let _: fn(&mut SetStream<'_>, &[u8]) -> Vec<SetMatch> = |s, c| s.feed(c).collect();
+    let _: fn(&SetStream<'_>) -> u64 = |s| s.position();
+    let _: fn(&mut SetStream<'_>) = |s| s.reset();
+    let _: fn(SetStream<'_>) -> Vec<SetMatch> = |s| s.finish();
+    let _: fn(&mut ShardedSetStream<'_>, &[u8]) -> Vec<SetMatch> = |s, c| s.feed(c).collect();
+    let _: fn(&ShardedSetStream<'_>) -> u64 = |s| s.position();
+    let _: fn(&ShardedSetStream<'_>) -> usize = |s| s.shard_count();
+    let _: fn(&mut ShardedSetStream<'_>) = |s| s.reset();
+    let _: fn(ShardedSetStream<'_>) -> Vec<SetMatch> = |s| s.finish();
+}
+
+#[allow(clippy::type_complexity)] // the pins ARE the explicit types
+#[test]
+fn deprecated_wrapper_signatures() {
+    // The old constructors must keep compiling with their historical
+    // shapes (the differential suites depend on them verbatim).
+    let _: fn(&[&str]) -> Result<PatternSet, SetCompileError> = |p| PatternSet::compile_many(p);
+    let _: fn(&[&str], &CompileOptions) -> Result<PatternSet, SetCompileError> =
+        |p, o| PatternSet::compile_many_with(p, o);
+    let _: fn(&[&str], &CompileOptions) -> (PatternSet, Vec<(usize, ParseError)>) =
+        |p, o| PatternSet::compile_filtered(p, o);
+    let _: fn(&[&str]) -> Result<Vec<Pattern>, CompileError> = |p| PatternSet::compile_baseline(p);
+    let _: fn(&[&str]) -> Result<ShardedPatternSet, SetCompileError> =
+        |p| ShardedPatternSet::compile_many(p);
+    let _: fn(&[&str], &CompileOptions, ShardPolicy) -> Result<ShardedPatternSet, SetCompileError> =
+        |p, o, s| ShardedPatternSet::compile_many_with(p, o, s);
+    let _: fn(
+        &[&str],
+        &CompileOptions,
+        ShardPolicy,
+    ) -> (ShardedPatternSet, Vec<(usize, ParseError)>) =
+        |p, o, s| ShardedPatternSet::compile_filtered(p, o, s);
+}
+
+// ---- field pins (struct shapes) ---------------------------------------
+// Destructuring fails to compile if public fields change name or type.
+
+#[allow(dead_code)]
+fn pin_compile_error(e: CompileError) -> (usize, String, CompilePhase, ParseError) {
+    let CompileError {
+        index,
+        pattern,
+        phase,
+        error,
+    } = e;
+    (index, pattern, phase, error)
+}
+
+#[allow(dead_code)]
+fn pin_skipped_rule(s: SkippedRule) -> (usize, u64, String, ParseError) {
+    let SkippedRule {
+        index,
+        id,
+        pattern,
+        error,
+    } = s;
+    (index, id, pattern, error)
+}
+
+#[allow(dead_code)]
+fn pin_service_config(c: ServiceConfig) -> (usize, Option<Duration>) {
+    let ServiceConfig {
+        flow_budget,
+        idle_timeout,
+    } = c;
+    (flow_budget, idle_timeout)
+}
+
+#[allow(dead_code)]
+fn pin_match_types(m: SetMatch, s: SetSpan, f: FlowMatch, p: MatchSpan) -> [usize; 8] {
+    [
+        m.pattern, m.end, s.pattern, s.start, s.end, f.pattern, f.end, p.start,
+    ]
+}
+
+#[test]
+fn compile_phase_variants_are_stable() {
+    // Matching is exhaustive: a new phase variant must be added here
+    // (and to the docs) deliberately.
+    for phase in [CompilePhase::Parse, CompilePhase::Map, CompilePhase::Shard] {
+        let label = match phase {
+            CompilePhase::Parse => "parse",
+            CompilePhase::Map => "map",
+            CompilePhase::Shard => "shard",
+        };
+        assert_eq!(phase.to_string(), label);
+    }
+}

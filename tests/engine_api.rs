@@ -1,0 +1,494 @@
+//! The `Engine` facade, end to end: builder → scan / spans / stream /
+//! scheduler / service, structured compile errors, lossy builds,
+//! backpressure (`try_push` → `Poll::Pending` at the configured
+//! budget), idle-flow eviction, and the stream `reset()` regression
+//! (reset + rescan must equal a fresh scan, `finish()` included).
+
+use recama::hw::ShardPolicy;
+use recama::{CompilePhase, Engine, ServiceConfig, SetMatch};
+use std::task::Poll;
+use std::time::Duration;
+
+const PATTERNS: [&str; 4] = ["ab{2,3}c", "a{3}", "x[yz]{2}", "k\\d{2}$"];
+const HAYSTACK: &[u8] = b"abbc.aaa.xyz.abbbc_k42";
+
+/// Per-pattern loop baseline for the expected (pattern, end) reports.
+fn baseline(patterns: &[&str], haystack: &[u8]) -> Vec<SetMatch> {
+    let mut expected = Vec::new();
+    for (pi, p) in recama::PatternSet::compile_baseline(patterns)
+        .unwrap()
+        .iter()
+        .enumerate()
+    {
+        for end in p.find_ends(haystack) {
+            expected.push(SetMatch { pattern: pi, end });
+        }
+    }
+    expected.sort();
+    expected
+}
+
+#[test]
+fn builder_scan_matches_per_pattern_baseline() {
+    for policy in [
+        ShardPolicy::Single,
+        ShardPolicy::Fixed(2),
+        ShardPolicy::default(),
+    ] {
+        let engine = Engine::builder()
+            .patterns(PATTERNS)
+            .shard_policy(policy)
+            .build()
+            .unwrap();
+        let mut got = engine.scan(HAYSTACK);
+        got.sort();
+        assert_eq!(got, baseline(&PATTERNS, HAYSTACK), "policy {policy:?}");
+    }
+}
+
+#[test]
+fn scan_spans_agree_with_per_pattern_spans() {
+    let engine = Engine::new(["ab{2,3}c", "xyz"]).unwrap();
+    let spans = engine.scan_spans(b"zzabbc..xyz..abbbc");
+    for (pi, p) in ["ab{2,3}c", "xyz"].iter().enumerate() {
+        let pattern = recama::Pattern::compile(p).unwrap();
+        let expected: Vec<_> = pattern.find_spans(b"zzabbc..xyz..abbbc");
+        let got: Vec<_> = spans
+            .iter()
+            .filter(|s| s.pattern == pi)
+            .map(|s| s.span())
+            .collect();
+        assert_eq!(got, expected, "pattern {p}");
+    }
+}
+
+#[test]
+fn rules_carry_explicit_ids() {
+    let engine = Engine::builder()
+        .rule(2009, "ab")
+        .rule(404, "cd")
+        .pattern("ef") // id defaults to the add-order index
+        .build()
+        .unwrap();
+    assert_eq!(engine.len(), 3);
+    assert_eq!(engine.rule_id(0), 2009);
+    assert_eq!(engine.rule_id(1), 404);
+    assert_eq!(engine.rule_id(2), 2);
+    assert_eq!(engine.pattern(1), "cd");
+    // Matches report the rule index; ids translate.
+    let hits = engine.scan(b"cd");
+    assert_eq!(hits, vec![SetMatch { pattern: 1, end: 2 }]);
+    assert_eq!(engine.rule_id(hits[0].pattern), 404);
+}
+
+#[test]
+fn strict_build_reports_index_pattern_and_phase() {
+    let err = Engine::builder()
+        .patterns(["ok", "bad(", "ok2"])
+        .build()
+        .unwrap_err();
+    assert_eq!(err.index, 1);
+    assert_eq!(err.pattern, "bad(");
+    assert_eq!(err.phase, CompilePhase::Parse);
+    let msg = err.to_string();
+    assert!(msg.contains("#1") && msg.contains("bad("), "{msg}");
+    // The underlying ParseError chains as the source.
+    assert!(std::error::Error::source(&err).is_some());
+}
+
+#[test]
+fn lossy_build_records_skipped_rules_queryably() {
+    let engine = Engine::builder()
+        .rule(10, "a{2}")
+        .rule(11, r"(x)\1") // out of fragment: skipped
+        .rule(12, "b{3}")
+        .lossy(true)
+        .build()
+        .unwrap();
+    assert_eq!(engine.len(), 2);
+    let skipped = engine.skipped();
+    assert_eq!(skipped.len(), 1);
+    assert_eq!(skipped[0].index, 1);
+    assert_eq!(skipped[0].id, 11);
+    assert_eq!(skipped[0].pattern, r"(x)\1");
+    assert!(skipped[0].error.is_unsupported());
+    // Compiled indices remap onto the original add order and ids.
+    assert_eq!(engine.source_index(0), 0);
+    assert_eq!(engine.source_index(1), 2);
+    assert_eq!(engine.rule_id(1), 12);
+    assert!(engine.is_match(b"bbb"));
+}
+
+#[test]
+fn strict_build_is_lossless_or_fails() {
+    // A lossy build of only-good rules skips nothing.
+    let engine = Engine::builder()
+        .patterns(PATTERNS)
+        .lossy(true)
+        .build()
+        .unwrap();
+    assert!(engine.skipped().is_empty());
+    assert_eq!(engine.len(), PATTERNS.len());
+}
+
+#[test]
+fn stream_agrees_with_scan_across_chunkings() {
+    let engine = Engine::builder()
+        .patterns(["ab{2,4}c", "x{3}", "q[rs]{2}t"])
+        .shard_policy(ShardPolicy::Fixed(3))
+        .build()
+        .unwrap();
+    let input = b"zabbbc_xxx_qrst_abbc_xxxx";
+    let oneshot = engine.scan(input);
+    for chunk_len in [1usize, 3, 9, input.len()] {
+        let mut stream = engine.stream();
+        let mut got = Vec::new();
+        for chunk in input.chunks(chunk_len) {
+            got.extend(stream.feed(chunk));
+        }
+        assert_eq!(got, oneshot, "chunk length {chunk_len}");
+    }
+}
+
+/// Regression pin (reset bug): a reset stream must behave exactly like
+/// a fresh one — `feed` reports AND the `$`-anchor `finish()` set. A
+/// stale `DollarTracker` would resurrect the pre-reset candidates or
+/// report them at stale offsets.
+#[test]
+fn reset_stream_equals_fresh_stream_including_finish() {
+    let patterns = ["ab$", "ab", "cd$"];
+    for policy in [ShardPolicy::Single, ShardPolicy::Fixed(2)] {
+        let engine = Engine::builder()
+            .patterns(patterns)
+            .shard_policy(policy)
+            .build()
+            .unwrap();
+
+        // Fresh stream over the second input: the reference behavior.
+        let second: &[&[u8]] = &[b"zz", b"a", b"b"];
+        let mut fresh = engine.stream();
+        let mut fresh_feed = Vec::new();
+        for chunk in second {
+            fresh_feed.extend(fresh.feed(chunk));
+        }
+        let fresh_finish = fresh.finish();
+        assert_eq!(
+            fresh_finish,
+            vec![SetMatch { pattern: 0, end: 4 }],
+            "ab$ ends on the final byte of the second input"
+        );
+
+        // Same stream object: first input (with its own $ candidates,
+        // ending on a DIFFERENT offset), then reset, then the second
+        // input. Everything after the reset must match the fresh run.
+        let mut reused = engine.stream();
+        for chunk in [&b"ab.c"[..], b"d"] {
+            reused.feed(chunk).count(); // ab$ candidate at 2, cd$ at 5
+        }
+        reused.reset();
+        assert_eq!(reused.position(), 0, "reset rewinds to position 0");
+        let mut reused_feed = Vec::new();
+        for chunk in second {
+            reused_feed.extend(reused.feed(chunk));
+        }
+        assert_eq!(reused_feed, fresh_feed, "policy {policy:?}");
+        assert_eq!(reused.finish(), fresh_finish, "policy {policy:?}");
+    }
+}
+
+#[test]
+fn scheduler_from_engine_serves_flows() {
+    let engine = Engine::builder()
+        .patterns(["ab{2}c", "xyz"])
+        .shard_policy(ShardPolicy::Fixed(2))
+        .workers(2)
+        .build()
+        .unwrap();
+    assert_eq!(engine.workers(), 2);
+    let sched = engine.scheduler();
+    sched.push(7, b"..ab");
+    sched.push(9, b"xy");
+    sched.run();
+    sched.push(9, b"z");
+    sched.push(7, b"bc!");
+    sched.run();
+    let hits: Vec<_> = sched.poll(7).iter().map(|m| (m.pattern, m.end)).collect();
+    assert_eq!(hits, vec![(0, 6)]);
+    let hits: Vec<_> = sched.poll(9).iter().map(|m| (m.pattern, m.end)).collect();
+    assert_eq!(hits, vec![(1, 3)]);
+}
+
+#[test]
+fn service_reports_match_independent_streams() {
+    let engine = Engine::builder()
+        .patterns(["ab{2,4}c", "x{3}", "q[rs]{2}t"])
+        .shard_policy(ShardPolicy::Fixed(3))
+        .workers(3)
+        .build()
+        .unwrap();
+    let flow_a: Vec<&[u8]> = vec![b"zab", b"bbc_x", b"xx"];
+    let flow_b: Vec<&[u8]> = vec![b"qrst", b"", b"_abbc"];
+    let (got_a, got_b, global) = engine.service().run(|svc| {
+        svc.push(1, flow_a[0]);
+        svc.push(2, flow_b[0]);
+        svc.push(2, flow_b[1]);
+        svc.push(1, flow_a[1]);
+        svc.push(2, flow_b[2]);
+        svc.push(1, flow_a[2]);
+        svc.barrier();
+        (svc.poll(1), svc.poll(2), svc.drain_global())
+    });
+    let expected = |chunks: &[&[u8]]| {
+        let mut stream = engine.stream();
+        let mut out = Vec::new();
+        for chunk in chunks {
+            out.extend(stream.feed(chunk));
+        }
+        out
+    };
+    assert_eq!(got_a, expected(&flow_a));
+    assert_eq!(got_b, expected(&flow_b));
+    assert_eq!(global.len(), got_a.len() + got_b.len());
+}
+
+#[test]
+fn try_push_applies_backpressure_at_the_budget() {
+    let engine = Engine::builder()
+        .patterns(["ab"])
+        .service_config(ServiceConfig {
+            flow_budget: 8,
+            idle_timeout: None,
+        })
+        .build()
+        .unwrap();
+    let svc = engine.service();
+
+    // No workers are running yet, so nothing consumes: the budget math
+    // is deterministic. First chunk: empty buffer, always accepted.
+    assert_eq!(svc.try_push(1, b"123456"), Poll::Ready(6));
+    // 6 buffered + 6 > 8: pushed back.
+    assert_eq!(svc.try_push(1, b"abcdef"), Poll::Pending);
+    // A small chunk still fits under the budget.
+    assert_eq!(svc.try_push(1, b"78"), Poll::Ready(8));
+    // Exactly at budget: the next byte is pushed back.
+    assert_eq!(svc.try_push(1, b"9"), Poll::Pending);
+    // An empty chunk buffers nothing: accepted even over budget.
+    assert_eq!(svc.try_push(1, b""), Poll::Ready(8));
+    // Another flow has its own budget.
+    assert_eq!(svc.try_push(2, b"ab"), Poll::Ready(2));
+
+    // Run the workers: the backlog drains, space frees, pushes resume.
+    engine.service().run(|_| {}); // (fresh service: just exercises run/shutdown)
+    svc.run(|svc| {
+        svc.barrier();
+        assert_eq!(svc.pending_bytes(), 0);
+        assert_eq!(svc.try_push(1, b"9ab"), Poll::Ready(11));
+        // Blocking push: waits for the workers instead of returning
+        // Pending, even when the chunk exceeds the whole budget.
+        assert_eq!(svc.push(1, &[b'a'; 64]), 75);
+        svc.barrier();
+    });
+    // Flow 2's "ab" was scanned during the run.
+    assert_eq!(svc.poll(2), vec![SetMatch { pattern: 0, end: 2 }]);
+}
+
+#[test]
+fn blocking_push_streams_a_large_flow_through_a_small_budget() {
+    let engine = Engine::builder()
+        .patterns(["kk"])
+        .workers(2)
+        .service_config(ServiceConfig {
+            flow_budget: 64,
+            idle_timeout: None,
+        })
+        .build()
+        .unwrap();
+    // 100 chunks of 48 bytes through a 64-byte budget: producers must
+    // repeatedly block on the space condvar and be woken by check-ins.
+    let chunk = {
+        let mut c = vec![b'.'; 48];
+        c[20] = b'k';
+        c[21] = b'k';
+        c
+    };
+    let hits = engine.service().run(|svc| {
+        for _ in 0..100 {
+            svc.push(9, &chunk);
+        }
+        svc.close(9);
+        svc.barrier();
+        svc.poll(9)
+    });
+    assert_eq!(hits.len(), 100);
+    assert_eq!(
+        hits[0],
+        SetMatch {
+            pattern: 0,
+            end: 22
+        }
+    );
+}
+
+#[test]
+fn service_evicts_idle_flows() {
+    let engine = Engine::builder()
+        .patterns(["ab$", "ab"])
+        .workers(1)
+        .service_config(ServiceConfig {
+            flow_budget: 1 << 20,
+            idle_timeout: Some(Duration::from_millis(20)),
+        })
+        .build()
+        .unwrap();
+    let svc = engine.service();
+    let (evicted, reports, finishing) = svc.run(|svc| {
+        assert_eq!(svc.try_push(5, b"..ab"), Poll::Ready(4));
+        svc.barrier();
+        // Go quiet: the parked worker's periodic sweep must close the
+        // flow. Wait generously for slow CI machines.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let mut evicted = svc.evictions();
+        while evicted.is_empty() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+            evicted = svc.evictions();
+        }
+        (evicted, svc.poll(5), svc.finishing(5))
+    });
+    assert_eq!(evicted, vec![5]);
+    // Eviction behaves exactly like close(): reports stay pollable and
+    // the $-anchored finishing set resolves at the flow's final byte.
+    assert_eq!(
+        reports,
+        vec![
+            SetMatch { pattern: 0, end: 4 },
+            SetMatch { pattern: 1, end: 4 },
+        ]
+    );
+    assert_eq!(finishing, vec![SetMatch { pattern: 0, end: 4 }]);
+    // Fully drained: the flow entry is gone; the id is reusable.
+    assert_eq!(svc.flow_count(), 0);
+    assert_eq!(svc.try_push(5, b"ab"), Poll::Ready(2));
+}
+
+/// Regression pin: the idle sweep is due-gated inside the worker loop,
+/// not only on the park branch — a worker kept busy by one hot flow
+/// must still evict a quiet one.
+#[test]
+fn service_evicts_idle_flows_under_sustained_load() {
+    let engine = Engine::builder()
+        .patterns(["ab"])
+        .workers(1)
+        .service_config(ServiceConfig {
+            flow_budget: 1 << 20,
+            idle_timeout: Some(Duration::from_millis(20)),
+        })
+        .build()
+        .unwrap();
+    let svc = engine.service();
+    let evicted = svc.run(|svc| {
+        assert_eq!(svc.try_push(2, b"..ab"), Poll::Ready(4)); // then silent
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let mut evicted = svc.evictions();
+        // Keep the single worker continuously busy with flow 1 while
+        // flow 2 sits idle past the timeout.
+        while evicted.is_empty() && std::time::Instant::now() < deadline {
+            svc.push(1, &[b'a'; 4096]);
+            evicted = svc.evictions();
+        }
+        svc.close(1);
+        svc.barrier();
+        evicted
+    });
+    // On a starved 1-core box the producer itself can stall past the
+    // timeout, legitimately evicting flow 1 too — only flow 2 is pinned.
+    assert!(evicted.contains(&2), "the busy worker must still sweep");
+    assert_eq!(
+        svc.poll(2),
+        vec![SetMatch { pattern: 0, end: 4 }],
+        "the evicted flow's reports stay pollable"
+    );
+}
+
+#[test]
+fn service_state_persists_across_runs() {
+    let engine = Engine::builder().patterns(["abc"]).build().unwrap();
+    let svc = engine.service();
+    svc.run(|svc| {
+        svc.push(1, b"a");
+        svc.barrier();
+    });
+    // Between runs: no workers, state intact.
+    assert_eq!(svc.flow_len(1), Some(1));
+    assert_eq!(svc.try_push(1, b"b"), Poll::Ready(2));
+    let hits = svc.run(|svc| {
+        svc.push(1, b"c");
+        svc.barrier();
+        svc.poll(1)
+    });
+    assert_eq!(hits, vec![SetMatch { pattern: 0, end: 3 }]);
+}
+
+#[test]
+fn closed_flows_reject_pushes_until_drained_then_reopen() {
+    let engine = Engine::builder().patterns(["ab"]).build().unwrap();
+    let svc = engine.service();
+    assert_eq!(svc.try_push(3, b"ab"), Poll::Ready(2));
+    svc.close(3);
+    // Closed and not yet drained (no workers ran): pushed back.
+    assert_eq!(svc.try_push(3, b"cd"), Poll::Pending);
+    svc.run(|svc| svc.barrier());
+    // Drained: the same id reopens as a fresh flow at position 0.
+    assert_eq!(svc.try_push(3, b"ab"), Poll::Ready(2));
+    svc.run(|svc| svc.barrier());
+    let hits = svc.poll(3);
+    assert_eq!(
+        hits,
+        vec![
+            SetMatch { pattern: 0, end: 2 }, // first incarnation
+            SetMatch { pattern: 0, end: 2 }, // reopened at position 0
+        ]
+    );
+}
+
+#[test]
+fn empty_engine_is_well_formed() {
+    let engine = Engine::new(Vec::<String>::new()).unwrap();
+    assert!(engine.is_empty());
+    assert_eq!(engine.shard_count(), 1);
+    assert!(engine.scan(b"anything").is_empty());
+    assert!(engine.network(0).validate().is_empty());
+    let report = engine.service().run(|svc| {
+        svc.push(1, b"anything");
+        svc.barrier();
+        svc.poll(1)
+    });
+    assert!(report.is_empty());
+}
+
+#[test]
+fn engine_and_service_are_send_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+    assert_send_sync::<recama::FlowService<'static>>();
+    assert_send_sync::<ServiceConfig>();
+
+    // Producers really can fan out from inside the closure.
+    let engine = Engine::builder()
+        .patterns(["kk"])
+        .workers(2)
+        .build()
+        .unwrap();
+    let total: usize = engine.service().run(|svc| {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|fi| scope.spawn(move || svc.push(fi, b"..kk..")))
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        svc.barrier();
+        (0..4).map(|fi| svc.poll(fi).len()).sum()
+    });
+    assert_eq!(total, 4);
+}
