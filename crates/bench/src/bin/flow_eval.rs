@@ -24,7 +24,7 @@
 
 use recama::hw::ShardPolicy;
 use recama::workloads::{generate, traffic, BenchmarkId};
-use recama::Engine;
+use recama::{Engine, HybridStats};
 use recama_bench::{ms, seed};
 use std::time::{Duration, Instant};
 
@@ -84,6 +84,9 @@ struct WorkerResult {
     p50: Duration,
     p99: Duration,
     hits: usize,
+    /// Hybrid-overlay counters aggregated over every flow's shard
+    /// engines after the throughput pass (`None` in `ScanMode::Nca`).
+    overlay: Option<HybridStats>,
 }
 
 fn percentile(sorted: &[Duration], p: f64) -> Duration {
@@ -144,6 +147,9 @@ fn main() {
             sched.run();
         }
         let elapsed = run.elapsed();
+        // Sample the overlay counters before polling: flows stay open
+        // (never closed), so every shard engine is still live.
+        let overlay = sched.hybrid_stats();
         let hits: usize = (0..config.flows)
             .map(|fi| sched.poll(fi as u64).len())
             .sum();
@@ -170,21 +176,31 @@ fn main() {
             p50: percentile(&per_chunk, 0.50),
             p99: percentile(&per_chunk, 0.99),
             hits,
+            overlay,
         });
     }
 
     say(format!(
-        "\n{:<8} {:>10} {:>12} {:>12} {:>8}",
-        "workers", "MiB/s", "p50/chunk", "p99/chunk", "hits"
+        "\n{:<8} {:>10} {:>12} {:>12} {:>8} {:>10} {:>9}",
+        "workers", "MiB/s", "p50/chunk", "p99/chunk", "hits", "dfa-states", "dfa-bytes"
     ));
     for r in &results {
+        let (states, hit_rate) = match &r.overlay {
+            Some(s) => (
+                s.dfa_states.to_string(),
+                format!("{:.1}%", s.dfa_hit_rate() * 100.0),
+            ),
+            None => ("-".into(), "-".into()),
+        };
         say(format!(
-            "{:<8} {:>10.3} {:>9.1} us {:>9.1} us {:>8}",
+            "{:<8} {:>10.3} {:>9.1} us {:>9.1} us {:>8} {:>10} {:>9}",
             r.workers,
             r.mib_per_s,
             r.p50.as_secs_f64() * 1e6,
             r.p99.as_secs_f64() * 1e6,
-            r.hits
+            r.hits,
+            states,
+            hit_rate,
         ));
     }
     for r in &results {
@@ -210,25 +226,41 @@ fn main() {
         let rows: Vec<String> = results
             .iter()
             .map(|r| {
+                let overlay = match &r.overlay {
+                    Some(s) => format!(
+                        ",\"dfa_states\":{},\"dfa_hit_rate\":{:.4},\"fallback_bytes\":{}",
+                        s.dfa_states,
+                        s.dfa_hit_rate(),
+                        s.fallback_bytes
+                    ),
+                    None => String::new(),
+                };
                 format!(
-                    "{{\"workers\":{},\"mib_per_s\":{:.3},\"p50_us\":{:.1},\"p99_us\":{:.1},\"hits\":{}}}",
+                    "{{\"workers\":{},\"mib_per_s\":{:.3},\"p50_us\":{:.1},\"p99_us\":{:.1},\"hits\":{}{}}}",
                     r.workers,
                     r.mib_per_s,
                     r.p50.as_secs_f64() * 1e6,
                     r.p99.as_secs_f64() * 1e6,
-                    r.hits
+                    r.hits,
+                    overlay
                 )
             })
             .collect();
+        let scan_mode = if results.iter().any(|r| r.overlay.is_some()) {
+            "hybrid"
+        } else {
+            "nca"
+        };
         println!(
             "{{\"bench\":\"flow_eval\",\"scale\":{},\"flows\":{},\"rounds\":{},\"chunk_bytes\":{},\
-             \"shards\":{},\"patterns\":{},\"results\":[{}]}}",
+             \"shards\":{},\"patterns\":{},\"scan_mode\":\"{}\",\"results\":[{}]}}",
             config.scale,
             config.flows,
             config.rounds,
             config.chunk,
             engine.shard_count(),
             engine.len(),
+            scan_mode,
             rows.join(",")
         );
     }

@@ -31,6 +31,7 @@ use crate::FlowScheduler;
 use recama_compiler::{CompileOptions, CompileOutput};
 use recama_hw::{ShardPlan, ShardPolicy};
 use recama_mnrl::MnrlNetwork;
+use recama_nca::ScanMode;
 use recama_syntax::ParseError;
 use std::fmt;
 use std::time::Duration;
@@ -157,6 +158,7 @@ pub struct EngineBuilder {
     workers: usize,
     service: ServiceConfig,
     lossy: bool,
+    scan_mode: ScanMode,
 }
 
 impl Default for EngineBuilder {
@@ -168,6 +170,7 @@ impl Default for EngineBuilder {
             workers: 1,
             service: ServiceConfig::default(),
             lossy: false,
+            scan_mode: ScanMode::default(),
         }
     }
 }
@@ -229,6 +232,21 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the [`ScanMode`] every scan, stream, scheduler, and service
+    /// handle of the built engine walks bytes with. The default,
+    /// [`ScanMode::Hybrid`] with
+    /// [`DEFAULT_STATE_BUDGET`](recama_nca::DEFAULT_STATE_BUDGET)
+    /// cached DFA states per engine, overlays a lazy DFA on the pure
+    /// (counter-free) part of the frontier and falls back to exact NCA
+    /// stepping only while counters are live. [`ScanMode::Nca`] forces
+    /// the exact per-byte engine everywhere — the paper-faithful
+    /// baseline and the reference the hybrid is differentially tested
+    /// against.
+    pub fn scan_mode(mut self, mode: ScanMode) -> EngineBuilder {
+        self.scan_mode = mode;
+        self
+    }
+
     /// Makes the build lossy: rules that fail to compile are skipped
     /// (recorded queryably in [`Engine::skipped`]) instead of failing
     /// the build — the tolerant mode real rulesets need.
@@ -273,7 +291,7 @@ impl EngineBuilder {
                 }
             }
         }
-        let set = ShardedPatternSet::build(accepted, &self.options, self.policy);
+        let set = ShardedPatternSet::build(accepted, &self.options, self.policy, self.scan_mode);
         Ok(Engine {
             set,
             ids,
@@ -417,6 +435,13 @@ impl Engine {
     /// [`service`](Engine::service) scan with.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The [`ScanMode`] this engine's scans and streams walk bytes with
+    /// (set via [`EngineBuilder::scan_mode`]; defaults to the hybrid
+    /// lazy-DFA overlay).
+    pub fn scan_mode(&self) -> ScanMode {
+        self.set.scan_mode()
     }
 
     /// The [`ServiceConfig`] new [`service`](Engine::service) handles

@@ -49,6 +49,7 @@ mod service;
 mod set;
 
 pub use engine::{CompileError, CompilePhase, Engine, EngineBuilder, ServiceConfig, SkippedRule};
+pub use recama_nca::{HybridStats, ScanMode, DEFAULT_STATE_BUDGET};
 pub use sched::{FlowMatch, FlowScheduler};
 pub use service::FlowService;
 #[allow(deprecated)]

@@ -39,7 +39,7 @@
 
 use crate::set::DollarTracker;
 use crate::{SetMatch, ShardedPatternSet};
-use recama_nca::{MultiReport, ShardStream};
+use recama_nca::{HybridStats, MultiReport, ScanMode, ShardStream};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
@@ -123,7 +123,6 @@ impl<'a> Flow<'a> {
             total: 0,
             closed: false,
             shards: set
-                .multi()
                 .shard_streams()
                 .into_iter()
                 .map(|stream| ShardSlot {
@@ -617,6 +616,28 @@ impl<'a> FlowScheduler<'a> {
     /// scan debt the next [`run`](FlowScheduler::run) clears.
     pub fn pending_bytes(&self) -> u64 {
         self.shared.lock().expect("scheduler lock").pending_bytes()
+    }
+
+    /// Aggregated hybrid-overlay statistics across every live flow's
+    /// shard engines, or `None` when the set scans in
+    /// [`ScanMode::Nca`]. Engines currently checked out by workers and
+    /// engines of finished flows (freed at close + drain) are not
+    /// counted — sample between [`run`](FlowScheduler::run)s, before
+    /// closing, for complete numbers.
+    pub fn hybrid_stats(&self) -> Option<HybridStats> {
+        if matches!(self.set.scan_mode(), ScanMode::Nca) {
+            return None;
+        }
+        let shared = self.shared.lock().expect("scheduler lock");
+        let mut total = HybridStats::default();
+        for flow in shared.flows.values() {
+            for slot in &flow.shards {
+                if let Some(stats) = slot.stream.as_ref().and_then(ShardStream::hybrid_stats) {
+                    total.merge(&stats);
+                }
+            }
+        }
+        Some(total)
     }
 }
 

@@ -28,7 +28,7 @@ use recama_compiler::{compile, CompileOptions, CompileOutput};
 use recama_hw::{RuleCost, ShardPlan, ShardPolicy};
 use recama_mnrl::MnrlNetwork;
 use recama_nca::{
-    CompilePlan, MultiEngine, MultiNca, MultiReport, Nca, ShardStream, ShardedMulti, StateId,
+    CompilePlan, MultiNca, MultiReport, Nca, ScanMode, ShardStream, ShardedMulti, StateId,
     TokenSetEngine,
 };
 use recama_syntax::{ParseError, Parsed};
@@ -130,6 +130,9 @@ pub struct ShardedPatternSet {
     /// pattern ids).
     networks: Vec<MnrlNetwork>,
     multi: ShardedMulti,
+    /// How scans and streams walk input bytes (exact NCA vs. hybrid
+    /// lazy-DFA overlay).
+    scan_mode: ScanMode,
     /// Reversed automata for span location, built per pattern on first
     /// use (repeated `find_spans` calls must not re-run Glushkov).
     reversed: Vec<OnceLock<Nca>>,
@@ -207,6 +210,7 @@ impl ShardedPatternSet {
         accepted: Vec<(String, Parsed)>,
         options: &CompileOptions,
         policy: ShardPolicy,
+        scan_mode: ScanMode,
     ) -> ShardedPatternSet {
         let mut sources = Vec::with_capacity(accepted.len());
         let mut parsed_list = Vec::with_capacity(accepted.len());
@@ -253,13 +257,16 @@ impl ShardedPatternSet {
             .collect();
 
         // One shared automaton per shard over a single union alphabet.
+        // The optimized plan keeps the analysis-informed SingleValue
+        // selection and adds counting-set queues for eligible ambiguous
+        // bounded repeats (O(1) increments + O(1) quiescence for the
+        // hybrid overlay).
         let parts: Vec<(&Nca, CompilePlan)> = outputs
             .iter()
             .map(|out| {
                 let analysis = &out.analysis;
-                let plan = CompilePlan::with_unambiguous_states(&out.nca, |q: StateId| {
-                    analysis.state_unambiguous(q)
-                });
+                let plan =
+                    CompilePlan::optimized(&out.nca, |q: StateId| analysis.state_unambiguous(q));
                 (&out.nca, plan)
             })
             .collect();
@@ -274,6 +281,7 @@ impl ShardedPatternSet {
             plan,
             networks,
             multi,
+            scan_mode,
             reversed,
         }
     }
@@ -331,6 +339,18 @@ impl ShardedPatternSet {
         &self.multi
     }
 
+    /// How this set's scans and streams walk input bytes (set at build
+    /// time via [`EngineBuilder::scan_mode`](crate::EngineBuilder)).
+    pub fn scan_mode(&self) -> ScanMode {
+        self.scan_mode
+    }
+
+    /// One [`ShardStream`] per shard in this set's [`ScanMode`] — the
+    /// unit the flow scheduler checks out.
+    pub(crate) fn shard_streams(&self) -> Vec<ShardStream<'_>> {
+        self.multi.shard_streams_with(self.scan_mode)
+    }
+
     /// All matches in `haystack`, in stream order (ascending end offset,
     /// ascending pattern within one offset) — byte-identical to
     /// [`PatternSet::find_ends`] on the same patterns, for any shard
@@ -370,9 +390,15 @@ impl ShardedPatternSet {
     /// engine emits reports sorted by `(end, local pattern)`; ascending
     /// members make that `(end, global pattern)` order.
     fn scan_shard(&self, shard: usize, haystack: &[u8]) -> Vec<SetMatch> {
-        let mut engine = self.multi.shard(shard).engine();
-        engine
-            .match_reports(haystack)
+        let reports = match self.scan_mode {
+            ScanMode::Nca => self.multi.shard(shard).engine().match_reports(haystack),
+            ScanMode::Hybrid { state_budget } => self
+                .multi
+                .shard(shard)
+                .hybrid_engine(state_budget)
+                .match_reports(haystack),
+        };
+        reports
             .into_iter()
             .map(|r| SetMatch {
                 pattern: self.multi.global_pattern(shard, r.pattern) as usize,
@@ -434,7 +460,7 @@ impl ShardedPatternSet {
     /// [`finish`]: ShardedSetStream::finish
     pub fn stream(&self) -> ShardedSetStream<'_> {
         ShardedSetStream {
-            shards: self.multi.shard_streams(),
+            shards: self.shard_streams(),
             bufs: vec![Vec::new(); self.multi.shard_count()],
             merged: Vec::new(),
             dollar: DollarTracker::new(&self.anchored_end),
@@ -856,7 +882,10 @@ impl PatternSet {
     /// ```
     pub fn stream(&self) -> SetStream<'_> {
         SetStream {
-            engine: self.multi().engine(),
+            engine: self
+                .inner
+                .multi()
+                .shard_stream_with(0, self.inner.scan_mode()),
             buf: Vec::new(),
             dollar: DollarTracker::new(self.inner.anchored_end()),
         }
@@ -873,7 +902,7 @@ impl PatternSet {
 /// with [`PatternSet::stream`]. The stream is `Send`, so per-flow engine
 /// states can move onto worker threads.
 pub struct SetStream<'a> {
-    engine: MultiEngine<'a>,
+    engine: ShardStream<'a>,
     buf: Vec<recama_nca::MultiReport>,
     dollar: DollarTracker<'a>,
 }

@@ -116,6 +116,34 @@ impl CompilePlan {
         CompilePlan { modes }
     }
 
+    /// The best statically-known plan: combines the analysis-informed
+    /// [`CompilePlan::with_unambiguous_states`] selection with the
+    /// counting-set queues of [`CompilePlan::counting_sets`] — unambiguous
+    /// counted states store a single valuation, ambiguous eligible states
+    /// get O(1)-increment queues, the rest keep bit vectors / token sets.
+    pub fn optimized(nca: &Nca, mut unambiguous: impl FnMut(StateId) -> bool) -> CompilePlan {
+        let modes = nca
+            .states()
+            .iter()
+            .enumerate()
+            .map(|(qi, s)| {
+                let q = StateId(qi as u32);
+                if s.counters.is_empty() {
+                    StorageMode::PureBit
+                } else if unambiguous(q) {
+                    StorageMode::SingleValue
+                } else if s.counters.len() == 1 && counting_set_eligible(nca, q) {
+                    StorageMode::CountingSet
+                } else if s.counters.len() == 1 {
+                    StorageMode::BitVector
+                } else {
+                    StorageMode::TokenSet
+                }
+            })
+            .collect();
+        CompilePlan { modes }
+    }
+
     /// Assembles a plan from explicit per-state modes (used when merging
     /// several automata's plans into one).
     pub fn from_modes(modes: Vec<StorageMode>) -> CompilePlan {
@@ -149,7 +177,7 @@ impl CompilePlan {
 /// Whether a counted state fits the counting-set representation: all
 /// counter-carrying incoming edges are either the self-loop `x<n / x++` or
 /// an entry `x := 1` (the `σ{m,n}` shape after Glushkov).
-fn counting_set_eligible(nca: &Nca, q: StateId) -> bool {
+pub(crate) fn counting_set_eligible(nca: &Nca, q: StateId) -> bool {
     let counter = match nca.state(q).counters.as_slice() {
         [c] => *c,
         _ => return false,
@@ -182,7 +210,7 @@ impl CountingQueue {
     }
 
     /// All tokens increment; tokens past `bound` die.
-    fn shift(&mut self, bound: u32) {
+    pub(crate) fn shift(&mut self, bound: u32) {
         self.clock += 1;
         while let Some(&front) = self.births.front() {
             if self.value_of(front) > bound {
@@ -194,13 +222,13 @@ impl CountingQueue {
     }
 
     /// Insert a fresh token with value 1 (deduplicated).
-    fn set_first(&mut self) {
+    pub(crate) fn set_first(&mut self) {
         if self.births.back() != Some(&self.clock) {
             self.births.push_back(self.clock);
         }
     }
 
-    fn clear(&mut self) {
+    pub(crate) fn clear(&mut self) {
         self.births.clear();
     }
 

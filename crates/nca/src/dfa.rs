@@ -5,13 +5,17 @@
 //! `Σ*a Σ{n}` (Meyer & Fischer [34]). [`full_dfa_size`] demonstrates
 //! exactly that blowup; [`DfaEngine`] builds states on demand so it stays
 //! usable as a matching baseline.
+//!
+//! Determinization is shared with the hybrid overlay
+//! ([`crate::HybridEngine`]): both intern sorted state subsets in the
+//! dense-row [`SubsetCache`], indexed by byte *class* rather than raw
+//! byte, so a transition row costs one `u32` per equivalence class
+//! instead of 256.
 
 use crate::engine::Engine;
+use crate::hybrid::{SubsetCache, UNKNOWN};
 use crate::nca::{Nca, StateId};
-use std::collections::HashMap;
-
-/// A deterministic state: a sorted set of NCA states.
-type SubsetKey = Vec<u32>;
+use recama_syntax::{ByteAlphabet, ByteClassSet};
 
 /// Lazy-subset-construction DFA engine over a **counter-free** NCA.
 ///
@@ -31,13 +35,11 @@ type SubsetKey = Vec<u32>;
 /// ```
 pub struct DfaEngine<'a> {
     nca: &'a Nca,
-    /// Subset → dense DFA state id.
-    ids: HashMap<SubsetKey, u32>,
-    /// Cached transitions: `transitions[state][byte]`; `u32::MAX` = not yet
-    /// computed.
-    transitions: Vec<[u32; 256]>,
+    /// Byte equivalence classes induced by the automaton's state
+    /// predicates; row lookups are class-indexed.
+    alphabet: ByteAlphabet,
+    cache: SubsetCache,
     accepting: Vec<bool>,
-    subsets: Vec<SubsetKey>,
     current: u32,
     start: u32,
 }
@@ -53,58 +55,65 @@ impl<'a> DfaEngine<'a> {
             nca.counters().is_empty(),
             "DfaEngine requires a counter-free automaton; unfold the regex first"
         );
+        let mut class_set = ByteClassSet::new();
+        for s in nca.states().iter().skip(1) {
+            class_set.add(&s.class);
+        }
+        let alphabet = class_set.freeze();
         let mut engine = DfaEngine {
             nca,
-            ids: HashMap::new(),
-            transitions: Vec::new(),
+            cache: SubsetCache::new(alphabet.len()),
+            alphabet,
             accepting: Vec::new(),
-            subsets: Vec::new(),
             current: 0,
             start: 0,
         };
-        engine.start = engine.intern(vec![0]);
+        engine.start = engine.intern(&[0]);
         engine.current = engine.start;
         engine
     }
 
-    fn intern(&mut self, subset: SubsetKey) -> u32 {
-        if let Some(&id) = self.ids.get(&subset) {
-            return id;
+    fn intern(&mut self, subset: &[u32]) -> u32 {
+        let (id, is_new) = self.cache.intern(subset);
+        if is_new {
+            self.accepting.push(
+                subset
+                    .iter()
+                    .any(|&q| self.nca.state(StateId(q)).is_final()),
+            );
         }
-        let id = self.subsets.len() as u32;
-        let accepting = subset
-            .iter()
-            .any(|&q| self.nca.state(StateId(q)).is_final());
-        self.ids.insert(subset.clone(), id);
-        self.subsets.push(subset);
-        self.transitions.push([u32::MAX; 256]);
-        self.accepting.push(accepting);
         id
     }
 
     fn successor(&mut self, state: u32, byte: u8) -> u32 {
-        let cached = self.transitions[state as usize][byte as usize];
-        if cached != u32::MAX {
+        let class = self.alphabet.class_of(byte);
+        let cached = self.cache.get(state, class);
+        if cached != UNKNOWN {
             return cached;
         }
+        // Membership is decided per class: the alphabet refines every
+        // state predicate, so the representative answers for all bytes
+        // of the class.
+        let rep = self.alphabet.representative(class);
+        let src: Box<[u32]> = self.cache.subset(state).into();
         let mut next: Vec<u32> = Vec::new();
-        for &q in &self.subsets[state as usize].clone() {
+        for &q in src.iter() {
             for t in self.nca.transitions_from(StateId(q)) {
-                if self.nca.state(t.to).class.contains(byte) {
+                if self.nca.state(t.to).class.contains(rep) {
                     next.push(t.to.0);
                 }
             }
         }
         next.sort_unstable();
         next.dedup();
-        let id = self.intern(next);
-        self.transitions[state as usize][byte as usize] = id;
+        let id = self.intern(&next);
+        self.cache.set(state, class, id);
         id
     }
 
     /// Number of DFA states materialized so far.
     pub fn discovered_states(&self) -> usize {
-        self.subsets.len()
+        self.cache.len()
     }
 }
 
@@ -131,13 +140,13 @@ pub fn full_dfa_size(nca: &Nca, cap: usize) -> Option<usize> {
         "determinization requires a counter-free automaton"
     );
     let mut engine = DfaEngine::new(nca);
+    let classes: Vec<u8> = engine.alphabet.classes().map(|(_, rep)| rep).collect();
     let mut frontier = vec![engine.start];
     while let Some(state) = frontier.pop() {
-        // Group Σ by distinct successor sets cheaply: probe all 256 bytes
-        // (classes make most lookups hit the same cached successor).
-        for byte in 0..=255u8 {
+        // One probe per equivalence class covers all of Σ.
+        for &rep in &classes {
             let before = engine.discovered_states();
-            let next = engine.successor(state, byte);
+            let next = engine.successor(state, rep);
             if engine.discovered_states() > before {
                 frontier.push(next);
                 if engine.discovered_states() > cap {
@@ -231,5 +240,27 @@ mod tests {
     #[test]
     fn cap_is_respected() {
         assert_eq!(full_dfa_size(&unfolded(".*a.{14}"), 100), None);
+    }
+
+    #[test]
+    fn class_indexed_rows_agree_across_all_bytes() {
+        // Bytes of one equivalence class share a successor row: stepping
+        // any member equals stepping the class representative, for every
+        // byte of Σ, including ones no pattern literal names.
+        let nca = unfolded(".*a[bc]{2}");
+        let mut dfa = DfaEngine::new(&nca);
+        let mut reference = TokenSetEngine::new(&nca);
+        for prefix in [&b""[..], b"a", b"ab", b"zza"] {
+            for b in 0..=255u8 {
+                let mut input = prefix.to_vec();
+                input.push(b);
+                assert_eq!(
+                    dfa.matches(&input),
+                    reference.matches(&input),
+                    "byte {b:#04x} after {prefix:?}"
+                );
+            }
+        }
+        assert!(dfa.alphabet.len() < 256);
     }
 }

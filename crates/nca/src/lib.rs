@@ -38,6 +38,7 @@ mod compiled;
 mod dfa;
 mod engine;
 pub mod glushkov;
+mod hybrid;
 mod multi;
 mod nca;
 mod nfa;
@@ -47,6 +48,7 @@ mod unfold;
 pub use compiled::{CompilePlan, CompiledEngine, StorageMode};
 pub use dfa::{full_dfa_size, DfaEngine};
 pub use engine::{match_ends, matches, Engine, TokenSetEngine};
+pub use hybrid::{HybridEngine, HybridStats, ScanMode, DEFAULT_STATE_BUDGET};
 pub use multi::{MultiEngine, MultiNca, MultiReport, ShardStream, ShardedMulti};
 pub use nca::{ActionOp, CounterId, CounterInfo, GuardAtom, Nca, State, StateId, Transition};
 pub use nfa::NfaEngine;

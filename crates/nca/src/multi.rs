@@ -24,7 +24,8 @@
 //!   states (typically a few per pattern on benign traffic), not with the
 //!   total automaton size the way `N × CompiledEngine` does.
 
-use crate::compiled::{CompilePlan, Storage, StorageMode};
+use crate::compiled::{counting_set_eligible, CompilePlan, Storage, StorageMode};
+use crate::hybrid::{HybridEngine, HybridStats, ScanMode};
 use crate::nca::{ActionOp, GuardAtom, Nca, State, StateId, Transition};
 use crate::token::{resolve_guard, resolve_transition, SlotSrc, SlotTest};
 use recama_syntax::{ByteAlphabet, ByteClassSet};
@@ -64,11 +65,14 @@ impl MultiNca {
     /// computing the shared byte-class alphabet from the union of the
     /// parts' predicates.
     ///
+    /// Per-pattern storage modes — including
+    /// [`StorageMode::CountingSet`] queues — carry over unchanged: the
+    /// merge maps states and transitions 1:1 into disjoint id ranges, so
+    /// counting-set eligibility of a state is preserved.
+    ///
     /// # Panics
     ///
-    /// Panics if a plan's length does not match its automaton, or if a
-    /// plan uses [`StorageMode::CountingSet`] (the batched engine keeps
-    /// the module-faithful bit-vector representation instead).
+    /// Panics if a plan's length does not match its automaton.
     pub fn merge(parts: &[(&Nca, CompilePlan)]) -> MultiNca {
         MultiNca::merge_with_alphabet(parts, union_alphabet(parts))
     }
@@ -100,10 +104,6 @@ impl MultiNca {
 
         for (pi, (nca, plan)) in parts.iter().enumerate() {
             assert_eq!(plan.len(), nca.state_count(), "plan/automaton mismatch");
-            assert!(
-                plan.iter().all(|(_, m)| m != StorageMode::CountingSet),
-                "multi-pattern plans must not use counting sets"
-            );
             // Local state j (j ≥ 1) lands at state_base + j - 1; local
             // counter k lands at counter_base + k.
             let state_base = states.len() as u32;
@@ -161,10 +161,22 @@ impl MultiNca {
         }
 
         let nca = Nca::new(states, counters, transitions);
-        let tables = EngineTables::build(&nca, &alphabet);
+        // The merge maps per-pattern states/transitions 1:1 with no
+        // cross-pattern edges, so the `σ{m,n}` shape that justifies a
+        // queue survives it.
+        debug_assert!(
+            modes
+                .iter()
+                .enumerate()
+                .all(|(qi, &m)| m != StorageMode::CountingSet
+                    || counting_set_eligible(&nca, StateId(qi as u32))),
+            "merge must preserve counting-set eligibility"
+        );
+        let plan = CompilePlan::from_modes(modes);
+        let tables = EngineTables::build(&nca, &plan, &alphabet);
         MultiNca {
             nca,
-            plan: CompilePlan::from_modes(modes),
+            plan,
             alphabet,
             pattern_of_state,
             pattern_count: parts.len(),
@@ -203,6 +215,19 @@ impl MultiNca {
     /// Creates a batched engine over the merged automaton.
     pub fn engine(&self) -> MultiEngine<'_> {
         MultiEngine::new(self)
+    }
+
+    /// Creates a hybrid lazy-DFA overlay engine (see
+    /// [`crate::HybridEngine`]): determinized byte-class rows for pure
+    /// frontiers, exact [`MultiEngine`] stepping while counters are
+    /// active, at most `state_budget` cached DFA states.
+    pub fn hybrid_engine(&self, state_budget: usize) -> HybridEngine<'_> {
+        HybridEngine::new(self, state_budget)
+    }
+
+    /// The immutable engine tables (shared by every engine instance).
+    pub(crate) fn tables(&self) -> &EngineTables {
+        &self.tables
     }
 }
 
@@ -321,11 +346,26 @@ impl ShardedMulti {
 
     /// A resumable scanning state for shard `i`, reporting **global**
     /// pattern indices — the unit a many-flow scheduler checks out.
+    /// Uses the exact NCA engine; see
+    /// [`ShardedMulti::shard_stream_with`] for the hybrid overlay.
     pub fn shard_stream(&self, i: usize) -> ShardStream<'_> {
+        self.shard_stream_with(i, ScanMode::Nca)
+    }
+
+    /// Like [`ShardedMulti::shard_stream`], but with an explicit
+    /// [`ScanMode`]: [`ScanMode::Hybrid`] overlays a lazy-DFA cache on
+    /// the shard's engine (see [`crate::HybridEngine`]).
+    pub fn shard_stream_with(&self, i: usize, mode: ScanMode) -> ShardStream<'_> {
+        let engine = match mode {
+            ScanMode::Nca => StreamEngine::Nca(Box::new(self.shards[i].engine())),
+            ScanMode::Hybrid { state_budget } => {
+                StreamEngine::Hybrid(Box::new(self.shards[i].hybrid_engine(state_budget)))
+            }
+        };
         ShardStream {
             members: &self.members[i],
             shard: i,
-            engine: self.shards[i].engine(),
+            engine,
         }
     }
 
@@ -334,6 +374,14 @@ impl ShardedMulti {
     pub fn shard_streams(&self) -> Vec<ShardStream<'_>> {
         (0..self.shards.len())
             .map(|i| self.shard_stream(i))
+            .collect()
+    }
+
+    /// Like [`ShardedMulti::shard_streams`], but every stream scans with
+    /// the given [`ScanMode`].
+    pub fn shard_streams_with(&self, mode: ScanMode) -> Vec<ShardStream<'_>> {
+        (0..self.shards.len())
+            .map(|i| self.shard_stream_with(i, mode))
             .collect()
     }
 }
@@ -352,7 +400,16 @@ impl ShardedMulti {
 pub struct ShardStream<'a> {
     members: &'a [u32],
     shard: usize,
-    engine: MultiEngine<'a>,
+    engine: StreamEngine<'a>,
+}
+
+/// The execution strategy behind one [`ShardStream`]: the exact batched
+/// NCA engine, or the lazy-DFA hybrid overlay. Both variants are boxed:
+/// streams move between workers at every checkout/check-in, and the
+/// engines are hundreds of bytes of inline state.
+enum StreamEngine<'a> {
+    Nca(Box<MultiEngine<'a>>),
+    Hybrid(Box<HybridEngine<'a>>),
 }
 
 impl ShardStream<'_> {
@@ -363,17 +420,35 @@ impl ShardStream<'_> {
 
     /// Bytes of the logical stream this shard has consumed.
     pub fn position(&self) -> u64 {
-        self.engine.position()
+        match &self.engine {
+            StreamEngine::Nca(e) => e.position(),
+            StreamEngine::Hybrid(e) => e.position(),
+        }
     }
 
     /// Number of live states in this shard's frontier.
     pub fn active_states(&self) -> usize {
-        self.engine.active_states()
+        match &self.engine {
+            StreamEngine::Nca(e) => e.active_states(),
+            StreamEngine::Hybrid(e) => e.active_states(),
+        }
+    }
+
+    /// Hybrid-overlay counters of this stream, if it scans in
+    /// [`ScanMode::Hybrid`] (`None` under [`ScanMode::Nca`]).
+    pub fn hybrid_stats(&self) -> Option<HybridStats> {
+        match &self.engine {
+            StreamEngine::Nca(_) => None,
+            StreamEngine::Hybrid(e) => Some(e.stats()),
+        }
     }
 
     /// Returns this shard to the start of the stream.
     pub fn reset(&mut self) {
-        self.engine.reset();
+        match &mut self.engine {
+            StreamEngine::Nca(e) => e.reset(),
+            StreamEngine::Hybrid(e) => e.reset(),
+        }
     }
 
     /// Consumes `chunk`, appending reports with **global** pattern
@@ -384,7 +459,10 @@ impl ShardStream<'_> {
     /// globally.
     pub fn feed_into(&mut self, chunk: &[u8], out: &mut Vec<MultiReport>) {
         let start = out.len();
-        self.engine.feed_into(chunk, out);
+        match &mut self.engine {
+            StreamEngine::Nca(e) => e.feed_into(chunk, out),
+            StreamEngine::Hybrid(e) => e.feed_into(chunk, out),
+        }
         for r in &mut out[start..] {
             r.pattern = self.members[r.pattern as usize];
         }
@@ -417,28 +495,36 @@ fn union_alphabet(parts: &[(&Nca, CompilePlan)]) -> ByteAlphabet {
 
 /// One outgoing transition, slot-resolved and class-indexed.
 #[derive(Debug)]
-struct OutEdge {
-    to: u32,
-    guard: Vec<SlotTest>,
-    dst: Vec<SlotSrc>,
+pub(crate) struct OutEdge {
+    pub(crate) to: u32,
+    pub(crate) guard: Vec<SlotTest>,
+    pub(crate) dst: Vec<SlotSrc>,
 }
 
 /// The immutable, shareable part of the batched engine: edge programs,
 /// finalization predicates, and class-membership bitsets. Built once per
 /// [`MultiNca`]; every engine instance borrows it.
 #[derive(Debug)]
-struct EngineTables {
+pub(crate) struct EngineTables {
     /// Outgoing edge programs per state.
-    out_edges: Vec<Vec<OutEdge>>,
+    pub(crate) out_edges: Vec<Vec<OutEdge>>,
     /// Slot-resolved finalization DNF per state.
-    accepts: Vec<Vec<Vec<SlotTest>>>,
+    pub(crate) accepts: Vec<Vec<Vec<SlotTest>>>,
     /// `class_member[c]` is a bitset over states: bit `q` set iff the
     /// equivalence class `c` is inside `class(q)`.
-    class_member: Vec<Vec<u64>>,
+    pub(crate) class_member: Vec<Vec<u64>>,
+    /// Bitset over states: bit `q` set iff state `q` carries a counter —
+    /// the O(words) quiescence mask of the hybrid overlay.
+    pub(crate) counted_mask: Vec<u64>,
+    /// Whether each state uses the counting-set queue representation.
+    is_queue: Vec<bool>,
+    /// For queue states: whether the state has the self-loop increment
+    /// edge (its tokens survive a matching byte).
+    queue_self_loop: Vec<bool>,
 }
 
 impl EngineTables {
-    fn build(nca: &Nca, alphabet: &ByteAlphabet) -> EngineTables {
+    fn build(nca: &Nca, plan: &CompilePlan, alphabet: &ByteAlphabet) -> EngineTables {
         let n = nca.state_count();
         let words = n.div_ceil(64);
         let out_edges = (0..n)
@@ -478,10 +564,30 @@ impl EngineTables {
                 row
             })
             .collect();
+        let mut counted_mask = vec![0u64; words];
+        for (qi, s) in nca.states().iter().enumerate() {
+            if !s.counters.is_empty() {
+                counted_mask[qi / 64] |= 1 << (qi % 64);
+            }
+        }
+        let is_queue: Vec<bool> = (0..n)
+            .map(|qi| plan.mode(StateId(qi as u32)) == StorageMode::CountingSet)
+            .collect();
+        let queue_self_loop = (0..n)
+            .map(|qi| {
+                is_queue[qi]
+                    && nca
+                        .transitions_into(StateId(qi as u32))
+                        .any(|t| t.from.index() == qi)
+            })
+            .collect();
         EngineTables {
             out_edges,
             accepts,
             class_member,
+            counted_mask,
+            is_queue,
+            queue_self_loop,
         }
     }
 }
@@ -504,6 +610,12 @@ pub struct MultiEngine<'a> {
     value_scratch: Vec<u32>,
     /// Per-pattern stamp deduplicating reports within one step.
     report_stamp: Vec<u64>,
+    /// Counting-set scratch: queue states reached by this step's frontier.
+    touched_queues: Vec<u32>,
+    /// Generation stamp marking queue states already in `touched_queues`.
+    queue_touch_stamp: Vec<u64>,
+    /// Whether a guarded entry edge fired into each touched queue state.
+    queue_entry_hit: Vec<bool>,
     /// Stream position (bytes consumed since reset).
     position: u64,
     conflicts: u64,
@@ -536,6 +648,9 @@ impl<'a> MultiEngine<'a> {
             generation: 0,
             value_scratch: Vec::new(),
             report_stamp: vec![0; multi.pattern_count],
+            touched_queues: Vec::new(),
+            queue_touch_stamp: vec![0; n],
+            queue_entry_hit: vec![false; n],
             position: 0,
             conflicts: 0,
         };
@@ -555,6 +670,7 @@ impl<'a> MultiEngine<'a> {
         self.active[0] = 1;
         self.stamp.iter_mut().for_each(|s| *s = 0);
         self.report_stamp.iter_mut().for_each(|s| *s = 0);
+        self.queue_touch_stamp.iter_mut().for_each(|s| *s = 0);
         self.generation = 0;
         self.position = 0;
         self.conflicts = 0;
@@ -575,6 +691,57 @@ impl<'a> MultiEngine<'a> {
     /// per-byte work scales with.
     pub fn active_states(&self) -> usize {
         self.active.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether any counter-carrying state is live. O(state words): one
+    /// AND against the precomputed counted-state mask — the quiescence
+    /// test the hybrid overlay runs after every exact step.
+    pub fn counting_active(&self) -> bool {
+        self.active
+            .iter()
+            .zip(&self.tables.counted_mask)
+            .any(|(a, m)| a & m != 0)
+    }
+
+    /// Collects the live frontier (ascending state ids) into `out`.
+    /// Intended for pure frontiers (see
+    /// [`MultiEngine::load_pure_frontier`]); ascending order makes the
+    /// subset directly internable by the hybrid cache.
+    pub(crate) fn pure_frontier_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        for (wi, &word) in self.active.iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                out.push((wi * 64 + bit) as u32);
+            }
+        }
+    }
+
+    /// Replaces the live configuration with a frontier of **pure**
+    /// states (each holding one anonymous token) at stream offset
+    /// `position` — how the hybrid overlay rehydrates the exact engine
+    /// when a cached DFA state must fall back to exact stepping.
+    pub(crate) fn load_pure_frontier(&mut self, states: &[u32], position: u64) {
+        for (wi, word) in self.active.iter_mut().enumerate() {
+            let mut w = std::mem::take(word);
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                self.cur[wi * 64 + bit].clear();
+            }
+        }
+        for &q in states {
+            let qi = q as usize;
+            debug_assert!(
+                self.tables.counted_mask[qi / 64] & (1 << (qi % 64)) == 0,
+                "hybrid frontiers contain only pure states"
+            );
+            self.cur[qi] = Storage::PureBit(true);
+            self.active[qi / 64] |= 1 << (qi % 64);
+        }
+        self.position = position;
     }
 
     /// Consumes one byte, appending `(pattern, end)` reports to `out`.
@@ -601,6 +768,11 @@ impl<'a> MultiEngine<'a> {
         let stamp = &mut self.stamp;
         let next_active = &mut self.next_active;
         let value_scratch = &mut self.value_scratch;
+        let touched_queues = &mut self.touched_queues;
+        let queue_touch_stamp = &mut self.queue_touch_stamp;
+        let queue_entry_hit = &mut self.queue_entry_hit;
+        let is_queue = &self.tables.is_queue;
+        touched_queues.clear();
         let mut conflicts = 0u64;
         for (wi, &word) in self.active.iter().enumerate() {
             let mut word = word;
@@ -612,6 +784,28 @@ impl<'a> MultiEngine<'a> {
                 for edge in &self.tables.out_edges[p] {
                     let q = edge.to as usize;
                     if member_row[q / 64] & (1 << (q % 64)) == 0 {
+                        continue;
+                    }
+                    if is_queue[q] {
+                        // Counting-set destinations are advanced by the
+                        // specialized pass below; here only record that
+                        // the state was reached and whether a (guarded)
+                        // entry edge fired against the *current*
+                        // configuration — queues must not mutate before
+                        // every entry guard has been read (queue states
+                        // may feed each other).
+                        if queue_touch_stamp[q] != generation {
+                            queue_touch_stamp[q] = generation;
+                            queue_entry_hit[q] = false;
+                            touched_queues.push(q as u32);
+                        }
+                        if p != q && !queue_entry_hit[q] {
+                            let mut hit = false;
+                            src.for_each(|values| {
+                                hit = hit || edge.guard.iter().all(|g| g.eval(values));
+                            });
+                            queue_entry_hit[q] = hit;
+                        }
                         continue;
                     }
                     if stamp[q] != generation {
@@ -632,6 +826,41 @@ impl<'a> MultiEngine<'a> {
                         next_active[q / 64] |= 1 << (q % 64);
                     }
                 }
+            }
+        }
+        // Counting-set pass: each touched queue advances with one clock
+        // bump (`shift`) and at most one fresh value-1 token instead of an
+        // O(bound) bit-vector walk. Untouched queues (their class did not
+        // match the byte, or no live predecessor reached them) simply stay
+        // inactive; their stale storage is stamp-cleared on next touch.
+        let cur = &mut self.cur;
+        let queue_self_loop = &self.tables.queue_self_loop;
+        for &q in touched_queues.iter() {
+            let qi = q as usize;
+            if stamp[qi] != generation {
+                stamp[qi] = generation;
+                nxt[qi].clear();
+            }
+            let live = self.active[qi / 64] & (1 << (qi % 64)) != 0;
+            let survives = live && queue_self_loop[qi];
+            if survives {
+                // Move the live queue into the next buffer; the cleared
+                // one swaps back and is reused on a later step.
+                std::mem::swap(&mut cur[qi], &mut nxt[qi]);
+            }
+            match &mut nxt[qi] {
+                Storage::Queue { queue, bound } => {
+                    if survives {
+                        queue.shift(*bound);
+                    }
+                    if queue_entry_hit[qi] {
+                        queue.set_first();
+                    }
+                }
+                _ => unreachable!("counting-set states use Queue storage"),
+            }
+            if !nxt[qi].is_empty() {
+                next_active[qi / 64] |= 1 << (qi % 64);
             }
         }
         self.conflicts += conflicts;
@@ -948,5 +1177,80 @@ mod tests {
         let mut engine = m.engine();
         engine.match_reports(b"aaaa k..z aaa kzzzzz");
         assert_eq!(engine.conflicts(), 0);
+    }
+
+    /// Differential: the ported counting-set queue pass must be
+    /// byte-identical to the bit-vector plan on bounded-repeat rulesets,
+    /// across chunk boundaries.
+    #[test]
+    fn counting_set_multi_engine_matches_bitvector_plan() {
+        let rulesets: [&[&str]; 3] = [
+            &[".*a{3}", "k.{2,5}z", "ab{2,3}c"],
+            &["x[ab]{2,5}y", "a{2,3}c{2,3}", "plain"],
+            &[".*[ab][^a]{3}", "b{4}", "^q{2,4}t"],
+        ];
+        for patterns in rulesets {
+            let ncas: Vec<Nca> = patterns.iter().map(|p| stream_nca(p)).collect();
+            let queue_parts: Vec<(&Nca, CompilePlan)> = ncas
+                .iter()
+                .map(|n| (n, CompilePlan::counting_sets(n)))
+                .collect();
+            let bits_parts: Vec<(&Nca, CompilePlan)> = ncas
+                .iter()
+                .map(|n| (n, CompilePlan::conservative(n)))
+                .collect();
+            let queues = MultiNca::merge(&queue_parts);
+            assert!(
+                queues
+                    .plan()
+                    .iter()
+                    .any(|(_, m)| m == StorageMode::CountingSet),
+                "{patterns:?}: ruleset must exercise the queue pass"
+            );
+            let bits = MultiNca::merge(&bits_parts);
+            for input in [
+                &b"aaaa k..z abbc kzzzzz"[..],
+                b"xaby xabababy aacc aaccc plain",
+                b"bbbb qqt abxxx kaaz",
+                b"",
+            ] {
+                let expected = bits.engine().match_reports(input);
+                assert_eq!(
+                    queues.engine().match_reports(input),
+                    expected,
+                    "{patterns:?} on {:?}",
+                    String::from_utf8_lossy(input)
+                );
+                // Chunked feeding hits the stamp-based lazy clears too.
+                for chunk_len in [1usize, 2, 5] {
+                    let mut engine = queues.engine();
+                    let mut got = Vec::new();
+                    for chunk in input.chunks(chunk_len) {
+                        engine.feed_into(chunk, &mut got);
+                    }
+                    assert_eq!(got, expected, "chunk length {chunk_len}");
+                }
+            }
+        }
+    }
+
+    /// The optimized plan (analysis + counting sets) stays exact on the
+    /// merged engine.
+    #[test]
+    fn optimized_plan_agrees_with_conservative() {
+        let patterns = [".*a{3}", "ab{2,3}c", "x[yz]{2}", "k.{2,5}z"];
+        let ncas: Vec<Nca> = patterns.iter().map(|p| stream_nca(p)).collect();
+        let opt_parts: Vec<(&Nca, CompilePlan)> = ncas
+            .iter()
+            .map(|n| (n, CompilePlan::optimized(n, |_| false)))
+            .collect();
+        let opt = MultiNca::merge(&opt_parts);
+        let baseline = multi(&patterns);
+        for input in [&b"aaaa abbc xyz kxxz"[..], b"abbbc k....z aaa"] {
+            assert_eq!(
+                opt.engine().match_reports(input),
+                baseline.engine().match_reports(input)
+            );
+        }
     }
 }

@@ -1,0 +1,184 @@
+//! Differential testing of the hybrid lazy-DFA overlay: on random
+//! rulesets mixing pure and counting patterns, random inputs, and random
+//! chunk boundaries, a [`ScanMode::Hybrid`] engine must report exactly
+//! what the exact [`ScanMode::Nca`] engine reports — which in turn must
+//! equal the union of per-[`Pattern`] `find_ends` results. The property
+//! runs include pathological state budgets (as small as 1 cached DFA
+//! state, so the subset cache thrashes through flushes) and
+//! counter-heavy rulesets that force the fallback/re-entry path on
+//! nearly every byte.
+
+use proptest::prelude::*;
+use recama::{Engine, Pattern, ScanMode, SetMatch};
+
+/// Pattern pool the properties sample rulesets from: the left column is
+/// pure (counter-free after compilation, so the overlay can stay in DFA
+/// mode), the right column counts (forcing fallback and re-entry).
+const POOL: &[&str] = &[
+    // pure
+    "abc",
+    "x[yz]w",
+    ".*ba",
+    "q(r|s)t",
+    "[0-9][0-9]k",
+    // counting
+    "ab{2,5}c",
+    ".*a.{3}b",
+    "k[0-9]{2,4}z",
+    "(xy){2,3}",
+    "m{3}",
+];
+
+/// Input bytes biased toward the pool's literals so matches and partial
+/// matches actually occur.
+const INPUT_BYTES: &[u8] = b"abcxyzwqrstkm0123459_";
+
+fn union_of_per_pattern_matches(patterns: &[&str], input: &[u8]) -> Vec<SetMatch> {
+    let mut expected = Vec::new();
+    for (pi, p) in patterns.iter().enumerate() {
+        let pattern = Pattern::compile(p).unwrap_or_else(|e| panic!("{p}: {e}"));
+        for end in pattern.find_ends(input) {
+            expected.push(SetMatch { pattern: pi, end });
+        }
+    }
+    expected.sort();
+    expected
+}
+
+fn engine(patterns: &[&str], mode: ScanMode) -> Engine {
+    Engine::builder()
+        .patterns(patterns)
+        .scan_mode(mode)
+        .build()
+        .unwrap()
+}
+
+/// Feeds `input` to a fresh stream of `engine` in chunks of `chunk_len`
+/// and collects the reports.
+fn chunked_reports(engine: &Engine, input: &[u8], chunk_len: usize) -> Vec<SetMatch> {
+    let mut stream = engine.stream();
+    let mut out = Vec::new();
+    for chunk in input.chunks(chunk_len.max(1)) {
+        out.extend(stream.feed(chunk));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    #[test]
+    fn hybrid_agrees_with_nca_and_per_pattern_union(
+        picks in prop::collection::vec(0usize..POOL.len(), 1..6),
+        input in prop::collection::vec(prop::sample::select(INPUT_BYTES.to_vec()), 0..200),
+        budget in prop_oneof![Just(1usize), Just(2), Just(7), Just(4096)],
+        chunk_len in 1usize..40,
+    ) {
+        let mut picks = picks;
+        picks.sort_unstable();
+        picks.dedup();
+        let patterns: Vec<&str> = picks.iter().map(|&i| POOL[i]).collect();
+
+        let exact = engine(&patterns, ScanMode::Nca);
+        let hybrid = engine(&patterns, ScanMode::Hybrid { state_budget: budget });
+
+        // Block scans agree with each other and with the per-pattern union.
+        let mut exact_scan = exact.scan(&input);
+        let mut hybrid_scan = hybrid.scan(&input);
+        exact_scan.sort();
+        hybrid_scan.sort();
+        prop_assert_eq!(&hybrid_scan, &exact_scan, "hybrid vs exact, budget {}", budget);
+        prop_assert_eq!(
+            &hybrid_scan,
+            &union_of_per_pattern_matches(&patterns, &input),
+            "hybrid vs per-pattern union"
+        );
+
+        // Chunked streaming agrees across modes and with a one-shot feed,
+        // whatever the chunk boundaries.
+        let oneshot = chunked_reports(&hybrid, &input, input.len().max(1));
+        let chunked_hybrid = chunked_reports(&hybrid, &input, chunk_len);
+        let chunked_exact = chunked_reports(&exact, &input, chunk_len);
+        prop_assert_eq!(&chunked_hybrid, &oneshot, "chunk length {} changes reports", chunk_len);
+        prop_assert_eq!(&chunked_hybrid, &chunked_exact, "streamed hybrid vs exact");
+    }
+}
+
+#[test]
+fn counter_fallback_survives_every_chunk_boundary() {
+    // Counting patterns keep counters live across most of the input, so
+    // the overlay exits and re-enters DFA mode repeatedly; every cut
+    // point must leave the reports identical to the exact engine's.
+    let patterns = ["ab{2,5}c", ".*a.{3}b", "m{3}", "abc"];
+    let input = b"aabbbc.mmma...b.abbbbbc.mmmm.abcab";
+    let exact = engine(&patterns, ScanMode::Nca);
+    let hybrid = engine(&patterns, ScanMode::Hybrid { state_budget: 64 });
+    let oneshot = chunked_reports(&exact, input, input.len());
+    assert!(!oneshot.is_empty(), "test input must contain matches");
+    for cut in 1..input.len() {
+        let mut stream = hybrid.stream();
+        let mut got: Vec<SetMatch> = stream.feed(&input[..cut]).collect();
+        got.extend(stream.feed(&input[cut..]));
+        assert_eq!(got, oneshot, "cut at {cut}");
+    }
+}
+
+#[test]
+fn tiny_budgets_flush_but_stay_exact() {
+    // A one-state cache cannot hold even the start state's successor:
+    // every byte flushes and re-interns. Correctness must not depend on
+    // the cache ever being warm.
+    let patterns = ["abc", "x[yz]w", ".*ba", "q(r|s)t"];
+    let input = b"xabcyxzwbaqrtqstxywabcba";
+    let exact = engine(&patterns, ScanMode::Nca).scan(input);
+    for budget in [1usize, 2, 3] {
+        let hybrid = engine(
+            &patterns,
+            ScanMode::Hybrid {
+                state_budget: budget,
+            },
+        );
+        assert_eq!(hybrid.scan(input), exact, "budget {budget}");
+    }
+}
+
+#[test]
+fn scan_mode_is_exposed_and_defaults_to_hybrid() {
+    let default_mode = Engine::builder()
+        .patterns(["abc"])
+        .build()
+        .unwrap()
+        .scan_mode();
+    assert_eq!(
+        default_mode,
+        ScanMode::Hybrid {
+            state_budget: recama::DEFAULT_STATE_BUDGET
+        }
+    );
+    let forced = engine(&["abc"], ScanMode::Nca);
+    assert_eq!(forced.scan_mode(), ScanMode::Nca);
+}
+
+#[test]
+fn scheduler_reports_hybrid_stats_only_in_hybrid_mode() {
+    let patterns = ["abc", "ab{2,3}c"];
+    let input = b"zabcz.abbc.abbbc.abc";
+
+    let hybrid = engine(&patterns, ScanMode::Hybrid { state_budget: 128 });
+    let sched = hybrid.scheduler();
+    sched.push(1, input);
+    sched.run();
+    let stats = sched.hybrid_stats().expect("hybrid mode exposes stats");
+    assert_eq!(
+        stats.dfa_bytes + stats.fallback_bytes,
+        input.len() as u64,
+        "every byte is attributed to exactly one path"
+    );
+    assert!(stats.dfa_states > 0, "the overlay cached at least q0");
+
+    let exact = engine(&patterns, ScanMode::Nca);
+    let sched = exact.scheduler();
+    sched.push(1, input);
+    sched.run();
+    assert_eq!(sched.hybrid_stats(), None, "Nca mode has no overlay");
+}
