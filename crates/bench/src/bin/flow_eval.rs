@@ -18,13 +18,23 @@
 //!     --scale 0.01 --flows 8 --rounds 4 --chunk 512 --workers 1,2 --json
 //! ```
 //!
+//! After the scheduler sweep, a third pass drives the **owned**
+//! [`ServiceHandle`](recama::ServiceHandle) (`engine.serve_with(..)`)
+//! with the same arrival pattern, optionally hot-reloading an identical
+//! engine mid-run (`--reload ROUND`): the `service_metrics` record then
+//! carries the handle's [`ServiceMetrics`](recama::ServiceMetrics)
+//! snapshot, the reload wall-clock, and whether the mid-run swap lost
+//! any matches against the scheduler baseline.
+//!
 //! Flags: `--flows N`, `--rounds N`, `--chunk BYTES`, `--workers CSV`,
-//! `--shards N`, `--scale F`, `--seed S`, `--json` (print ONLY the JSON
-//! document to stdout; the human-readable report moves to stderr).
+//! `--shards N`, `--scale F`, `--seed S`, `--reload ROUND` (hot-reload
+//! before that 0-based round in the service pass), `--json` (print ONLY
+//! the JSON document to stdout; the human-readable report moves to
+//! stderr).
 
 use recama::hw::ShardPolicy;
 use recama::workloads::{generate, traffic, BenchmarkId};
-use recama::{Engine, HybridStats};
+use recama::{Engine, FlowId, HybridStats};
 use recama_bench::{ms, seed};
 use std::time::{Duration, Instant};
 
@@ -36,6 +46,7 @@ struct Config {
     shards: usize,
     scale: f64,
     seed: u64,
+    reload: Option<usize>,
     json: bool,
 }
 
@@ -48,6 +59,7 @@ fn parse_args() -> Config {
         shards: 4,
         scale: 0.02,
         seed: seed(),
+        reload: None,
         json: false,
     };
     let mut args = std::env::args().skip(1);
@@ -63,6 +75,7 @@ fn parse_args() -> Config {
             "--shards" => config.shards = value("--shards").parse().expect("--shards"),
             "--scale" => config.scale = value("--scale").parse().expect("--scale"),
             "--seed" => config.seed = value("--seed").parse().expect("--seed"),
+            "--reload" => config.reload = Some(value("--reload").parse().expect("--reload")),
             "--workers" => {
                 config.workers = value("--workers")
                     .split(',')
@@ -221,6 +234,73 @@ fn main() {
         }
     }
 
+    // ---- owned-service pass -----------------------------------------
+    // The same arrival pattern through `Engine::serve_with` (owned
+    // ServiceHandle: condvar-parked workers, generational FlowIds),
+    // optionally hot-reloading an identical engine mid-run. With no
+    // reload the service must report exactly the scheduler's matches;
+    // with one, the only tolerated difference is a match straddling the
+    // migration cut (checked warn-only in CI).
+    let service_workers = *config.workers.last().expect("workers is non-empty");
+    let reload_engine = config.reload.map(|_| {
+        Engine::builder()
+            .patterns(&patterns)
+            .shard_policy(ShardPolicy::Fixed(config.shards))
+            .lossy(true)
+            .build()
+            .expect("lossy builds are infallible")
+    });
+    let svc = engine.serve_with(service_workers, engine.serve_config());
+    let ids: Vec<FlowId> = (0..config.flows).map(|_| svc.open_flow()).collect();
+    let run = Instant::now();
+    let mut reload_wall = Duration::ZERO;
+    for round in 0..config.rounds {
+        if config.reload == Some(round) {
+            // Drain first so every flow migrates exactly at this round
+            // boundary — the cut the zero-loss check reasons about.
+            svc.barrier();
+            let t = Instant::now();
+            svc.reload(reload_engine.as_ref().expect("built when --reload is set"));
+            reload_wall = t.elapsed();
+        }
+        let at = round * config.chunk;
+        for (fi, bytes) in streams.iter().enumerate() {
+            svc.push(ids[fi], &bytes[at..at + config.chunk]);
+        }
+        svc.barrier();
+    }
+    let service_elapsed = run.elapsed();
+    let service_hits: usize = ids.iter().map(|id| svc.poll(*id).len()).sum();
+    let metrics = svc.metrics();
+    svc.shutdown();
+
+    let baseline_hits = results[0].hits;
+    let reload_lossless = service_hits == baseline_hits;
+    match config.reload {
+        None => assert!(
+            reload_lossless,
+            "without a reload the service must report exactly the scheduler's matches \
+             (service {service_hits} vs scheduler {baseline_hits})"
+        ),
+        Some(round) => say(format!(
+            "\nhot reload before round {round}: {:.2} ms wall, {} (service {service_hits} vs \
+             scheduler {baseline_hits})",
+            ms(reload_wall),
+            if reload_lossless {
+                "zero loss"
+            } else {
+                "LOSS at the migration cut"
+            },
+        )),
+    }
+    say(format!(
+        "owned service ({service_workers} workers): {:.3} MiB/s, {service_hits} hits, \
+         queue peak {}, epoch {}",
+        mib / service_elapsed.as_secs_f64(),
+        metrics.queue_depth_peak,
+        metrics.epoch,
+    ));
+
     if config.json {
         // Machine-readable record for the CI perf-tracking artifact.
         let rows: Vec<String> = results
@@ -251,9 +331,33 @@ fn main() {
         } else {
             "nca"
         };
+        let service_record = format!(
+            "{{\"workers\":{service_workers},\"mib_per_s\":{:.3},\"hits\":{service_hits},\
+             \"reload_round\":{},\"reload_wall_ms\":{:.3},\"reload_lossless\":{reload_lossless},\
+             \"epoch\":{},\"reloads\":{},\"queue_depth_peak\":{},\"idle_evictions\":{},\
+             \"budget_evictions\":{},\"backpressure\":{},\"scan_bytes\":{},\"scan_ns\":{}{}}}",
+            mib / service_elapsed.as_secs_f64(),
+            config
+                .reload
+                .map_or("null".into(), |round| round.to_string()),
+            ms(reload_wall),
+            metrics.epoch,
+            metrics.reloads,
+            metrics.queue_depth_peak,
+            metrics.idle_evictions,
+            metrics.budget_evictions,
+            metrics.backpressure,
+            metrics.shard_scan_bytes.iter().sum::<u64>(),
+            metrics.shard_scan_ns.iter().sum::<u64>(),
+            match &metrics.hybrid {
+                Some(s) => format!(",\"dfa_hit_rate\":{:.4}", s.dfa_hit_rate()),
+                None => String::new(),
+            },
+        );
         println!(
             "{{\"bench\":\"flow_eval\",\"scale\":{},\"flows\":{},\"rounds\":{},\"chunk_bytes\":{},\
-             \"shards\":{},\"patterns\":{},\"scan_mode\":\"{}\",\"results\":[{}]}}",
+             \"shards\":{},\"patterns\":{},\"scan_mode\":\"{}\",\"results\":[{}],\
+             \"service_metrics\":{}}}",
             config.scale,
             config.flows,
             config.rounds,
@@ -261,7 +365,8 @@ fn main() {
             engine.shard_count(),
             engine.len(),
             scan_mode,
-            rows.join(",")
+            rows.join(","),
+            service_record
         );
     }
 }

@@ -25,7 +25,9 @@
 //! `ShardedPatternSet::compile_many_with`, `compile_filtered`) are thin
 //! deprecated wrappers over this builder.
 
+#[allow(deprecated)]
 use crate::service::FlowService;
+use crate::service::ServiceHandle;
 use crate::set::{SetMatch, SetSpan, ShardedPatternSet, ShardedSetStream};
 use crate::FlowScheduler;
 use recama_compiler::{CompileOptions, CompileOutput};
@@ -34,6 +36,7 @@ use recama_mnrl::MnrlNetwork;
 use recama_nca::ScanMode;
 use recama_syntax::ParseError;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The pipeline phase in which compiling a rule failed.
@@ -148,6 +151,72 @@ impl Default for ServiceConfig {
     }
 }
 
+/// Configuration of an owned [`ServiceHandle`] (see [`Engine::serve`]):
+/// the [`ServiceConfig`] knobs plus the bounded-flow-table and
+/// sweep-cadence controls the long-lived serving shape needs.
+///
+/// `ServiceConfig` predates this struct and is kept (frozen) for the
+/// deprecated scope-based [`FlowService`]; `ServeConfig` is its
+/// superset, and [`From<ServiceConfig>`] maps the old knobs over with
+/// the new ones at their defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Per-flow input budget in bytes — the admission rule of
+    /// [`ServiceHandle::try_push`]: a chunk is accepted if the flow
+    /// currently buffers **nothing** (so chunks larger than the whole
+    /// budget still make progress), or if `buffered + chunk.len()`
+    /// stays within this budget; otherwise `Poll::Pending`.
+    pub flow_budget: usize,
+    /// Evict (close) flows that have seen no push *attempt* for this
+    /// long — a backpressured producer whose `try_push` keeps returning
+    /// `Pending` still counts as activity. `None` disables idle
+    /// eviction. Eviction still scans every buffered byte and resolves
+    /// `$`-anchored finishing matches, exactly like an explicit close.
+    pub idle_timeout: Option<Duration>,
+    /// Cadence of the idle-eviction sweep. `None` (the default) follows
+    /// `idle_timeout`, the historical behavior of the scope-based
+    /// service where the sweep interval was hard-coded to the workers'
+    /// park timeout; set it explicitly to sweep more or less often than
+    /// flows time out.
+    pub sweep_interval: Option<Duration>,
+    /// Flow-table budget: opening a flow beyond this many live flows
+    /// first evicts the least-recently-pushed *drained* open flow
+    /// (recorded in [`ServiceMetrics::budget_evictions`]). Sized toward
+    /// the ~10⁶-concurrent-flow serving target by default. If nothing
+    /// is evictable the table overshoots and the overshoot is counted
+    /// in [`ServiceMetrics::backpressure`].
+    ///
+    /// [`ServiceMetrics::budget_evictions`]: crate::ServiceMetrics::budget_evictions
+    /// [`ServiceMetrics::backpressure`]: crate::ServiceMetrics::backpressure
+    pub max_flows: usize,
+    /// Global buffered-byte budget across all flows: `try_push` returns
+    /// `Poll::Pending` (and counts backpressure) once accepting the
+    /// chunk would push the service's total buffered bytes past this.
+    pub max_buffered_bytes: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            flow_budget: 1 << 20, // 1 MiB per flow
+            idle_timeout: None,
+            sweep_interval: None,
+            max_flows: 1 << 20, // ~10^6 concurrent flows
+            max_buffered_bytes: 1 << 30,
+        }
+    }
+}
+
+impl From<ServiceConfig> for ServeConfig {
+    fn from(config: ServiceConfig) -> ServeConfig {
+        ServeConfig {
+            flow_budget: config.flow_budget,
+            idle_timeout: config.idle_timeout,
+            ..ServeConfig::default()
+        }
+    }
+}
+
 /// Builder for an [`Engine`] — the single place every compile-time knob
 /// lives. Created by [`Engine::builder`].
 #[derive(Debug, Clone)]
@@ -157,6 +226,7 @@ pub struct EngineBuilder {
     policy: ShardPolicy,
     workers: usize,
     service: ServiceConfig,
+    serve: Option<ServeConfig>,
     lossy: bool,
     scan_mode: ScanMode,
 }
@@ -169,6 +239,7 @@ impl Default for EngineBuilder {
             policy: ShardPolicy::default(),
             workers: 1,
             service: ServiceConfig::default(),
+            serve: None,
             lossy: false,
             scan_mode: ScanMode::default(),
         }
@@ -232,6 +303,14 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the [`ServeConfig`] new owned handles ([`Engine::serve`],
+    /// [`Engine::into_service`]) start with. When unset, they derive it
+    /// from the [`ServiceConfig`] via `From`.
+    pub fn serve_config(mut self, config: ServeConfig) -> EngineBuilder {
+        self.serve = Some(config);
+        self
+    }
+
     /// Sets the [`ScanMode`] every scan, stream, scheduler, and service
     /// handle of the built engine walks bytes with. The default,
     /// [`ScanMode::Hybrid`] with
@@ -264,6 +343,10 @@ impl EngineBuilder {
     /// and phase. A [`lossy`](EngineBuilder::lossy) build never fails:
     /// failing rules land in [`Engine::skipped`].
     pub fn build(self) -> Result<Engine, CompileError> {
+        // Retained (rules cleared) so ServiceHandle::reload_rules can
+        // recompile replacement rules with the same knobs.
+        let mut template = self.clone();
+        template.rules.clear();
         let mut accepted = Vec::with_capacity(self.rules.len());
         let mut ids = Vec::with_capacity(self.rules.len());
         let mut indices = Vec::with_capacity(self.rules.len());
@@ -293,12 +376,14 @@ impl EngineBuilder {
         }
         let set = ShardedPatternSet::build(accepted, &self.options, self.policy, self.scan_mode);
         Ok(Engine {
-            set,
-            ids,
+            set: Arc::new(set),
+            ids: ids.into(),
             indices,
             skipped,
             workers: self.workers,
             service: self.service,
+            serve: self.serve,
+            template,
         })
     }
 }
@@ -331,15 +416,22 @@ impl EngineBuilder {
 /// ```
 #[derive(Debug)]
 pub struct Engine {
-    set: ShardedPatternSet,
-    /// Rule ids by compiled index.
-    ids: Vec<u64>,
+    /// Shared so owned [`ServiceHandle`]s can keep the machine image
+    /// alive past the `Engine` (the epoch unit of hot reload).
+    set: Arc<ShardedPatternSet>,
+    /// Rule ids by compiled index (shared with serving epochs, which
+    /// translate match reports to stable rule ids).
+    ids: Arc<[u64]>,
     /// Builder add-order index by compiled index (they differ when a
     /// lossy build skipped rules).
     indices: Vec<usize>,
     skipped: Vec<SkippedRule>,
     workers: usize,
     service: ServiceConfig,
+    serve: Option<ServeConfig>,
+    /// The builder (rules cleared) this engine came from, retained for
+    /// [`ServiceHandle::reload_rules`].
+    template: EngineBuilder,
 }
 
 impl Engine {
@@ -458,8 +550,15 @@ impl Engine {
 
     /// Unwraps the engine into its underlying [`ShardedPatternSet`]
     /// (what the deprecated `compile_many` wrappers return).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an owned [`ServiceHandle`] (from [`Engine::serve`]) is
+    /// still sharing the set as a live serving epoch.
     pub fn into_set(self) -> ShardedPatternSet {
-        self.set
+        Arc::try_unwrap(self.set).unwrap_or_else(|_| {
+            panic!("Engine::into_set while a ServiceHandle still serves this engine's set")
+        })
     }
 
     // ---- block mode -------------------------------------------------
@@ -510,13 +609,69 @@ impl Engine {
     /// on the readiness condvar, [`try_push`](FlowService::try_push)
     /// applies backpressure at the configured per-flow budget, and idle
     /// flows are evicted. Drive it inside [`FlowService::run`].
+    #[deprecated(note = "use Engine::serve — the owned ServiceHandle needs no enclosing scope")]
+    #[allow(deprecated)]
     pub fn service(&self) -> FlowService<'_> {
-        FlowService::new(&self.set, self.workers, self.service)
+        FlowService::new(self, self.workers, self.service)
     }
 
     /// Like [`service`](Engine::service) with an explicit
     /// [`ServiceConfig`] and worker count.
+    #[deprecated(
+        note = "use Engine::serve_with — the owned ServiceHandle needs no enclosing scope"
+    )]
+    #[allow(deprecated)]
     pub fn service_with(&self, workers: usize, config: ServiceConfig) -> FlowService<'_> {
-        FlowService::new(&self.set, workers.max(1), config)
+        FlowService::new(self, workers.max(1), config)
+    }
+
+    /// Spawns an owned, `'static` flow-serving handle over this engine:
+    /// worker threads start (condvar-parked) immediately, live for the
+    /// handle's whole life, and are joined on
+    /// [`shutdown`](ServiceHandle::shutdown) / `Drop` — no enclosing
+    /// scope required, so the service embeds directly in a server's
+    /// state. The engine stays usable (and reusable) afterwards; the
+    /// handle shares its machine image as serving epoch 0 and swaps in
+    /// later engines via [`reload`](ServiceHandle::reload).
+    pub fn serve(&self) -> ServiceHandle {
+        self.serve_with(self.workers, self.serve_config())
+    }
+
+    /// Like [`serve`](Engine::serve) with an explicit worker count and
+    /// [`ServeConfig`].
+    pub fn serve_with(&self, workers: usize, config: ServeConfig) -> ServiceHandle {
+        ServiceHandle::spawn(self, workers.max(1), config)
+    }
+
+    /// Consumes the engine into an owned [`ServiceHandle`] configured
+    /// from the builder ([`EngineBuilder::workers`],
+    /// [`EngineBuilder::serve_config`] /
+    /// [`EngineBuilder::service_config`]).
+    pub fn into_service(self) -> ServiceHandle {
+        self.serve()
+    }
+
+    /// The [`ServeConfig`] new owned handles start with: the explicit
+    /// [`EngineBuilder::serve_config`] if one was set, otherwise
+    /// derived from the [`ServiceConfig`].
+    pub fn serve_config(&self) -> ServeConfig {
+        self.serve
+            .unwrap_or_else(|| ServeConfig::from(self.service))
+    }
+
+    /// The shared machine image (the epoch unit of hot reload).
+    pub(crate) fn set_arc(&self) -> Arc<ShardedPatternSet> {
+        Arc::clone(&self.set)
+    }
+
+    /// The shared rule-id table (compiled index → stable rule id).
+    pub(crate) fn ids_arc(&self) -> Arc<[u64]> {
+        Arc::clone(&self.ids)
+    }
+
+    /// The retained builder (rules cleared) for
+    /// [`ServiceHandle::reload_rules`].
+    pub(crate) fn template(&self) -> &EngineBuilder {
+        &self.template
     }
 }

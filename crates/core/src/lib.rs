@@ -48,10 +48,14 @@ pub mod sched;
 mod service;
 mod set;
 
-pub use engine::{CompileError, CompilePhase, Engine, EngineBuilder, ServiceConfig, SkippedRule};
+pub use engine::{
+    CompileError, CompilePhase, Engine, EngineBuilder, ServeConfig, ServiceConfig, SkippedRule,
+};
 pub use recama_nca::{HybridStats, ScanMode, DEFAULT_STATE_BUDGET};
 pub use sched::{FlowMatch, FlowScheduler};
+#[allow(deprecated)]
 pub use service::FlowService;
+pub use service::{FlowId, RuleMatch, ServiceEvent, ServiceHandle, ServiceMetrics};
 #[allow(deprecated)]
 pub use set::SetCompileError;
 pub use set::{PatternSet, SetMatch, SetSpan, SetStream, ShardedPatternSet, ShardedSetStream};

@@ -71,12 +71,12 @@ impl FlowMatch {
 /// them.
 #[derive(Clone)]
 pub(crate) struct Segment {
-    start: u64,
-    bytes: Arc<[u8]>,
+    pub(crate) start: u64,
+    pub(crate) bytes: Arc<[u8]>,
 }
 
 impl Segment {
-    fn end(&self) -> u64 {
+    pub(crate) fn end(&self) -> u64 {
         self.start + self.bytes.len() as u64
     }
 }
@@ -242,11 +242,6 @@ pub(crate) struct CheckedOut<'a> {
 }
 
 impl CheckedOut<'_> {
-    /// The flow this unit belongs to.
-    pub(crate) fn flow(&self) -> u64 {
-        self.flow
-    }
-
     /// Scans every unconsumed byte of the checked-out segments,
     /// returning the shard's reports (global pattern ids, absolute
     /// ends). Runs WITHOUT the lock held.
@@ -593,9 +588,23 @@ impl<'a> FlowScheduler<'a> {
     }
 
     /// Drains the global sink: every merged match of every flow, in the
-    /// order the scheduler finalized them. Within one flow this is stream
-    /// order; across flows the interleaving follows scheduling and is not
-    /// deterministic.
+    /// order the scheduler finalized them.
+    ///
+    /// # Ordering contract
+    ///
+    /// Pinned by `tests/service_reload.rs` (and shared by every
+    /// `drain_global` in the crate — [`FlowService`](crate::FlowService)
+    /// and [`ServiceHandle`](crate::ServiceHandle) have the same
+    /// contract):
+    ///
+    /// * **within one flow**, events appear in stream order — ascending
+    ///   end offset, ascending pattern index within one end — exactly
+    ///   the order [`poll`](FlowScheduler::poll) returns them;
+    /// * **across flows**, events interleave in merge-completion order,
+    ///   which follows worker scheduling and is *not* deterministic;
+    /// * each event is delivered **exactly once**: the sink is emptied
+    ///   by the call, and an event is never in both an earlier and a
+    ///   later drain.
     pub fn drain_global(&self) -> Vec<FlowMatch> {
         self.shared.lock().expect("scheduler lock").drain_sink()
     }

@@ -1,74 +1,1705 @@
-//! [`FlowService`]: the long-lived, backpressured many-flow serving
-//! loop over an [`Engine`](crate::Engine).
+//! [`ServiceHandle`]: the owned, long-lived, backpressured many-flow
+//! serving loop over an [`Engine`](crate::Engine) — with epoch-based
+//! hot rule reload, a generational flow table, and a metrics snapshot.
 //!
 //! [`FlowScheduler`](crate::FlowScheduler) is a *batch* API: `run()`
 //! scans what is buffered and returns when the queue drains. A serving
 //! deployment wants the opposite lifecycle — workers that stay parked
 //! on the readiness condvar between bursts, producers that are pushed
 //! back when a flow buffers faster than it scans, and flows that go
-//! quiet getting evicted instead of leaking engine state. That is what
-//! this module adds, as API rather than bolt-on:
+//! quiet getting evicted instead of leaking engine state. This module
+//! provides that lifecycle as an **owned** handle:
 //!
-//! * [`FlowService::run`] spawns the worker pool on a scoped thread
-//!   pool and hands the service back to a producer closure; workers
-//!   **park** on the condvar when idle and only exit when the closure
-//!   returns (and the remaining buffered work has drained);
-//! * [`FlowService::try_push`] applies **backpressure**: it returns
-//!   [`Poll::Pending`] while the flow already buffers more unconsumed
-//!   bytes than the configured
-//!   [`flow_budget`](crate::ServiceConfig::flow_budget)
-//!   ([`FlowService::push`] is the blocking variant that waits for the
-//!   workers to free space);
-//! * flows that receive no push for
-//!   [`idle_timeout`](crate::ServiceConfig::idle_timeout) are
-//!   **evicted**: closed exactly like [`FlowService::close`], with
-//!   their buffered bytes still scanned, `$`-anchored finishing
-//!   matches resolved, and their ids queryable via
-//!   [`FlowService::evictions`].
+//! * [`Engine::serve`](crate::Engine::serve) returns a `'static`
+//!   [`ServiceHandle`] that owns its worker threads: they spawn on
+//!   construction, park on the readiness condvar while idle, and are
+//!   joined on [`shutdown`](ServiceHandle::shutdown) / `Drop` — no
+//!   enclosing scope required, so the service embeds directly in a
+//!   server's state;
+//! * flows are addressed by generational [`FlowId`]s from
+//!   [`open_flow`](ServiceHandle::open_flow): slot reuse bumps the
+//!   generation, so a stale id held after its flow drained can never
+//!   observe (or pollute) the slot's next tenant;
+//! * [`reload`](ServiceHandle::reload) /
+//!   [`reload_rules`](ServiceHandle::reload_rules) install a new
+//!   compiled engine behind an **epoch** counter, without restarting
+//!   the service: new flows start on the new epoch, existing flows
+//!   migrate at their next chunk boundary once drained, in-flight
+//!   scans drain against the engine they started on, and an old
+//!   epoch's machine image is freed when its last flow lets go of it.
+//!   Reports carry **stable rule ids** ([`RuleMatch::rule`]) so
+//!   consumers are insulated from the reshuffled pattern indices of a
+//!   reloaded set;
+//! * the flow table is bounded: idle flows are evicted on a
+//!   configurable sweep cadence, and opening a flow past
+//!   [`max_flows`](crate::ServeConfig::max_flows) evicts the
+//!   least-recently-pushed drained flow first;
+//! * [`metrics`](ServiceHandle::metrics) snapshots the service
+//!   ([`ServiceMetrics`]): per-shard scan time and volume, queue
+//!   depth, eviction / backpressure / reload counters, per-epoch flow
+//!   counts, and the hybrid lazy-DFA hit-rate roll-up.
 //!
 //! Report semantics are identical to the scheduler's (and therefore
 //! byte-identical to one independent
 //! [`ShardedSetStream`](crate::ShardedSetStream) per flow): the service
-//! reuses the same flow table, readiness queue, and watermark-ordered
-//! merge — [`sched`](crate::sched)'s `Shared` — under its own worker
-//! lifecycle.
+//! reuses the same segment buffering, readiness queue, and
+//! watermark-ordered merge, under its own worker lifecycle. Across a
+//! reload, a migrated flow's stream is **cut at the migration
+//! boundary**: bytes before the boundary were scanned by the old
+//! engine, bytes after it by the new engine starting fresh — exactly a
+//! fresh per-flow stream over the post-boundary suffix, which
+//! `tests/service_reload.rs` pins differentially.
+//!
+//! The scope-based [`FlowService`] (from the deprecated
+//! [`Engine::service`](crate::Engine::service)) survives as a thin
+//! wrapper over the same core: it spawns its handle's workers paused
+//! and only unparks them inside [`FlowService::run`].
 
-use crate::engine::ServiceConfig;
-use crate::sched::Shared;
+use crate::engine::{CompileError, Engine, EngineBuilder, ServeConfig, ServiceConfig};
+use crate::sched::Segment;
 use crate::{FlowMatch, SetMatch, ShardedPatternSet};
-use std::collections::HashMap;
-use std::sync::{Condvar, Mutex, MutexGuard};
+use recama_nca::{HybridStats, MultiReport, ScanMode, ShardStreamState};
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::task::Poll;
+use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// Everything the service lock protects: the scheduler core plus the
-/// service-lifecycle state.
-struct State<'a> {
-    core: Shared<'a>,
-    /// Set while a [`FlowService::run`] scope is live (workers exist).
-    running: bool,
-    /// Set when the producer closure returns: workers drain the queue
-    /// and exit instead of parking.
+// ---- public value types ---------------------------------------------
+
+/// A generational flow handle from [`ServiceHandle::open_flow`].
+///
+/// The service stores flows in a slab; a `FlowId` is the slot index
+/// plus the slot's **generation** at open time. Freeing a flow bumps
+/// the generation, so a stale id held after its flow fully drained can
+/// never read (or write) the slot's next tenant — lookups with a stale
+/// id simply miss (ABA-safe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId {
+    index: u32,
+    generation: u32,
+}
+
+impl FlowId {
+    /// The slab slot index (recycled across flows).
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// The slot generation this id was opened at.
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+}
+
+impl std::fmt::Display for FlowId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}v{}", self.index, self.generation)
+    }
+}
+
+/// One match from the owned service: the **stable rule id** (explicit
+/// from [`EngineBuilder::rule`](crate::EngineBuilder::rule), or the
+/// add-order index) and the absolute end offset in the flow.
+///
+/// Rule ids — not compiled pattern indices — survive
+/// [`ServiceHandle::reload`]: a rule kept across a reload reports the
+/// same id even though the recompiled set may place it at a different
+/// index (or shard).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RuleMatch {
+    /// Stable rule id.
+    pub rule: u64,
+    /// End offset (1-based byte position in the flow).
+    pub end: u64,
+}
+
+/// A [`RuleMatch`] attributed to its flow, from the global sink
+/// ([`ServiceHandle::drain_global`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ServiceEvent {
+    /// The flow the match belongs to.
+    pub flow: FlowId,
+    /// Stable rule id.
+    pub rule: u64,
+    /// End offset (1-based byte position in the flow).
+    pub end: u64,
+}
+
+/// A point-in-time snapshot of the service, from
+/// [`ServiceHandle::metrics`]. Counters are cumulative since the
+/// handle spawned; gauges reflect the moment of the snapshot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceMetrics {
+    /// The current serving epoch (0 until the first reload).
+    pub epoch: u64,
+    /// Number of [`reload`](ServiceHandle::reload)s installed.
+    pub reloads: u64,
+    /// Flows currently tracked (open, or closed with undrained
+    /// reports).
+    pub flows: usize,
+    /// Tracked flows per live epoch, ascending by epoch — old epochs
+    /// disappear from this list when their last flow releases the
+    /// retired machine image.
+    pub epoch_flows: Vec<(u64, usize)>,
+    /// Bytes buffered but not yet consumed by every shard.
+    pub pending_bytes: u64,
+    /// Current readiness-queue depth (`(flow, shard)` units awaiting a
+    /// worker).
+    pub queue_depth: usize,
+    /// High-water mark of the readiness queue since spawn.
+    pub queue_depth_peak: usize,
+    /// Units currently checked out by workers.
+    pub in_flight: usize,
+    /// Cumulative unlocked scan time per shard, in nanoseconds.
+    pub shard_scan_ns: Vec<u64>,
+    /// Cumulative bytes scanned per shard.
+    pub shard_scan_bytes: Vec<u64>,
+    /// Flows closed by the idle sweep.
+    pub idle_evictions: u64,
+    /// Flows closed to stay under
+    /// [`max_flows`](crate::ServeConfig::max_flows).
+    pub budget_evictions: u64,
+    /// Pushes rejected (`Poll::Pending`) by the per-flow or global byte
+    /// budget, plus flow-table overshoots with nothing evictable.
+    pub backpressure: u64,
+    /// Aggregate hybrid lazy-DFA counters (retired engines plus the
+    /// live flow table), when the current epoch scans in
+    /// [`ScanMode::Hybrid`]; `None` in pure-NCA mode. The interesting
+    /// roll-up is [`HybridStats::dfa_hit_rate`].
+    pub hybrid: Option<HybridStats>,
+}
+
+impl ServiceMetrics {
+    /// Total evicted flows (idle + budget).
+    pub fn total_evictions(&self) -> u64 {
+        self.idle_evictions + self.budget_evictions
+    }
+}
+
+// ---- internal state -------------------------------------------------
+
+/// A merged match as stored per flow: stable rule id for the new API,
+/// epoch-local pattern index for the deprecated pattern-indexed
+/// wrapper, absolute end.
+#[derive(Debug, Clone, Copy)]
+struct StoredMatch {
+    rule: u64,
+    pattern: u32,
+    end: u64,
+}
+
+impl StoredMatch {
+    fn rule_match(self) -> RuleMatch {
+        RuleMatch {
+            rule: self.rule,
+            end: self.end,
+        }
+    }
+
+    fn set_match(self) -> SetMatch {
+        SetMatch {
+            pattern: self.pattern as usize,
+            end: self.end as usize,
+        }
+    }
+}
+
+/// A merged match in the global sink, carrying both addressings.
+#[derive(Debug, Clone, Copy)]
+struct SinkEvent {
+    flow: FlowId,
+    raw: Option<u64>,
+    rule: u64,
+    pattern: u32,
+    end: u64,
+}
+
+/// One engine installed behind the epoch counter. The `Arc`ed machine
+/// image is shared with the [`Engine`] that was reloaded (and any other
+/// handle serving it); the *service's* share is dropped when the entry
+/// leaves `ServeState::epochs`.
+struct EpochEngine {
+    epoch: u64,
+    set: Arc<ShardedPatternSet>,
+    ids: Arc<[u64]>,
+    /// Flows still pinned to this epoch (their shard engines came from
+    /// this set). A non-current epoch with zero flows is retired.
+    flows: usize,
+}
+
+/// One checkout-able (flow, shard) engine unit — the owned counterpart
+/// of the scheduler's `ShardSlot`, holding a detached
+/// [`ShardStreamState`] instead of a borrowed stream.
+struct OwnedShardSlot {
+    /// `None` while a worker holds the engine.
+    state: Option<ShardStreamState>,
+    /// Reports not yet merged: epoch-local pattern ids, **absolute**
+    /// ends, sorted by `(end, pattern)`.
+    pending: VecDeque<MultiReport>,
+    /// Absolute bytes of the flow this shard has consumed (as of last
+    /// check-in). Starts at the flow's migration `base` after a reload.
+    pos: u64,
+    /// Whether the unit is in the ready queue *or* checked out.
+    busy: bool,
+}
+
+/// Per-flow state in the slab: buffered input, one [`OwnedShardSlot`]
+/// per shard of the flow's epoch, and the merged in-order report queue.
+struct OwnedFlow {
+    /// The raw u64 id, when the flow came in through the deprecated
+    /// u64-addressed API.
+    raw: Option<u64>,
+    /// The epoch whose engines this flow's shard slots hold.
+    epoch: u64,
+    /// Set once the flow's engines were freed and its epoch pin
+    /// released (so slot-free does not release twice).
+    epoch_released: bool,
+    /// Absolute offset where the current epoch's engines started: 0
+    /// for a flow that never migrated, the flow length at migration
+    /// otherwise. Engine-relative positions + `base` = absolute.
+    base: u64,
+    segments: VecDeque<Segment>,
+    /// Total bytes pushed (absolute length of the flow so far).
+    total: u64,
+    closed: bool,
+    /// Empty once a closed flow has fully drained (engines freed).
+    shards: Vec<OwnedShardSlot>,
+    reports: VecDeque<StoredMatch>,
+    /// Last `$`-anchored candidate per (epoch-local) pattern, so
+    /// closing the flow can resolve which land on the final byte.
+    /// Cleared at migration: old candidates cannot end at the final
+    /// byte once more bytes arrive.
+    dollar: HashMap<u32, u64>,
+    /// The resolved finishing set of a finished flow, until drained.
+    finishing: Vec<StoredMatch>,
+    /// Last push attempt (or scan progress), for idle eviction.
+    last_activity: Instant,
+    /// Monotone LRU stamp, for flow-table budget eviction.
+    last_touch: u64,
+}
+
+impl OwnedFlow {
+    /// Bytes pushed but not yet consumed by every shard.
+    fn buffered(&self) -> u64 {
+        self.total - self.watermark()
+    }
+
+    /// The least absolute position any shard has consumed — reports
+    /// with ends at or below it are final and safe to merge in order.
+    fn watermark(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|slot| slot.pos)
+            .min()
+            .unwrap_or(self.total)
+    }
+
+    /// Whether every shard engine is parked and caught up — the only
+    /// state in which the flow can migrate to a new epoch or finish.
+    fn drained(&self) -> bool {
+        self.shards
+            .iter()
+            .all(|slot| slot.state.is_some() && !slot.busy && slot.pos == self.total)
+    }
+
+    /// Whether the flow is closed and its engines have been freed.
+    fn finished(&self) -> bool {
+        self.closed && self.shards.is_empty()
+    }
+}
+
+/// One slab slot: the generation counts how many tenants the slot has
+/// had, making recycled [`FlowId`]s detectably stale.
+struct Slot {
+    generation: u32,
+    flow: Option<Box<OwnedFlow>>,
+}
+
+/// Cumulative service counters (the mutable half of
+/// [`ServiceMetrics`]).
+#[derive(Default)]
+struct MetricsAcc {
+    reloads: u64,
+    idle_evictions: u64,
+    budget_evictions: u64,
+    backpressure: u64,
+    queue_peak: usize,
+    shard_scan_ns: Vec<u64>,
+    shard_scan_bytes: Vec<u64>,
+}
+
+/// Everything the service lock protects.
+struct ServeState {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// Deprecated u64-addressed flows: raw id → current incarnation.
+    /// Entries always point at occupied slots (removed at slot free).
+    raw: HashMap<u64, FlowId>,
+    /// Open (not yet closed/evicted) flows — the quantity
+    /// [`ServeConfig::max_flows`](crate::ServeConfig::max_flows)
+    /// bounds.
+    open_count: usize,
+    /// Installed engines, ascending by epoch; the last entry is the
+    /// current one. Non-current entries retire when `flows` hits 0.
+    epochs: Vec<EpochEngine>,
+    current_epoch: u64,
+    /// Readiness queue of `(flow, shard)` units with unconsumed bytes.
+    ready: VecDeque<(FlowId, usize)>,
+    /// Units currently checked out by workers.
+    in_flight: usize,
+    /// Maintained sum of every flow's `buffered()` — O(1)
+    /// `pending_bytes` under a million-flow table.
+    buffered_total: u64,
+    /// Global sink: every merged match, attributed to its flow.
+    sink: Vec<SinkEvent>,
+    /// Workers park unconditionally while set (the wrapper's
+    /// outside-`run` state): no checkouts, no sweeps.
+    paused: bool,
+    /// Set while a [`FlowService::run`] scope is live.
+    wrapper_running: bool,
+    /// Workers drain and exit instead of parking.
     shutdown: bool,
     /// Set when a worker panicked mid-scan: its `(flow, shard)` engine
     /// unit is lost, so that flow can never drain — blocking producers
     /// must panic out instead of waiting forever.
     poisoned: bool,
-    /// Last push per open flow, for idle eviction.
-    activity: HashMap<u64, Instant>,
-    /// When the next idle sweep is due (sweeps run at `idle_timeout`
-    /// cadence even while every worker stays busy).
+    /// The panicking worker's payload, so [`FlowService::run`] can
+    /// rethrow it like the scoped implementation did.
+    panic_payload: Option<Box<dyn Any + Send>>,
+    /// When the next idle sweep is due.
     next_sweep: Option<Instant>,
-    /// Flows evicted by the idle sweep, until drained by
-    /// [`FlowService::evictions`].
-    evicted: Vec<u64>,
+    /// Evicted flows (with their raw id, if any) until drained by
+    /// [`ServiceHandle::evictions`].
+    evicted: Vec<(FlowId, Option<u64>)>,
+    /// Monotone counter behind `OwnedFlow::last_touch`.
+    touch: u64,
+    metrics: MetricsAcc,
+    /// Hybrid counters of engines that no longer exist (finished or
+    /// migrated flows), so the roll-up survives flow churn.
+    hybrid_retired: HybridStats,
 }
 
-/// A long-lived many-flow scanning service; create one with
-/// [`Engine::service`](crate::Engine::service) and drive it inside
-/// [`run`](FlowService::run). See the module docs for the lifecycle.
+impl ServeState {
+    fn new(engine: &Engine, paused: bool) -> ServeState {
+        ServeState {
+            slots: Vec::new(),
+            free: Vec::new(),
+            raw: HashMap::new(),
+            open_count: 0,
+            epochs: vec![EpochEngine {
+                epoch: 0,
+                set: engine.set_arc(),
+                ids: engine.ids_arc(),
+                flows: 0,
+            }],
+            current_epoch: 0,
+            ready: VecDeque::new(),
+            in_flight: 0,
+            buffered_total: 0,
+            sink: Vec::new(),
+            paused,
+            wrapper_running: false,
+            shutdown: false,
+            poisoned: false,
+            panic_payload: None,
+            next_sweep: None,
+            evicted: Vec::new(),
+            touch: 0,
+            metrics: MetricsAcc::default(),
+            hybrid_retired: HybridStats::default(),
+        }
+    }
+
+    // ---- epoch bookkeeping ------------------------------------------
+
+    fn current(&self) -> &EpochEngine {
+        self.epochs.last().expect("the current epoch is installed")
+    }
+
+    fn epoch_entry(&self, epoch: u64) -> &EpochEngine {
+        self.epochs
+            .iter()
+            .find(|e| e.epoch == epoch)
+            .expect("pinned epochs stay installed")
+    }
+
+    fn bind_epoch(&mut self, epoch: u64) {
+        self.epochs
+            .iter_mut()
+            .find(|e| e.epoch == epoch)
+            .expect("pinned epochs stay installed")
+            .flows += 1;
+    }
+
+    /// Drops a flow's pin on `epoch`; a retired (non-current) epoch
+    /// with no remaining flows is removed, freeing its machine image —
+    /// the last step of a hot reload.
+    fn release_epoch(&mut self, epoch: u64) {
+        let e = self
+            .epochs
+            .iter_mut()
+            .find(|e| e.epoch == epoch)
+            .expect("pinned epochs stay installed");
+        e.flows -= 1;
+        let current = self.current_epoch;
+        self.epochs.retain(|e| e.epoch == current || e.flows > 0);
+    }
+
+    // ---- slab -------------------------------------------------------
+
+    fn flow(&self, id: FlowId) -> Option<&OwnedFlow> {
+        let slot = self.slots.get(id.index as usize)?;
+        if slot.generation != id.generation {
+            return None;
+        }
+        slot.flow.as_deref()
+    }
+
+    fn flow_mut(&mut self, id: FlowId) -> Option<&mut OwnedFlow> {
+        let slot = self.slots.get_mut(id.index as usize)?;
+        if slot.generation != id.generation {
+            return None;
+        }
+        slot.flow.as_deref_mut()
+    }
+
+    fn occupied(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Opens a fresh flow on the current epoch, evicting the LRU
+    /// drained flow first when the table is at its budget.
+    fn open(&mut self, raw: Option<u64>, cfg: &ServeConfig) -> FlowId {
+        if self.open_count >= cfg.max_flows && !self.evict_lru() {
+            // Nothing evictable: the table overshoots, visibly.
+            self.metrics.backpressure += 1;
+        }
+        let epoch = self.current_epoch;
+        let states = self.current().set.shard_stream_states();
+        self.bind_epoch(epoch);
+        self.touch += 1;
+        let flow = Box::new(OwnedFlow {
+            raw,
+            epoch,
+            epoch_released: false,
+            base: 0,
+            segments: VecDeque::new(),
+            total: 0,
+            closed: false,
+            shards: states
+                .into_iter()
+                .map(|state| OwnedShardSlot {
+                    state: Some(state),
+                    pending: VecDeque::new(),
+                    pos: 0,
+                    busy: false,
+                })
+                .collect(),
+            reports: VecDeque::new(),
+            dollar: HashMap::new(),
+            finishing: Vec::new(),
+            last_activity: Instant::now(),
+            last_touch: self.touch,
+        });
+        let index = match self.free.pop() {
+            Some(index) => {
+                self.slots[index as usize].flow = Some(flow);
+                index
+            }
+            None => {
+                self.slots.push(Slot {
+                    generation: 0,
+                    flow: Some(flow),
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let id = FlowId {
+            index,
+            generation: self.slots[index as usize].generation,
+        };
+        self.open_count += 1;
+        if let Some(raw) = raw {
+            self.raw.insert(raw, id);
+        }
+        id
+    }
+
+    /// Frees a fully-drained finished flow's slot, bumping the
+    /// generation so outstanding [`FlowId`]s go stale.
+    fn free_slot(&mut self, id: FlowId) {
+        let slot = &mut self.slots[id.index as usize];
+        debug_assert_eq!(slot.generation, id.generation);
+        let flow = slot.flow.take().expect("freeing an occupied slot");
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(id.index);
+        if let Some(raw) = flow.raw {
+            if self.raw.get(&raw) == Some(&id) {
+                self.raw.remove(&raw);
+            }
+        }
+        if !flow.closed {
+            self.open_count -= 1;
+        }
+        if !flow.epoch_released {
+            // Flows whose `try_finish` never ran (zero-shard sets)
+            // release their epoch pin here.
+            self.release_epoch(flow.epoch);
+        }
+    }
+
+    /// Frees the slot once the flow is finished with both report
+    /// queues drained — mirrors the scheduler forgetting such flows.
+    fn free_if_drained(&mut self, id: FlowId) {
+        if self
+            .flow(id)
+            .is_some_and(|f| f.finished() && f.reports.is_empty() && f.finishing.is_empty())
+        {
+            self.free_slot(id);
+        }
+    }
+
+    // ---- the scheduling moves ---------------------------------------
+
+    /// Admission + buffering for an already-resolved open flow.
+    /// Returns `Pending` for dead/closed ids and over-budget pushes.
+    fn try_push_at(&mut self, id: FlowId, chunk: &[u8], cfg: &ServeConfig) -> Poll<u64> {
+        self.touch += 1;
+        let touch = self.touch;
+        let buffered_total = self.buffered_total;
+        let refresh_activity = cfg.idle_timeout.is_some();
+        let Some(f) = self.flow_mut(id) else {
+            return Poll::Pending; // stale id
+        };
+        if f.closed {
+            return Poll::Pending;
+        }
+        // A rejected attempt still proves the producer is alive:
+        // refresh activity either way, so a flow pinned at its budget
+        // by slow consumers is not mistaken for an idle one and evicted
+        // mid-stream. (The LRU stamp refreshes for the same reason.)
+        if refresh_activity {
+            f.last_activity = Instant::now();
+        }
+        f.last_touch = touch;
+        let buffered = f.buffered();
+        // Empty chunks buffer nothing and are accepted unconditionally;
+        // a chunk is otherwise accepted when the flow buffers nothing
+        // (so chunks larger than the whole budget still make progress)
+        // or fits in the per-flow and global byte budgets.
+        if !chunk.is_empty()
+            && buffered > 0
+            && (buffered as usize).saturating_add(chunk.len()) > cfg.flow_budget
+        {
+            self.metrics.backpressure += 1;
+            return Poll::Pending;
+        }
+        if !chunk.is_empty()
+            && buffered_total > 0
+            && buffered_total.saturating_add(chunk.len() as u64) > cfg.max_buffered_bytes
+        {
+            self.metrics.backpressure += 1;
+            return Poll::Pending;
+        }
+        if !chunk.is_empty() {
+            self.maybe_migrate(id);
+        }
+        Poll::Ready(self.buffer_chunk(id, chunk))
+    }
+
+    /// Migrates a drained flow onto the current epoch at this chunk
+    /// boundary: fresh engines starting at `base = total`, old engines
+    /// (and their epoch pin) released. Called only for a non-empty
+    /// accepted push, so clearing the `$` candidates is safe — more
+    /// bytes are coming, and the old candidates cannot end at the
+    /// final byte.
+    fn maybe_migrate(&mut self, id: FlowId) {
+        let current = self.current_epoch;
+        {
+            let Some(f) = self.flow(id) else { return };
+            if f.epoch == current || f.closed || !f.drained() {
+                return;
+            }
+        }
+        let states = self.current().set.shard_stream_states();
+        let f = self.slots[id.index as usize]
+            .flow
+            .as_deref_mut()
+            .expect("migrating a live flow");
+        let mut retired = HybridStats::default();
+        for slot in &f.shards {
+            if let Some(stats) = slot.state.as_ref().and_then(ShardStreamState::hybrid_stats) {
+                retired.merge(&stats);
+            }
+        }
+        let old_epoch = f.epoch;
+        let base = f.total;
+        f.base = base;
+        f.segments.clear(); // drained ⇒ already empty
+        f.dollar.clear();
+        f.shards = states
+            .into_iter()
+            .map(|state| OwnedShardSlot {
+                state: Some(state),
+                pending: VecDeque::new(),
+                pos: base,
+                busy: false,
+            })
+            .collect();
+        f.epoch = current;
+        f.epoch_released = false;
+        self.hybrid_retired.merge(&retired);
+        self.release_epoch(old_epoch);
+        self.bind_epoch(current);
+    }
+
+    /// Buffers `chunk` for an open flow and marks its idle shard units
+    /// ready. Returns the flow's new total length.
+    fn buffer_chunk(&mut self, id: FlowId, chunk: &[u8]) -> u64 {
+        let f = self.slots[id.index as usize]
+            .flow
+            .as_deref_mut()
+            .expect("buffer_chunk: open flow");
+        if chunk.is_empty() {
+            return f.total;
+        }
+        let before = f.buffered();
+        f.segments.push_back(Segment {
+            start: f.total,
+            bytes: Arc::from(chunk),
+        });
+        f.total += chunk.len() as u64;
+        for (si, slot) in f.shards.iter_mut().enumerate() {
+            if !slot.busy {
+                slot.busy = true;
+                self.ready.push_back((id, si));
+            }
+        }
+        let after = f.buffered();
+        let total = f.total;
+        self.buffered_total += after - before;
+        self.metrics.queue_peak = self.metrics.queue_peak.max(self.ready.len());
+        total
+    }
+
+    /// Pops a ready `(flow, shard)` unit and checks its engine out,
+    /// along with the segments it has yet to consume and the `Arc`ed
+    /// machine image of the flow's epoch (so the scan runs unlocked
+    /// and survives a concurrent reload).
+    fn checkout(&mut self) -> Option<ServeUnit> {
+        let (id, si) = self.ready.pop_front()?;
+        let (epoch, base) = {
+            let f = self.flow(id).expect("ready unit belongs to a live flow");
+            (f.epoch, f.base)
+        };
+        let set = Arc::clone(&self.epoch_entry(epoch).set);
+        let f = self.slots[id.index as usize]
+            .flow
+            .as_deref_mut()
+            .expect("ready unit belongs to a live flow");
+        let slot = &mut f.shards[si];
+        debug_assert!(slot.busy, "queued units are marked busy");
+        let state = slot.state.take().expect("ready slot holds its engine");
+        let from = slot.pos;
+        let segments: Vec<Segment> = f
+            .segments
+            .iter()
+            .filter(|seg| seg.end() > from)
+            .cloned()
+            .collect();
+        self.in_flight += 1;
+        Some(ServeUnit {
+            id,
+            shard: si,
+            base,
+            set,
+            state,
+            segments,
+        })
+    }
+
+    /// Checks a scanned unit back in: publishes its reports (already
+    /// absolute), requeues it if more bytes arrived while it was out,
+    /// merges what became final, and settles `in_flight`.
+    fn check_in(
+        &mut self,
+        id: FlowId,
+        si: usize,
+        state: ShardStreamState,
+        reports: Vec<MultiReport>,
+    ) {
+        let f = self.slots[id.index as usize]
+            .flow
+            .as_deref_mut()
+            .expect("flows persist while checked out");
+        let before = f.buffered();
+        let base = f.base;
+        let total = f.total;
+        let slot = &mut f.shards[si];
+        slot.pos = base + state.position();
+        slot.state = Some(state);
+        slot.pending.extend(reports);
+        if slot.pos < total {
+            self.ready.push_back((id, si)); // more bytes arrived meanwhile
+        } else {
+            slot.busy = false;
+        }
+        // Scan progress counts as activity: a flow whose backlog is
+        // still draining is not idle.
+        f.last_activity = Instant::now();
+        let after = f.buffered();
+        self.buffered_total -= before - after;
+        self.merge_ready(id);
+        self.try_finish(id);
+        self.in_flight -= 1;
+    }
+
+    /// Merges shard-pending reports up to the watermark into the flow
+    /// queue (ordered by `(end, pattern)`, the stream order) and the
+    /// global sink, then drops input segments every shard has consumed.
+    fn merge_ready(&mut self, id: FlowId) {
+        let Some(f) = self.flow(id) else { return };
+        let raw = f.raw;
+        let (set, ids) = {
+            let e = self.epoch_entry(f.epoch);
+            (Arc::clone(&e.set), Arc::clone(&e.ids))
+        };
+        let anchored = set.anchored_end();
+        let mut events: Vec<SinkEvent> = Vec::new();
+        let f = self
+            .flow_mut(id)
+            .expect("merge_ready: flow is still live here");
+        let watermark = f.watermark();
+        loop {
+            let mut best: Option<(usize, (u64, u32))> = None;
+            for (si, slot) in f.shards.iter().enumerate() {
+                if let Some(r) = slot.pending.front() {
+                    if r.end <= watermark && best.is_none_or(|(_, key)| (r.end, r.pattern) < key) {
+                        best = Some((si, (r.end, r.pattern)));
+                    }
+                }
+            }
+            let Some((si, _)) = best else { break };
+            let r = f.shards[si].pending.pop_front().expect("best exists");
+            if anchored[r.pattern as usize] {
+                f.dollar.insert(r.pattern, r.end);
+            }
+            let rule = ids[r.pattern as usize];
+            f.reports.push_back(StoredMatch {
+                rule,
+                pattern: r.pattern,
+                end: r.end,
+            });
+            events.push(SinkEvent {
+                flow: id,
+                raw,
+                rule,
+                pattern: r.pattern,
+                end: r.end,
+            });
+        }
+        while f.segments.front().is_some_and(|seg| seg.end() <= watermark) {
+            f.segments.pop_front();
+        }
+        self.sink.extend(events);
+    }
+
+    /// Frees the engines of a closed, fully-consumed flow, resolves its
+    /// `$`-anchored finishing set (as stable rule ids), retires its
+    /// hybrid counters, and releases its epoch pin.
+    fn try_finish(&mut self, id: FlowId) {
+        let Some(f) = self.flow(id) else { return };
+        if f.shards.is_empty() {
+            return; // already finished, or a zero-shard set
+        }
+        if !(f.closed && f.drained()) {
+            return;
+        }
+        let epoch = f.epoch;
+        let ids = Arc::clone(&self.epoch_entry(epoch).ids);
+        let f = self
+            .flow_mut(id)
+            .expect("try_finish: flow is still live here");
+        debug_assert!(f.shards.iter().all(|slot| slot.pending.is_empty()));
+        let mut retired = HybridStats::default();
+        for slot in &f.shards {
+            if let Some(stats) = slot.state.as_ref().and_then(ShardStreamState::hybrid_stats) {
+                retired.merge(&stats);
+            }
+        }
+        f.shards.clear();
+        f.segments.clear();
+        let total = f.total;
+        let mut finals: Vec<u32> = f
+            .dollar
+            .iter()
+            .filter_map(|(&pattern, &end)| (end == total).then_some(pattern))
+            .collect();
+        finals.sort_unstable();
+        f.finishing
+            .extend(finals.into_iter().map(|pattern| StoredMatch {
+                rule: ids[pattern as usize],
+                pattern,
+                end: total,
+            }));
+        f.epoch_released = true;
+        self.hybrid_retired.merge(&retired);
+        self.release_epoch(epoch);
+    }
+
+    /// Marks a flow closed and finishes it if already drained.
+    fn close_flow(&mut self, id: FlowId) {
+        let Some(f) = self.flow_mut(id) else { return };
+        if !f.closed {
+            f.closed = true;
+            self.open_count -= 1;
+        }
+        self.merge_ready(id);
+        self.try_finish(id);
+    }
+
+    // ---- the deprecated raw-u64 addressing --------------------------
+
+    /// Resolves a raw id to the flow a push should land on: the live
+    /// incarnation, a fresh reopened one if the old finished draining
+    /// (carrying its undrained reports, like the scheduler), or `None`
+    /// while the flow is closed but not yet drained.
+    fn raw_push_target(&mut self, raw: u64, cfg: &ServeConfig) -> Option<FlowId> {
+        match self.raw.get(&raw).copied() {
+            Some(id) => {
+                let f = self.flow(id).expect("raw mappings point at live slots");
+                if f.finished() {
+                    Some(self.reopen_raw(raw, id, cfg))
+                } else if f.closed {
+                    None
+                } else {
+                    Some(id)
+                }
+            }
+            None => Some(self.open(Some(raw), cfg)),
+        }
+    }
+
+    /// Starts a fresh incarnation of a finished raw flow in a **new
+    /// slot** (the generation moves on — ABA safety), carrying the old
+    /// incarnation's undrained reports and finishing set forward.
+    fn reopen_raw(&mut self, raw: u64, old: FlowId, cfg: &ServeConfig) -> FlowId {
+        let f = self
+            .flow_mut(old)
+            .expect("reopening a finished flow in place");
+        let reports = std::mem::take(&mut f.reports);
+        let finishing = std::mem::take(&mut f.finishing);
+        self.free_slot(old);
+        let id = self.open(Some(raw), cfg);
+        let f = self.flow_mut(id).expect("just opened");
+        f.reports = reports;
+        f.finishing = finishing;
+        id
+    }
+
+    fn raw_lookup(&self, raw: u64) -> Option<FlowId> {
+        self.raw.get(&raw).copied()
+    }
+
+    // ---- eviction ---------------------------------------------------
+
+    /// Closes every open, drained flow whose last push attempt is older
+    /// than the idle timeout. Due-gated at the sweep cadence; skipped
+    /// while paused (the wrapper evicts only inside `run`). Returns
+    /// whether any flow was evicted (the caller frees space).
+    fn evict_idle(&mut self, cfg: &ServeConfig) -> bool {
+        let Some(timeout) = cfg.idle_timeout else {
+            return false;
+        };
+        if self.paused {
+            return false;
+        }
+        let now = Instant::now();
+        match self.next_sweep {
+            Some(due) if now < due => return false,
+            _ => self.next_sweep = Some(now + cfg.sweep_interval.unwrap_or(timeout)),
+        }
+        // Only fully-drained open flows are idle: a flow with buffered
+        // bytes is still being scanned (and check-in refreshes its
+        // activity anyway), and a backpressured producer refreshes
+        // activity on every rejected attempt — so eviction never splits
+        // a live stream in two.
+        let expired: Vec<FlowId> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                let f = slot.flow.as_deref()?;
+                (!f.closed && f.buffered() == 0 && now.duration_since(f.last_activity) >= timeout)
+                    .then_some(FlowId {
+                        index: i as u32,
+                        generation: slot.generation,
+                    })
+            })
+            .collect();
+        let any = !expired.is_empty();
+        for id in expired {
+            let raw = self.flow(id).and_then(|f| f.raw);
+            self.close_flow(id);
+            self.evicted.push((id, raw));
+            self.metrics.idle_evictions += 1;
+        }
+        any
+    }
+
+    /// Evicts the least-recently-pushed open drained flow to make room
+    /// in the flow table. Returns `false` when nothing is evictable.
+    fn evict_lru(&mut self) -> bool {
+        let mut lru: Option<(u64, FlowId)> = None;
+        for (i, slot) in self.slots.iter().enumerate() {
+            let Some(f) = slot.flow.as_deref() else {
+                continue;
+            };
+            if f.closed || f.buffered() != 0 {
+                continue;
+            }
+            if lru.is_none_or(|(touch, _)| f.last_touch < touch) {
+                lru = Some((
+                    f.last_touch,
+                    FlowId {
+                        index: i as u32,
+                        generation: slot.generation,
+                    },
+                ));
+            }
+        }
+        let Some((_, id)) = lru else { return false };
+        let raw = self.flow(id).and_then(|f| f.raw);
+        self.close_flow(id);
+        self.evicted.push((id, raw));
+        self.metrics.budget_evictions += 1;
+        true
+    }
+
+    // ---- metrics ----------------------------------------------------
+
+    fn record_scan(&mut self, shard: usize, ns: u64, bytes: u64) {
+        if self.metrics.shard_scan_ns.len() <= shard {
+            self.metrics.shard_scan_ns.resize(shard + 1, 0);
+            self.metrics.shard_scan_bytes.resize(shard + 1, 0);
+        }
+        self.metrics.shard_scan_ns[shard] += ns;
+        self.metrics.shard_scan_bytes[shard] += bytes;
+    }
+
+    fn snapshot(&self) -> ServiceMetrics {
+        let mut hybrid = self.hybrid_retired;
+        for slot in &self.slots {
+            let Some(f) = slot.flow.as_deref() else {
+                continue;
+            };
+            for shard in &f.shards {
+                if let Some(stats) = shard
+                    .state
+                    .as_ref()
+                    .and_then(ShardStreamState::hybrid_stats)
+                {
+                    hybrid.merge(&stats);
+                }
+            }
+        }
+        let hybrid = match self.current().set.scan_mode() {
+            ScanMode::Hybrid { .. } => Some(hybrid),
+            ScanMode::Nca => None,
+        };
+        ServiceMetrics {
+            epoch: self.current_epoch,
+            reloads: self.metrics.reloads,
+            flows: self.occupied(),
+            epoch_flows: self.epochs.iter().map(|e| (e.epoch, e.flows)).collect(),
+            pending_bytes: self.buffered_total,
+            queue_depth: self.ready.len(),
+            queue_depth_peak: self.metrics.queue_peak,
+            in_flight: self.in_flight,
+            shard_scan_ns: self.metrics.shard_scan_ns.clone(),
+            shard_scan_bytes: self.metrics.shard_scan_bytes.clone(),
+            idle_evictions: self.metrics.idle_evictions,
+            budget_evictions: self.metrics.budget_evictions,
+            backpressure: self.metrics.backpressure,
+            hybrid,
+        }
+    }
+}
+
+/// A `(flow, shard)` unit checked out of the readiness queue: the
+/// shard's detached engine state, the `Arc`ed machine image of the
+/// flow's epoch, and the input segments it still has to consume —
+/// fully owned, so the scan runs unlocked and survives a concurrent
+/// reload (in-flight units always drain against the engine they
+/// started on).
+struct ServeUnit {
+    id: FlowId,
+    shard: usize,
+    /// Absolute offset where this epoch's engines started in the flow.
+    base: u64,
+    set: Arc<ShardedPatternSet>,
+    state: ShardStreamState,
+    segments: Vec<Segment>,
+}
+
+impl ServeUnit {
+    /// Scans every unconsumed byte of the checked-out segments,
+    /// returning the shard's parked state and its reports rebased to
+    /// **absolute** flow offsets. Runs WITHOUT the lock held.
+    fn scan(self) -> (ShardStreamState, Vec<MultiReport>, u64) {
+        let ServeUnit {
+            base,
+            set,
+            state,
+            segments,
+            ..
+        } = self;
+        let mut stream = set.resume_shard_stream(state);
+        let mut reports = Vec::new();
+        let mut bytes = 0u64;
+        for seg in &segments {
+            let skip = ((base + stream.position()) - seg.start) as usize;
+            bytes += (seg.bytes.len() - skip) as u64;
+            stream.feed_into(&seg.bytes[skip..], &mut reports);
+        }
+        let state = stream.into_state();
+        for r in &mut reports {
+            r.end += base;
+        }
+        (state, reports, bytes)
+    }
+}
+
+/// The shared synchronization core: the state mutex plus the two
+/// condvars. `Arc`ed between the handle and its worker threads.
+struct ServiceCore {
+    config: ServeConfig,
+    state: Mutex<ServeState>,
+    /// Parked workers wait here; signalled on push, close, reload,
+    /// shutdown, and check-in.
+    wake: Condvar,
+    /// Producers blocked in `push` (and `barrier`, and the wrapper's
+    /// end-of-run drain) wait here; signalled when a worker checks a
+    /// unit in (bytes were consumed — space freed) or evicts.
+    space: Condvar,
+}
+
+impl ServiceCore {
+    /// Locks the state, recovering from mutex poisoning: every mutation
+    /// sequence under the lock is panic-free (producer-side asserts
+    /// fire before any mutation, worker panics are caught outside the
+    /// lock), so a poisoned mutex still guards consistent state.
+    fn lock(&self) -> MutexGuard<'_, ServeState> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    fn wait_space<'g>(&self, guard: MutexGuard<'g, ServeState>) -> MutexGuard<'g, ServeState> {
+        self.space
+            .wait(guard)
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+}
+
+/// The worker thread body: sweep, check out, scan unlocked, check in;
+/// park when idle, exit on shutdown.
+fn worker_loop(core: &ServiceCore) {
+    let cfg = core.config;
+    let mut st = core.lock();
+    loop {
+        // Idle sweeps are due-gated at the sweep cadence and run on
+        // EVERY loop iteration, so sustained load (workers that always
+        // find ready work) cannot starve eviction.
+        if st.evict_idle(&cfg) {
+            core.space.notify_all();
+        }
+        if !st.paused {
+            if let Some(unit) = st.checkout() {
+                let (id, shard) = (unit.id, unit.shard);
+                drop(st);
+                let started = Instant::now();
+                // Panic protection: if the unlocked scan panics, the
+                // unit's engine is lost and its flow can never drain,
+                // so the service is poisoned — blocked producers then
+                // panic out of their waits instead of re-blocking on a
+                // backlog that will never clear, and the wrapper
+                // rethrows the payload out of `FlowService::run`.
+                let scanned = catch_unwind(AssertUnwindSafe(|| unit.scan()));
+                let ns = started.elapsed().as_nanos() as u64;
+                let mut relocked = core.lock();
+                match scanned {
+                    Ok((state, reports, bytes)) => {
+                        relocked.record_scan(shard, ns, bytes);
+                        relocked.check_in(id, shard, state, reports);
+                    }
+                    Err(payload) => {
+                        relocked.in_flight -= 1;
+                        relocked.poisoned = true;
+                        if relocked.panic_payload.is_none() {
+                            relocked.panic_payload = Some(payload);
+                        }
+                    }
+                }
+                core.wake.notify_all();
+                core.space.notify_all();
+                st = relocked;
+                continue;
+            }
+        }
+        if st.shutdown && st.in_flight == 0 && (st.paused || st.ready.is_empty()) {
+            return;
+        }
+        st = match cfg.idle_timeout {
+            // Periodic wake so the due-gated sweep keeps running while
+            // the service sits fully idle.
+            Some(timeout) => {
+                let cadence = cfg.sweep_interval.unwrap_or(timeout);
+                match core.wake.wait_timeout(st, cadence) {
+                    Ok((guard, _)) => guard,
+                    Err(poison) => poison.into_inner().0,
+                }
+            }
+            None => core
+                .wake
+                .wait(st)
+                .unwrap_or_else(|poison| poison.into_inner()),
+        };
+    }
+}
+
+// ---- the owned handle -----------------------------------------------
+
+/// An owned, `'static` many-flow scanning service; create one with
+/// [`Engine::serve`](crate::Engine::serve). See the module docs for the
+/// lifecycle.
+///
+/// The handle owns its worker threads: they spawn on construction,
+/// park on the readiness condvar while idle, and are joined on
+/// [`shutdown`](ServiceHandle::shutdown) / `Drop`. It is `Send + Sync`,
+/// so one handle embeds in a server's shared state and takes pushes
+/// from many producer threads.
 ///
 /// ```
+/// use recama::Engine;
+///
+/// let engine = Engine::builder()
+///     .patterns(["ab{2}c", "xyz"])
+///     .workers(2)
+///     .build()
+///     .unwrap();
+///
+/// let svc = engine.serve(); // workers spawn now, parked
+/// let flow = svc.open_flow();
+/// svc.push(flow, b"..ab"); // blocking push (waits if over budget)
+/// svc.push(flow, b"bc!"); // match straddles the chunks
+/// svc.barrier(); // every pushed byte scanned
+/// let hits = svc.poll(flow);
+/// assert_eq!(hits.len(), 1);
+/// assert_eq!((hits[0].rule, hits[0].end), (0, 6));
+/// svc.close(flow);
+/// svc.shutdown(); // joins the workers (Drop would too)
+/// ```
+pub struct ServiceHandle {
+    core: Arc<ServiceCore>,
+    threads: Vec<JoinHandle<()>>,
+    workers: usize,
+    /// The engine's builder (rules cleared), so
+    /// [`reload_rules`](ServiceHandle::reload_rules) recompiles with
+    /// the same knobs.
+    template: EngineBuilder,
+}
+
+impl ServiceHandle {
+    pub(crate) fn spawn(engine: &Engine, workers: usize, config: ServeConfig) -> ServiceHandle {
+        ServiceHandle::spawn_inner(engine, workers, config, false)
+    }
+
+    /// Spawns with the workers paused — the wrapper's outside-`run`
+    /// state: pushes buffer, nothing consumes.
+    fn spawn_paused(engine: &Engine, workers: usize, config: ServeConfig) -> ServiceHandle {
+        ServiceHandle::spawn_inner(engine, workers, config, true)
+    }
+
+    fn spawn_inner(
+        engine: &Engine,
+        workers: usize,
+        config: ServeConfig,
+        paused: bool,
+    ) -> ServiceHandle {
+        let workers = workers.max(1);
+        let core = Arc::new(ServiceCore {
+            config,
+            state: Mutex::new(ServeState::new(engine, paused)),
+            wake: Condvar::new(),
+            space: Condvar::new(),
+        });
+        let threads = (0..workers)
+            .map(|i| {
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("recama-serve-{i}"))
+                    .spawn(move || worker_loop(&core))
+                    .expect("spawn service worker thread")
+            })
+            .collect();
+        ServiceHandle {
+            core,
+            threads,
+            workers,
+            template: engine.template().clone(),
+        }
+    }
+
+    // ---- lifecycle --------------------------------------------------
+
+    /// The worker-pool size.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The backpressure/eviction configuration.
+    pub fn config(&self) -> ServeConfig {
+        self.core.config
+    }
+
+    /// The current serving epoch (0 until the first
+    /// [`reload`](ServiceHandle::reload)).
+    pub fn epoch(&self) -> u64 {
+        self.core.lock().current_epoch
+    }
+
+    /// Whether a worker panicked mid-scan, losing its engine unit —
+    /// the service can no longer drain and every blocking call panics.
+    pub fn is_poisoned(&self) -> bool {
+        self.core.lock().poisoned
+    }
+
+    /// Shuts the service down: parked workers exit (after draining the
+    /// readiness queue) and are joined. Equivalent to dropping the
+    /// handle, but explicit about where the join happens.
+    pub fn shutdown(mut self) {
+        self.shutdown_join();
+    }
+
+    fn shutdown_join(&mut self) {
+        if self.threads.is_empty() {
+            return;
+        }
+        {
+            let mut st = self.core.lock();
+            st.shutdown = true;
+        }
+        self.core.wake.notify_all();
+        self.core.space.notify_all();
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+
+    /// The panicking worker's payload, if any — taken once. Used by
+    /// the wrapper to rethrow out of [`FlowService::run`].
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.core.lock().panic_payload.take()
+    }
+
+    // ---- hot reload -------------------------------------------------
+
+    /// Installs `engine` as the new serving epoch, **without**
+    /// restarting the service, and returns the new epoch number.
+    ///
+    /// Semantics of the swap:
+    ///
+    /// * flows opened after the reload start on the new engine;
+    /// * an existing flow migrates at its **next accepted non-empty
+    ///   push** once drained: bytes before that chunk boundary were
+    ///   scanned by the old engine, bytes after it by the new engine
+    ///   starting fresh (the stream is *cut* at the boundary — exactly
+    ///   a fresh stream over the post-boundary suffix);
+    /// * `(flow, shard)` units already checked out keep scanning
+    ///   against the engine they started on — the reload never blocks
+    ///   on them, and they never see a half-installed set;
+    /// * a retired epoch's machine image is freed when its last
+    ///   pinned flow finishes or migrates;
+    /// * reports carry stable rule ids ([`RuleMatch::rule`]), so a
+    ///   rule kept across the reload keeps its identity even though
+    ///   the recompiled set reshuffles pattern indices.
+    ///
+    /// ```
+    /// use recama::Engine;
+    ///
+    /// let v1 = Engine::builder().rule(7, "ab{2}c").build().unwrap();
+    /// let v2 = Engine::builder().rule(7, "ab{2}c").rule(9, "xyz").build().unwrap();
+    ///
+    /// let svc = v1.serve();
+    /// let flow = svc.open_flow();
+    /// svc.push(flow, b".abbc"); // scanned by v1
+    /// assert_eq!(svc.reload(&v2), 1);
+    /// svc.push(flow, b".xyz"); // flow migrates here; scanned by v2
+    /// svc.close(flow);
+    /// svc.barrier();
+    /// let rules: Vec<u64> = svc.poll(flow).iter().map(|m| m.rule).collect();
+    /// assert_eq!(rules, vec![7, 9]);
+    /// ```
+    pub fn reload(&self, engine: &Engine) -> u64 {
+        let mut st = self.core.lock();
+        let epoch = st.current_epoch + 1;
+        st.epochs.push(EpochEngine {
+            epoch,
+            set: engine.set_arc(),
+            ids: engine.ids_arc(),
+            flows: 0,
+        });
+        st.current_epoch = epoch;
+        st.metrics.reloads += 1;
+        st.epochs.retain(|e| e.epoch == epoch || e.flows > 0);
+        drop(st);
+        self.core.wake.notify_all();
+        epoch
+    }
+
+    /// Compiles `rules` with the original engine's builder knobs
+    /// (options, shard policy, scan mode — rules replaced) and installs
+    /// the result via [`reload`](ServiceHandle::reload). Ids default to
+    /// add-order indices; to reload with explicit stable ids, build the
+    /// [`Engine`] yourself (with
+    /// [`EngineBuilder::rule`](crate::EngineBuilder::rule)) and call
+    /// [`reload`](ServiceHandle::reload).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`CompileError`] of the first failing rule; the
+    /// running service is untouched on error.
+    pub fn reload_rules<I>(&self, rules: I) -> Result<u64, CompileError>
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
+        let engine = self.template.clone().patterns(rules).build()?;
+        Ok(self.reload(&engine))
+    }
+
+    // ---- producing --------------------------------------------------
+
+    /// Opens a fresh flow on the current epoch and returns its
+    /// generational [`FlowId`]. When the flow table is at
+    /// [`max_flows`](crate::ServeConfig::max_flows), the
+    /// least-recently-pushed drained flow is evicted first.
+    pub fn open_flow(&self) -> FlowId {
+        let mut st = self.core.lock();
+        let id = st.open(None, &self.core.config);
+        drop(st);
+        self.core.space.notify_all(); // a budget eviction may have freed a blocked producer's flow
+        id
+    }
+
+    /// Attempts to buffer `chunk` for `flow`. Returns
+    /// `Poll::Ready(total)` — the flow's new byte length — on
+    /// acceptance, or `Poll::Pending` when accepting the chunk would
+    /// break the per-flow or global byte budget, or when the id is
+    /// closed or stale (a [`FlowId`] is never reopened; open a new
+    /// flow). On `Pending`, retry after the workers have consumed — or
+    /// use the blocking [`push`](ServiceHandle::push).
+    ///
+    /// A chunk is always accepted when the flow buffers nothing, so a
+    /// chunk larger than the whole budget still makes progress.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service is poisoned (a worker panicked mid-scan).
+    pub fn try_push(&self, flow: FlowId, chunk: &[u8]) -> Poll<u64> {
+        let mut st = self.core.lock();
+        assert!(
+            !st.poisoned,
+            "ServiceHandle is poisoned: a worker panicked mid-scan, so pending flows can never drain"
+        );
+        let result = st.try_push_at(flow, chunk, &self.core.config);
+        drop(st);
+        if result.is_ready() {
+            self.core.wake.notify_all();
+        }
+        result
+    }
+
+    /// Buffers `chunk` for `flow`, blocking while the budgets are
+    /// exceeded until the workers free space. Returns the flow's new
+    /// byte length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service is poisoned, if `flow` is closed or stale
+    /// (it would block forever — open a new flow instead), or if the
+    /// service is shutting down.
+    pub fn push(&self, flow: FlowId, chunk: &[u8]) -> u64 {
+        let mut st = self.core.lock();
+        loop {
+            if let Poll::Ready(total) = st.try_push_at(flow, chunk, &self.core.config) {
+                drop(st);
+                self.core.wake.notify_all();
+                return total;
+            }
+            assert!(
+                !st.poisoned,
+                "ServiceHandle is poisoned: a worker panicked mid-scan, so this flow can never drain"
+            );
+            assert!(
+                st.flow(flow).is_some_and(|f| !f.closed),
+                "ServiceHandle::push to a closed or stale FlowId would block forever: \
+                 FlowIds are never reopened — open a new flow with open_flow()"
+            );
+            assert!(
+                !st.paused && !st.shutdown,
+                "ServiceHandle::push would block forever with no workers consuming"
+            );
+            st = self.core.wait_space(st);
+        }
+    }
+
+    /// Marks `flow` closed: buffered bytes are still scanned, after
+    /// which the flow's engines are freed and its `$`-anchored
+    /// [`finishing`](ServiceHandle::finishing) set resolves. Reports
+    /// stay pollable until drained; the slot is then recycled (the id
+    /// goes stale). Closing an unknown or stale id is a no-op.
+    pub fn close(&self, flow: FlowId) {
+        let mut st = self.core.lock();
+        st.close_flow(flow);
+        drop(st);
+        self.core.wake.notify_all();
+    }
+
+    /// Blocks until every pushed byte has been consumed by every shard
+    /// — a producer-side flush point before polling for a batch of
+    /// results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service is poisoned, or if it has no consuming
+    /// workers (paused or shut down) while work is pending.
+    pub fn barrier(&self) {
+        let mut st = self.core.lock();
+        while st.buffered_total > 0 || st.in_flight > 0 {
+            assert!(
+                !st.poisoned,
+                "ServiceHandle is poisoned: a worker panicked mid-scan, so the backlog can never drain"
+            );
+            assert!(
+                !st.paused && !st.shutdown,
+                "ServiceHandle::barrier would block forever with no workers consuming"
+            );
+            st = self.core.wait_space(st);
+        }
+    }
+
+    // ---- consuming --------------------------------------------------
+
+    /// Drains `flow`'s ordered report queue (stream order: ascending
+    /// end; within one end, the compiled pattern order of the flow's
+    /// epoch) — whatever has been merged so far; see
+    /// [`barrier`](ServiceHandle::barrier) for a flush point. Stale ids
+    /// return nothing. Once a finished flow is fully drained its slot
+    /// is recycled and the id goes stale.
+    pub fn poll(&self, flow: FlowId) -> Vec<RuleMatch> {
+        let mut st = self.core.lock();
+        let Some(f) = st.flow_mut(flow) else {
+            return Vec::new();
+        };
+        let out = f.reports.drain(..).map(StoredMatch::rule_match).collect();
+        st.free_if_drained(flow);
+        out
+    }
+
+    /// Drains `flow`'s finishing set: the `$`-anchored matches ending
+    /// exactly at the flow's final byte, resolved when the closed (or
+    /// evicted) flow finished draining.
+    pub fn finishing(&self, flow: FlowId) -> Vec<RuleMatch> {
+        let mut st = self.core.lock();
+        let Some(f) = st.flow_mut(flow) else {
+            return Vec::new();
+        };
+        let out = std::mem::take(&mut f.finishing)
+            .into_iter()
+            .map(StoredMatch::rule_match)
+            .collect();
+        st.free_if_drained(flow);
+        out
+    }
+
+    /// Drains the global sink: every merged match of every flow, in
+    /// merge-completion order.
+    ///
+    /// # Ordering contract
+    ///
+    /// Within one flow, events appear in stream order (ascending end;
+    /// within one end, the epoch's compiled pattern order) — the same
+    /// order [`poll`](ServiceHandle::poll) yields. **Across** flows the
+    /// interleaving follows merge completion and is nondeterministic
+    /// under concurrency. Every merged match appears exactly once. This
+    /// is the same contract as
+    /// [`FlowScheduler::drain_global`](crate::FlowScheduler::drain_global),
+    /// pinned by `tests/service_reload.rs`.
+    pub fn drain_global(&self) -> Vec<ServiceEvent> {
+        self.core
+            .lock()
+            .sink
+            .drain(..)
+            .map(|ev| ServiceEvent {
+                flow: ev.flow,
+                rule: ev.rule,
+                end: ev.end,
+            })
+            .collect()
+    }
+
+    /// Drains the ids of flows evicted (idle sweep or flow-table
+    /// budget) since the last call. Evicted flows behave exactly like
+    /// explicitly [`close`](ServiceHandle::close)d ones.
+    pub fn evictions(&self) -> Vec<FlowId> {
+        std::mem::take(&mut self.core.lock().evicted)
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    // ---- observability ----------------------------------------------
+
+    /// A point-in-time [`ServiceMetrics`] snapshot.
+    pub fn metrics(&self) -> ServiceMetrics {
+        self.core.lock().snapshot()
+    }
+
+    /// Number of flows currently tracked (open, or closed with
+    /// undrained reports).
+    pub fn flow_count(&self) -> usize {
+        self.core.lock().occupied()
+    }
+
+    /// Bytes pushed to `flow` so far (`None` for stale/unknown ids).
+    pub fn flow_len(&self, flow: FlowId) -> Option<u64> {
+        self.core.lock().flow(flow).map(|f| f.total)
+    }
+
+    /// Total bytes buffered but not yet consumed by every shard. O(1).
+    pub fn pending_bytes(&self) -> u64 {
+        self.core.lock().buffered_total
+    }
+
+    /// Whether `flow` still addresses a live (tracked) flow — `false`
+    /// once the slot was recycled (the ABA guard).
+    pub fn is_live(&self, flow: FlowId) -> bool {
+        self.core.lock().flow(flow).is_some()
+    }
+
+    // ---- deprecated raw-u64 addressing ------------------------------
+
+    /// Like [`try_push`](ServiceHandle::try_push), addressing flows by
+    /// caller-chosen `u64` ids with the scheduler's reopen semantics
+    /// (pushing a finished id starts a fresh incarnation carrying
+    /// undrained reports).
+    #[deprecated(note = "address flows with the generational FlowId from open_flow")]
+    pub fn try_push_raw(&self, flow: u64, chunk: &[u8]) -> Poll<u64> {
+        let mut st = self.core.lock();
+        assert!(
+            !st.poisoned,
+            "ServiceHandle is poisoned: a worker panicked mid-scan, so pending flows can never drain"
+        );
+        let result = match st.raw_push_target(flow, &self.core.config) {
+            Some(id) => st.try_push_at(id, chunk, &self.core.config),
+            None => Poll::Pending, // closed, not yet drained
+        };
+        drop(st);
+        if result.is_ready() {
+            self.core.wake.notify_all();
+        }
+        result
+    }
+
+    /// Like [`close`](ServiceHandle::close) for a raw `u64` id.
+    #[deprecated(note = "address flows with the generational FlowId from open_flow")]
+    pub fn close_raw(&self, flow: u64) {
+        let mut st = self.core.lock();
+        if let Some(id) = st.raw_lookup(flow) {
+            st.close_flow(id);
+        }
+        drop(st);
+        self.core.wake.notify_all();
+    }
+
+    /// Like [`poll`](ServiceHandle::poll) for a raw `u64` id, in the
+    /// legacy pattern-indexed [`SetMatch`] form.
+    #[deprecated(note = "address flows with the generational FlowId from open_flow")]
+    pub fn poll_raw(&self, flow: u64) -> Vec<SetMatch> {
+        let mut st = self.core.lock();
+        let Some(id) = st.raw_lookup(flow) else {
+            return Vec::new();
+        };
+        let Some(f) = st.flow_mut(id) else {
+            return Vec::new();
+        };
+        let out = f.reports.drain(..).map(StoredMatch::set_match).collect();
+        st.free_if_drained(id);
+        out
+    }
+
+    /// Like [`finishing`](ServiceHandle::finishing) for a raw `u64` id,
+    /// in the legacy pattern-indexed [`SetMatch`] form.
+    #[deprecated(note = "address flows with the generational FlowId from open_flow")]
+    pub fn finishing_raw(&self, flow: u64) -> Vec<SetMatch> {
+        let mut st = self.core.lock();
+        let Some(id) = st.raw_lookup(flow) else {
+            return Vec::new();
+        };
+        let Some(f) = st.flow_mut(id) else {
+            return Vec::new();
+        };
+        let out = std::mem::take(&mut f.finishing)
+            .into_iter()
+            .map(StoredMatch::set_match)
+            .collect();
+        st.free_if_drained(id);
+        out
+    }
+}
+
+impl Drop for ServiceHandle {
+    fn drop(&mut self) {
+        self.shutdown_join();
+    }
+}
+
+impl std::fmt::Debug for ServiceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.core.lock();
+        write!(
+            f,
+            "ServiceHandle(epoch {}, {} flows, {} shards, {} workers, budget = {} B)",
+            st.current_epoch,
+            st.occupied(),
+            st.current().set.shard_count(),
+            self.workers,
+            self.core.config.flow_budget
+        )
+    }
+}
+
+// ---- the deprecated scope-based wrapper -----------------------------
+
+/// A scope-based many-flow scanning service; create one with the
+/// deprecated [`Engine::service`](crate::Engine::service) and drive it
+/// inside [`run`](FlowService::run).
+///
+/// Since the introduction of the owned [`ServiceHandle`]
+/// ([`Engine::serve`](crate::Engine::serve)) this is a thin wrapper
+/// over the same core: the handle spawns with its workers **paused**,
+/// and [`run`](FlowService::run) unparks them for the closure's
+/// duration — preserving the original semantics (pushes outside `run`
+/// buffer without being consumed; state persists across runs).
+///
+/// ```
+/// # #![allow(deprecated)]
 /// use recama::Engine;
 /// use std::task::Poll;
 ///
@@ -88,47 +1719,32 @@ struct State<'a> {
 /// assert_eq!(hits.0[0].end, 6);
 /// assert_eq!(hits.1[0].end, 3);
 /// ```
+#[deprecated(note = "use Engine::serve — the owned ServiceHandle needs no enclosing scope")]
 pub struct FlowService<'a> {
-    set: &'a ShardedPatternSet,
-    workers: usize,
+    handle: ServiceHandle,
     config: ServiceConfig,
-    shared: Mutex<State<'a>>,
-    /// Parked workers wait here; signalled on push, close, shutdown,
-    /// and check-in.
-    wake: Condvar,
-    /// Producers blocked in [`FlowService::push`] (and
-    /// [`barrier`](FlowService::barrier)) wait here; signalled when a
-    /// worker checks a unit in (bytes were consumed — space freed).
-    space: Condvar,
+    /// The wrapper still presents the historical borrowed-from-engine
+    /// shape, though the core owns everything.
+    _scope: PhantomData<&'a Engine>,
 }
 
+#[allow(deprecated)]
 impl<'a> FlowService<'a> {
     pub(crate) fn new(
-        set: &'a ShardedPatternSet,
+        engine: &'a Engine,
         workers: usize,
         config: ServiceConfig,
     ) -> FlowService<'a> {
         FlowService {
-            set,
-            workers: workers.max(1),
+            handle: ServiceHandle::spawn_paused(engine, workers, ServeConfig::from(config)),
             config,
-            shared: Mutex::new(State {
-                core: Shared::new(),
-                running: false,
-                shutdown: false,
-                poisoned: false,
-                activity: HashMap::new(),
-                next_sweep: None,
-                evicted: Vec::new(),
-            }),
-            wake: Condvar::new(),
-            space: Condvar::new(),
+            _scope: PhantomData,
         }
     }
 
-    /// The worker-pool size [`run`](FlowService::run) spawns.
+    /// The worker-pool size [`run`](FlowService::run) activates.
     pub fn workers(&self) -> usize {
-        self.workers
+        self.handle.workers()
     }
 
     /// The backpressure/eviction configuration.
@@ -138,133 +1754,39 @@ impl<'a> FlowService<'a> {
 
     // ---- the serving scope ------------------------------------------
 
-    /// Serves flows for the duration of `producer`: spawns the worker
-    /// pool, runs the closure with the service handle, then shuts the
-    /// workers down once it returns — after they have drained every
-    /// buffered byte. Returns the closure's value.
+    /// Serves flows for the duration of `producer`: unparks the worker
+    /// pool, runs the closure with the service handle, then pauses the
+    /// workers once it returns — after they have drained every buffered
+    /// byte. Returns the closure's value.
     ///
     /// The service handle is `Sync`, so the closure may fan pushes out
     /// to its own scoped producer threads. `run` is not reentrant, but
     /// the service can be run again after it returns (flow state,
     /// undrained reports, and evictions persist across runs).
     pub fn run<R>(&self, producer: impl FnOnce(&Self) -> R) -> R {
+        let core = &self.handle.core;
         {
-            let mut st = self.lock();
-            assert!(!st.running, "FlowService::run is not reentrant");
+            let mut st = core.lock();
+            assert!(!st.wrapper_running, "FlowService::run is not reentrant");
             assert!(
                 !st.poisoned,
                 "FlowService is poisoned: a worker panicked mid-scan and its engine unit is lost"
             );
-            st.running = true;
-            st.shutdown = false;
+            st.wrapper_running = true;
+            st.paused = false;
         }
-        // Reset the lifecycle flags even if the producer (or a worker)
-        // panics, so the unwound service is observably not-running.
-        let _reset = ResetGuard { svc: self };
-        std::thread::scope(|scope| {
-            for _ in 0..self.workers {
-                scope.spawn(|| self.worker_loop());
-            }
-            // If the producer panics, the guard still flips `shutdown`
-            // so the parked workers exit and the scope can join —
-            // otherwise the panic would deadlock instead of propagating.
-            let stop = StopGuard { svc: self };
-            let result = producer(self);
-            drop(stop);
-            result
-        })
-    }
-
-    fn worker_loop(&self) {
-        let mut st = self.lock();
-        loop {
-            // Idle sweeps are due-gated at the `idle_timeout` cadence and
-            // run on EVERY loop iteration, so sustained load (workers
-            // that always find ready work) cannot starve eviction.
-            self.evict_idle(&mut st);
-            if let Some(mut unit) = st.core.checkout() {
-                let flow = unit.flow();
-                drop(st);
-                // Panic protection, as in the scheduler: settle
-                // `in_flight` on unwind — and poison the service, since
-                // the unit's engine is lost and its flow can never
-                // drain — so siblings and blocked producers panic out
-                // instead of deadlocking, letting the scope join.
-                let guard = InFlightGuard { svc: self };
-                let reports = unit.scan();
-                let mut relocked = self.lock();
-                relocked.core.check_in(unit, reports);
-                std::mem::forget(guard); // settled by check_in
-                                         // Scan progress counts as activity: a flow whose
-                                         // backlog is still draining is not idle, and its
-                                         // (possibly blocked) producer gets a full idle window
-                                         // from the drain, not from its last accepted push.
-                if self.config.idle_timeout.is_some() {
-                    relocked.activity.insert(flow, Instant::now());
-                }
-                self.wake.notify_all();
-                self.space.notify_all();
-                st = relocked;
-                continue;
-            }
-            if st.shutdown && st.core.in_flight == 0 && st.core.ready.is_empty() {
-                return;
-            }
-            st = match self.config.idle_timeout {
-                // Periodic wake so the due-gated sweep keeps running
-                // while the service sits fully idle.
-                Some(timeout) => {
-                    let (guard, _) = self
-                        .wake
-                        .wait_timeout(st, timeout)
-                        .expect("service lock poisoned");
-                    guard
-                }
-                None => self.wake.wait(st).expect("service lock poisoned"),
-            };
+        core.wake.notify_all();
+        // Pause again (after the drain) even if the producer panics, so
+        // the unwound service is observably not-running.
+        let guard = RunGuard { core };
+        let result = producer(self);
+        drop(guard);
+        // A worker panic poisons the service; rethrow it here like the
+        // scoped implementation's thread::scope join did.
+        if let Some(payload) = self.handle.take_panic() {
+            std::panic::resume_unwind(payload);
         }
-    }
-
-    /// Closes every open flow whose last push is older than the idle
-    /// timeout. Runs under the lock; due-gated so the sweep costs one
-    /// `Instant::now()` comparison per worker loop iteration.
-    fn evict_idle(&self, st: &mut MutexGuard<'_, State<'a>>) {
-        let Some(timeout) = self.config.idle_timeout else {
-            return;
-        };
-        let now = Instant::now();
-        match st.next_sweep {
-            Some(due) if now < due => return,
-            _ => st.next_sweep = Some(now + timeout),
-        }
-        let expired: Vec<u64> = st
-            .activity
-            .iter()
-            .filter(|&(_, &at)| now.duration_since(at) >= timeout)
-            .map(|(&flow, _)| flow)
-            .collect();
-        for flow in expired {
-            // Only fully-drained open flows are idle: a flow with
-            // buffered bytes is still being scanned (and check_in
-            // refreshes its activity anyway), and a backpressured
-            // producer refreshes activity on every rejected attempt —
-            // so eviction never splits a live stream in two.
-            match st.core.flows.get(&flow) {
-                Some(f) if !f.closed && f.buffered() == 0 => {
-                    st.activity.remove(&flow);
-                    st.core.close_flow(flow);
-                    st.evicted.push(flow);
-                    // The drained idle flow finishes immediately; its
-                    // engines are freed and a blocked producer may
-                    // reopen it.
-                    self.space.notify_all();
-                }
-                Some(f) if !f.closed => {} // backlog draining: not idle
-                _ => {
-                    st.activity.remove(&flow); // forgotten or already closed
-                }
-            }
-        }
+        result
     }
 
     // ---- producing --------------------------------------------------
@@ -282,45 +1804,21 @@ impl<'a> FlowService<'a> {
     /// A chunk is always accepted when the flow buffers nothing, so a
     /// chunk larger than the whole budget still makes progress.
     pub fn try_push(&self, flow: u64, chunk: &[u8]) -> Poll<u64> {
-        let mut st = self.lock();
+        let core = &self.handle.core;
+        let mut st = core.lock();
         assert!(
             !st.poisoned,
             "FlowService is poisoned: a worker panicked mid-scan, so pending flows can never drain"
         );
-        let result = self.try_push_locked(&mut st, flow, chunk);
+        let result = match st.raw_push_target(flow, &core.config) {
+            Some(id) => st.try_push_at(id, chunk, &core.config),
+            None => Poll::Pending, // closed, not yet drained
+        };
+        drop(st);
         if result.is_ready() {
-            self.wake.notify_all();
+            core.wake.notify_all();
         }
         result
-    }
-
-    fn try_push_locked(
-        &self,
-        st: &mut MutexGuard<'_, State<'a>>,
-        flow: u64,
-        chunk: &[u8],
-    ) -> Poll<u64> {
-        let Ok(f) = st.core.open_flow(self.set, flow) else {
-            return Poll::Pending; // closed, not yet drained
-        };
-        let buffered = f.buffered() as usize;
-        // A rejected attempt still proves the producer is alive: refresh
-        // activity either way, so a flow pinned at its budget by slow
-        // consumers is not mistaken for an idle one and evicted
-        // mid-stream (which would silently split it in two). Skipped
-        // entirely when eviction is off — nothing ever reads the map.
-        if self.config.idle_timeout.is_some() {
-            st.activity.insert(flow, Instant::now());
-        }
-        // Empty chunks buffer nothing and are accepted unconditionally.
-        if !chunk.is_empty()
-            && buffered > 0
-            && buffered.saturating_add(chunk.len()) > self.config.flow_budget
-        {
-            return Poll::Pending;
-        }
-        let total = st.core.buffer_chunk(flow, chunk);
-        Poll::Ready(total)
     }
 
     /// Buffers `chunk` for `flow`, blocking while the flow is over its
@@ -332,10 +1830,16 @@ impl<'a> FlowService<'a> {
     /// Panics if it would block with no workers running (outside
     /// [`run`](FlowService::run)) — nothing would ever free the space.
     pub fn push(&self, flow: u64, chunk: &[u8]) -> u64 {
-        let mut st = self.lock();
+        let core = &self.handle.core;
+        let mut st = core.lock();
         loop {
-            if let Poll::Ready(total) = self.try_push_locked(&mut st, flow, chunk) {
-                self.wake.notify_all();
+            let attempt = match st.raw_push_target(flow, &core.config) {
+                Some(id) => st.try_push_at(id, chunk, &core.config),
+                None => Poll::Pending,
+            };
+            if let Poll::Ready(total) = attempt {
+                drop(st);
+                core.wake.notify_all();
                 return total;
             }
             assert!(
@@ -343,11 +1847,11 @@ impl<'a> FlowService<'a> {
                 "FlowService is poisoned: a worker panicked mid-scan, so this flow can never drain"
             );
             assert!(
-                st.running,
+                st.wrapper_running && !st.paused,
                 "FlowService::push would block forever with no workers running: \
                  drive the service inside FlowService::run()"
             );
-            st = self.space.wait(st).expect("service lock poisoned");
+            st = core.wait_space(st);
         }
     }
 
@@ -357,10 +1861,13 @@ impl<'a> FlowService<'a> {
     /// pollable; pushing the id again after it drains reopens it fresh.
     /// Closing an unknown id is a no-op.
     pub fn close(&self, flow: u64) {
-        let mut st = self.lock();
-        st.activity.remove(&flow);
-        st.core.close_flow(flow);
-        self.wake.notify_all();
+        let core = &self.handle.core;
+        let mut st = core.lock();
+        if let Some(id) = st.raw_lookup(flow) {
+            st.close_flow(id);
+        }
+        drop(st);
+        core.wake.notify_all();
     }
 
     /// Blocks until every pushed byte has been consumed by every shard
@@ -372,18 +1879,19 @@ impl<'a> FlowService<'a> {
     ///
     /// Panics if called with work pending and no workers running.
     pub fn barrier(&self) {
-        let mut st = self.lock();
-        while st.core.pending_bytes() > 0 || st.core.in_flight > 0 {
+        let core = &self.handle.core;
+        let mut st = core.lock();
+        while st.buffered_total > 0 || st.in_flight > 0 {
             assert!(
                 !st.poisoned,
                 "FlowService is poisoned: a worker panicked mid-scan, so the backlog can never drain"
             );
             assert!(
-                st.running,
+                st.wrapper_running && !st.paused,
                 "FlowService::barrier would block forever with no workers running: \
                  drive the service inside FlowService::run()"
             );
-            st = self.space.wait(st).expect("service lock poisoned");
+            st = core.wait_space(st);
         }
     }
 
@@ -393,123 +1901,93 @@ impl<'a> FlowService<'a> {
     /// end, ascending rule within an end) — whatever has been merged so
     /// far; see [`barrier`](FlowService::barrier) for a flush point.
     pub fn poll(&self, flow: u64) -> Vec<SetMatch> {
-        self.lock().core.poll_flow(flow)
+        self.handle.poll_raw(flow)
     }
 
     /// Drains `flow`'s finishing set: the `$`-anchored matches ending
     /// exactly at the flow's final byte, resolved when the closed (or
     /// evicted) flow finished draining.
     pub fn finishing(&self, flow: u64) -> Vec<SetMatch> {
-        self.lock().core.finishing_flow(flow)
+        self.handle.finishing_raw(flow)
     }
 
     /// Drains the global sink: every merged match of every flow, in
-    /// merge order.
+    /// merge order (see
+    /// [`ServiceHandle::drain_global`] for the ordering contract).
     pub fn drain_global(&self) -> Vec<FlowMatch> {
-        self.lock().core.drain_sink()
+        self.handle
+            .core
+            .lock()
+            .sink
+            .drain(..)
+            .map(|ev| FlowMatch {
+                flow: ev.raw.unwrap_or(ev.flow.index as u64),
+                pattern: ev.pattern as usize,
+                end: ev.end as usize,
+            })
+            .collect()
     }
 
     /// Drains the ids of flows the idle sweep has evicted since the
     /// last call. Evicted flows behave exactly like explicitly
     /// [`close`](FlowService::close)d ones.
     pub fn evictions(&self) -> Vec<u64> {
-        std::mem::take(&mut self.lock().evicted)
+        std::mem::take(&mut self.handle.core.lock().evicted)
+            .into_iter()
+            .map(|(id, raw)| raw.unwrap_or(id.index as u64))
+            .collect()
     }
 
     /// Number of flows currently tracked (open, or closed with
     /// undrained reports).
     pub fn flow_count(&self) -> usize {
-        self.lock().core.flows.len()
+        self.handle.flow_count()
     }
 
     /// Bytes pushed to `flow` so far (`None` for unknown flows).
     pub fn flow_len(&self, flow: u64) -> Option<u64> {
-        self.lock().core.flow_len(flow)
+        let st = self.handle.core.lock();
+        let id = st.raw_lookup(flow)?;
+        st.flow(id).map(|f| f.total)
     }
 
     /// Total bytes buffered but not yet consumed by every shard.
     pub fn pending_bytes(&self) -> u64 {
-        self.lock().core.pending_bytes()
-    }
-
-    fn lock(&self) -> MutexGuard<'_, State<'a>> {
-        self.shared.lock().expect("service lock poisoned")
+        self.handle.pending_bytes()
     }
 }
 
+#[allow(deprecated)]
 impl std::fmt::Debug for FlowService<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let st = self.lock();
+        let st = self.handle.core.lock();
         write!(
             f,
             "FlowService({} flows, {} shards, {} workers, running = {}, budget = {} B)",
-            st.core.flows.len(),
-            self.set.shard_count(),
-            self.workers,
-            st.running,
+            st.occupied(),
+            st.current().set.shard_count(),
+            self.handle.workers,
+            st.wrapper_running,
             self.config.flow_budget
         )
     }
 }
 
-/// Flips `shutdown` when the producer closure ends (normally or by
-/// panic) so parked workers drain and exit, letting the scope join.
-struct StopGuard<'s, 'a> {
-    svc: &'s FlowService<'a>,
+/// Pauses the workers again when the producer closure ends (normally
+/// or by panic) — after waiting for the buffered work to drain, so a
+/// completed `run` leaves nothing half-scanned (the behavior of the
+/// old scoped join).
+struct RunGuard<'s> {
+    core: &'s ServiceCore,
 }
 
-impl Drop for StopGuard<'_, '_> {
+impl Drop for RunGuard<'_> {
     fn drop(&mut self) {
-        let mut st = self
-            .svc
-            .shared
-            .lock()
-            .unwrap_or_else(|poison| poison.into_inner());
-        st.shutdown = true;
-        self.svc.wake.notify_all();
-        self.svc.space.notify_all();
-    }
-}
-
-/// Clears the lifecycle flags once the scope has joined (normally or
-/// while unwinding a propagated panic).
-struct ResetGuard<'s, 'a> {
-    svc: &'s FlowService<'a>,
-}
-
-impl Drop for ResetGuard<'_, '_> {
-    fn drop(&mut self) {
-        let mut st = self
-            .svc
-            .shared
-            .lock()
-            .unwrap_or_else(|poison| poison.into_inner());
-        st.running = false;
-        st.shutdown = false;
-    }
-}
-
-/// Unwind protection for a checked-out unit (see the scheduler's
-/// equivalent): if the unlocked scan panics, the unit's engine is lost
-/// and its flow can never drain, so the drop settles `in_flight`,
-/// marks the service **poisoned**, and wakes both condvars — blocked
-/// producers then panic out of their waits (instead of re-blocking on
-/// a backlog that will never clear) and the scope joins, propagating
-/// the original panic out of [`FlowService::run`].
-struct InFlightGuard<'s, 'a> {
-    svc: &'s FlowService<'a>,
-}
-
-impl Drop for InFlightGuard<'_, '_> {
-    fn drop(&mut self) {
-        let mut st = self
-            .svc
-            .shared
-            .lock()
-            .unwrap_or_else(|poison| poison.into_inner());
-        st.core.in_flight -= 1;
-        st.poisoned = true;
-        self.svc.wake.notify_all();
-        self.svc.space.notify_all();
+        let mut st = self.core.lock();
+        while !st.poisoned && (st.in_flight > 0 || !st.ready.is_empty()) {
+            st = self.core.wait_space(st);
+        }
+        st.paused = true;
+        st.wrapper_running = false;
     }
 }

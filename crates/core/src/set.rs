@@ -351,6 +351,25 @@ impl ShardedPatternSet {
         self.multi.shard_streams_with(self.scan_mode)
     }
 
+    /// One detached [`ShardStreamState`] per shard — the owned form a
+    /// `'static` flow table parks between scans (see
+    /// [`ServiceHandle`](crate::ServiceHandle)).
+    pub(crate) fn shard_stream_states(&self) -> Vec<recama_nca::ShardStreamState> {
+        self.shard_streams()
+            .into_iter()
+            .map(ShardStream::into_state)
+            .collect()
+    }
+
+    /// Reattaches a detached per-shard scan state to this set's automata
+    /// (the inverse of [`ShardStream::into_state`]).
+    pub(crate) fn resume_shard_stream(
+        &self,
+        state: recama_nca::ShardStreamState,
+    ) -> ShardStream<'_> {
+        self.multi.resume_shard_stream(state)
+    }
+
     /// All matches in `haystack`, in stream order (ascending end offset,
     /// ascending pattern within one offset) — byte-identical to
     /// [`PatternSet::find_ends`] on the same patterns, for any shard

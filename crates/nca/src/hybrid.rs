@@ -29,7 +29,7 @@
 //! the successor of a pure frontier — and its report set — depends on
 //! nothing but the frontier itself.
 
-use crate::multi::{MultiEngine, MultiNca, MultiReport};
+use crate::multi::{MultiEngine, MultiEngineState, MultiNca, MultiReport};
 use crate::nca::StateId;
 use std::collections::HashMap;
 
@@ -212,6 +212,44 @@ pub struct HybridEngine<'a> {
     succ_scratch: Vec<u32>,
 }
 
+/// The owned mutable half of a [`HybridEngine`]: the exact engine's
+/// detached state plus the overlay's interned DFA cache, accept sets,
+/// byte-class table, mode flags, and counters — everything but the
+/// `&MultiNca` borrow. Detaching preserves the warm cache, so a flow
+/// parked between chunks resumes on hot rows.
+pub(crate) struct HybridEngineState {
+    exact: MultiEngineState,
+    cache: SubsetCache,
+    accepts: Vec<Box<[u32]>>,
+    class_map: Box<[u16; 256]>,
+    state_budget: usize,
+    cur: u32,
+    in_dfa: bool,
+    position: u64,
+    stats: HybridStats,
+    frontier_scratch: Vec<u32>,
+    succ_scratch: Vec<u32>,
+}
+
+impl HybridEngineState {
+    /// Bytes consumed when the state was detached.
+    pub(crate) fn position(&self) -> u64 {
+        if self.in_dfa {
+            self.position
+        } else {
+            self.exact.position
+        }
+    }
+
+    /// Cumulative overlay counters as of the detach.
+    pub(crate) fn stats(&self) -> HybridStats {
+        HybridStats {
+            dfa_states: self.cache.len(),
+            ..self.stats
+        }
+    }
+}
+
 impl<'a> HybridEngine<'a> {
     /// Builds an overlay engine over `multi` caching at most
     /// `state_budget` determinized states.
@@ -237,6 +275,49 @@ impl<'a> HybridEngine<'a> {
         };
         e.reset();
         e
+    }
+
+    /// Detaches the overlay's mutable state (including the warm DFA
+    /// cache) from the automaton borrow. The inverse of
+    /// [`HybridEngine::resume`].
+    pub(crate) fn into_state(self) -> HybridEngineState {
+        HybridEngineState {
+            exact: self.exact.into_state(),
+            cache: self.cache,
+            accepts: self.accepts,
+            class_map: self.class_map,
+            state_budget: self.state_budget,
+            cur: self.cur,
+            in_dfa: self.in_dfa,
+            position: self.position,
+            stats: self.stats,
+            frontier_scratch: self.frontier_scratch,
+            succ_scratch: self.succ_scratch,
+        }
+    }
+
+    /// Reattaches a state detached by [`HybridEngine::into_state`] to
+    /// `multi`, resuming mid-stream with the cache intact.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the [`MultiEngine::resume`] shape checks if `multi`
+    /// does not match the automaton the state was detached from.
+    pub(crate) fn resume(multi: &'a MultiNca, state: HybridEngineState) -> HybridEngine<'a> {
+        HybridEngine {
+            multi,
+            exact: MultiEngine::resume(multi, state.exact),
+            cache: state.cache,
+            accepts: state.accepts,
+            class_map: state.class_map,
+            state_budget: state.state_budget,
+            cur: state.cur,
+            in_dfa: state.in_dfa,
+            position: state.position,
+            stats: state.stats,
+            frontier_scratch: state.frontier_scratch,
+            succ_scratch: state.succ_scratch,
+        }
     }
 
     /// Returns to the initial configuration (stream position 0). The

@@ -25,7 +25,7 @@
 //!   total automaton size the way `N × CompiledEngine` does.
 
 use crate::compiled::{counting_set_eligible, CompilePlan, Storage, StorageMode};
-use crate::hybrid::{HybridEngine, HybridStats, ScanMode};
+use crate::hybrid::{HybridEngine, HybridEngineState, HybridStats, ScanMode};
 use crate::nca::{ActionOp, GuardAtom, Nca, State, StateId, Transition};
 use crate::token::{resolve_guard, resolve_transition, SlotSrc, SlotTest};
 use recama_syntax::{ByteAlphabet, ByteClassSet};
@@ -384,6 +384,39 @@ impl ShardedMulti {
             .map(|i| self.shard_stream_with(i, mode))
             .collect()
     }
+
+    /// Reattaches a detached [`ShardStreamState`] to this set, resuming
+    /// the stream exactly where [`ShardStream::into_state`] left it —
+    /// position, token configuration, and (in hybrid mode) the warm
+    /// lazy-DFA cache all carry over. The inverse of `into_state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` did not come from a stream of an identically
+    /// shaped set (same shard count, same per-shard automaton shape) —
+    /// the cheap structural check that catches resuming against the
+    /// wrong [`ShardedMulti`].
+    pub fn resume_shard_stream(&self, state: ShardStreamState) -> ShardStream<'_> {
+        let shard = state.shard;
+        assert!(
+            shard < self.shards.len(),
+            "ShardStreamState for shard {shard} resumed on a set with {} shard(s)",
+            self.shards.len()
+        );
+        let engine = match state.engine {
+            StreamEngineState::Nca(s) => {
+                StreamEngine::Nca(Box::new(MultiEngine::resume(&self.shards[shard], *s)))
+            }
+            StreamEngineState::Hybrid(s) => {
+                StreamEngine::Hybrid(Box::new(HybridEngine::resume(&self.shards[shard], *s)))
+            }
+        };
+        ShardStream {
+            members: &self.members[shard],
+            shard,
+            engine,
+        }
+    }
 }
 
 /// A resumable per-shard scanning state: ONE shard's batched engine plus
@@ -466,6 +499,75 @@ impl ShardStream<'_> {
         for r in &mut out[start..] {
             r.pattern = self.members[r.pattern as usize];
         }
+    }
+
+    /// Detaches this stream's mutable state from the borrowed automaton,
+    /// producing an owned, `'static` [`ShardStreamState`] that can be
+    /// parked in long-lived flow tables and later reattached with
+    /// [`ShardedMulti::resume_shard_stream`]. Nothing is recomputed on
+    /// either side of the round trip: token storage, stream position,
+    /// and the hybrid overlay's interned DFA cache move as-is.
+    pub fn into_state(self) -> ShardStreamState {
+        ShardStreamState {
+            shard: self.shard,
+            engine: match self.engine {
+                StreamEngine::Nca(e) => StreamEngineState::Nca(Box::new(e.into_state())),
+                StreamEngine::Hybrid(e) => StreamEngineState::Hybrid(Box::new(e.into_state())),
+            },
+        }
+    }
+}
+
+/// The owned, automaton-free state of one [`ShardStream`]: everything a
+/// stream mutates while scanning, detached from the [`ShardedMulti`] it
+/// borrows. `'static` and `Send`, so a serving layer can park per-flow
+/// scan progress in a flow table that outlives any particular borrow of
+/// the pattern set, and reattach it with
+/// [`ShardedMulti::resume_shard_stream`] only for the duration of each
+/// scan. In hybrid mode the detached state keeps its warm lazy-DFA cache.
+pub struct ShardStreamState {
+    shard: usize,
+    engine: StreamEngineState,
+}
+
+/// Owned counterpart of [`StreamEngine`].
+enum StreamEngineState {
+    Nca(Box<MultiEngineState>),
+    Hybrid(Box<HybridEngineState>),
+}
+
+impl ShardStreamState {
+    /// The shard index this state belongs to.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Bytes of the logical stream consumed when the state was detached.
+    pub fn position(&self) -> u64 {
+        match &self.engine {
+            StreamEngineState::Nca(s) => s.position,
+            StreamEngineState::Hybrid(s) => s.position(),
+        }
+    }
+
+    /// Hybrid-overlay counters carried by this state (`None` if it was
+    /// detached from a [`ScanMode::Nca`] stream).
+    pub fn hybrid_stats(&self) -> Option<HybridStats> {
+        match &self.engine {
+            StreamEngineState::Nca(_) => None,
+            StreamEngineState::Hybrid(s) => Some(s.stats()),
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardStreamState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ShardStreamState(shard = {}, position = {})",
+            self.shard,
+            self.position()
+        )
     }
 }
 
@@ -621,6 +723,27 @@ pub struct MultiEngine<'a> {
     conflicts: u64,
 }
 
+/// The owned mutable half of a [`MultiEngine`]: every field the engine
+/// mutates while scanning, with the `&MultiNca` / `&EngineTables` borrows
+/// stripped. Produced by [`MultiEngine::into_state`], consumed by
+/// [`MultiEngine::resume`]; the detach/reattach round trip copies and
+/// recomputes nothing.
+pub(crate) struct MultiEngineState {
+    pub(crate) cur: Vec<Storage>,
+    pub(crate) nxt: Vec<Storage>,
+    pub(crate) active: Vec<u64>,
+    pub(crate) next_active: Vec<u64>,
+    pub(crate) stamp: Vec<u64>,
+    pub(crate) generation: u64,
+    pub(crate) value_scratch: Vec<u32>,
+    pub(crate) report_stamp: Vec<u64>,
+    pub(crate) touched_queues: Vec<u32>,
+    pub(crate) queue_touch_stamp: Vec<u64>,
+    pub(crate) queue_entry_hit: Vec<bool>,
+    pub(crate) position: u64,
+    pub(crate) conflicts: u64,
+}
+
 impl<'a> MultiEngine<'a> {
     /// Builds an engine over `multi`'s shared tables; only the mutable
     /// per-engine state (token storage, frontiers, stamps) is allocated.
@@ -656,6 +779,64 @@ impl<'a> MultiEngine<'a> {
         };
         e.reset();
         e
+    }
+
+    /// Detaches the engine's mutable state from the automaton borrow.
+    /// The inverse of [`MultiEngine::resume`].
+    pub(crate) fn into_state(self) -> MultiEngineState {
+        MultiEngineState {
+            cur: self.cur,
+            nxt: self.nxt,
+            active: self.active,
+            next_active: self.next_active,
+            stamp: self.stamp,
+            generation: self.generation,
+            value_scratch: self.value_scratch,
+            report_stamp: self.report_stamp,
+            touched_queues: self.touched_queues,
+            queue_touch_stamp: self.queue_touch_stamp,
+            queue_entry_hit: self.queue_entry_hit,
+            position: self.position,
+            conflicts: self.conflicts,
+        }
+    }
+
+    /// Reattaches a state detached by [`MultiEngine::into_state`] to
+    /// `multi`, resuming mid-stream with no recomputation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's shape (state count, pattern count) does not
+    /// match `multi` — the structural check against resuming on the
+    /// wrong automaton.
+    pub(crate) fn resume(multi: &'a MultiNca, state: MultiEngineState) -> MultiEngine<'a> {
+        assert_eq!(
+            state.cur.len(),
+            multi.nca.state_count(),
+            "engine state resumed on an automaton with a different state count"
+        );
+        assert_eq!(
+            state.report_stamp.len(),
+            multi.pattern_count,
+            "engine state resumed on an automaton with a different pattern count"
+        );
+        MultiEngine {
+            multi,
+            tables: &multi.tables,
+            cur: state.cur,
+            nxt: state.nxt,
+            active: state.active,
+            next_active: state.next_active,
+            stamp: state.stamp,
+            generation: state.generation,
+            value_scratch: state.value_scratch,
+            report_stamp: state.report_stamp,
+            touched_queues: state.touched_queues,
+            queue_touch_stamp: state.queue_touch_stamp,
+            queue_entry_hit: state.queue_entry_hit,
+            position: state.position,
+            conflicts: state.conflicts,
+        }
     }
 
     /// Returns to the initial configuration (stream position 0).

@@ -78,4 +78,34 @@ fn main() {
             count
         );
     }
+
+    // An IDS tap serves many concurrent connections, not one buffer:
+    // the owned service hands MTU-sized chunks to per-connection flows
+    // and scans them on its own worker pool. Each flow carries the same
+    // traffic here, so all flows must agree with each other.
+    let svc = engine.serve();
+    let flows: Vec<_> = (0..4).map(|_| svc.open_flow()).collect();
+    for chunk in input.chunks(1500) {
+        for flow in &flows {
+            svc.push(*flow, chunk);
+        }
+    }
+    for flow in &flows {
+        svc.close(*flow);
+    }
+    svc.barrier();
+    let per_flow: Vec<usize> = flows.iter().map(|f| svc.poll(*f).len()).collect();
+    let metrics = svc.metrics();
+    println!(
+        "served {} flows: {per_flow:?} reports; {} B scanned across {} shard(s), queue peak {}",
+        flows.len(),
+        metrics.shard_scan_bytes.iter().sum::<u64>(),
+        metrics.shard_scan_bytes.len(),
+        metrics.queue_depth_peak
+    );
+    assert!(
+        per_flow.iter().all(|&n| n == per_flow[0]),
+        "identical flows must report identically"
+    );
+    svc.shutdown();
 }

@@ -85,4 +85,62 @@ fn main() {
     assert!(!violations.is_empty(), "the late grant must be flagged");
     assert!(!grants.is_empty(), "the compliant grants must be seen");
     println!("\nbatch, online, and hardware monitors agree on both properties");
+
+    // ---- live deployment: the owned service -------------------------
+    //
+    // A deployed monitor serves many traces at once and upgrades its
+    // properties without restarting. `Engine::serve()` returns an
+    // owned handle — the worker threads live inside `svc`, parked on a
+    // condvar between ticks — and `reload` installs a recompiled
+    // monitor behind an epoch counter while traffic keeps flowing.
+    let svc = monitor.serve();
+    let flow = svc.open_flow();
+    for tick in &trace[..20] {
+        svc.push(flow, &[*tick]);
+    }
+    svc.barrier();
+
+    // Tighten the response deadline from 8 to 6 ticks — a hot property
+    // upgrade. The rules keep their stable ids (901/902), so the alert
+    // pipeline reading `RuleMatch::rule` needs no change; the flow
+    // migrates to the new monitor at its next pushed tick.
+    let tightened = Engine::builder()
+        .rule(VIOLATION, r"R[^G]{6}")
+        .rule(GRANTED, r"R[^G]{3,6}G")
+        .build()
+        .expect("compiles");
+    let epoch = svc.reload(&tightened);
+    println!("\nhot-reloaded the monitor (deadline 8 -> 6 ticks), epoch {epoch}");
+    for tick in &trace[20..] {
+        svc.push(flow, &[*tick]);
+    }
+    svc.close(flow);
+    svc.barrier();
+
+    let alerts = svc.poll(flow);
+    assert!(alerts
+        .iter()
+        .all(|m| m.rule == VIOLATION || m.rule == GRANTED));
+    println!(
+        "alerts across both monitor versions: {:?}",
+        alerts.iter().map(|m| (m.rule, m.end)).collect::<Vec<_>>()
+    );
+
+    // The metrics snapshot a dashboard would export, still without a
+    // restart: epochs, scan volume, queue depth, eviction counters.
+    let metrics = svc.metrics();
+    assert_eq!(metrics.reloads, 1);
+    assert_eq!(metrics.epoch, epoch);
+    println!(
+        "service metrics: epoch {}, {} reload(s), {} flow(s), {} B scanned \
+         over {} shard(s), queue peak {}, {} eviction(s)",
+        metrics.epoch,
+        metrics.reloads,
+        metrics.flows,
+        metrics.shard_scan_bytes.iter().sum::<u64>(),
+        metrics.shard_scan_bytes.len(),
+        metrics.queue_depth_peak,
+        metrics.total_evictions(),
+    );
+    svc.shutdown(); // joins the workers; Drop would do the same
 }

@@ -17,9 +17,10 @@ use recama::compiler::CompileOptions;
 use recama::hw::ShardPolicy;
 use recama::syntax::ParseError;
 use recama::{
-    CompileError, CompilePhase, Engine, EngineBuilder, FlowMatch, FlowScheduler, FlowService,
-    MatchSpan, Pattern, PatternSet, ServiceConfig, SetCompileError, SetMatch, SetSpan, SetStream,
-    ShardedPatternSet, ShardedSetStream, SkippedRule,
+    CompileError, CompilePhase, Engine, EngineBuilder, FlowId, FlowMatch, FlowScheduler,
+    FlowService, HybridStats, MatchSpan, Pattern, PatternSet, RuleMatch, ServeConfig,
+    ServiceConfig, ServiceEvent, ServiceHandle, ServiceMetrics, SetCompileError, SetMatch, SetSpan,
+    SetStream, ShardedPatternSet, ShardedSetStream, SkippedRule,
 };
 use std::task::Poll;
 use std::time::Duration;
@@ -31,15 +32,24 @@ use std::time::Duration;
 const ROOT_EXPORTS: &[&str] = &[
     "CompileError",
     "CompilePhase",
+    "DEFAULT_STATE_BUDGET",
     "Engine",
     "EngineBuilder",
+    "FlowId",
     "FlowMatch",
     "FlowScheduler",
-    "FlowService",
+    "FlowService (deprecated = ServiceHandle)",
+    "HybridStats",
     "MatchSpan",
     "Pattern",
     "PatternSet",
+    "RuleMatch",
+    "ScanMode",
+    "ServeConfig",
     "ServiceConfig",
+    "ServiceEvent",
+    "ServiceHandle",
+    "ServiceMetrics",
     "SetCompileError (deprecated = CompileError)",
     "SetMatch",
     "SetSpan",
@@ -95,6 +105,10 @@ fn engine_signatures() {
     let _: for<'a> fn(&'a Engine) -> FlowService<'a> = |e| e.service();
     let _: for<'a> fn(&'a Engine, usize, ServiceConfig) -> FlowService<'a> =
         |e, w, c| e.service_with(w, c);
+    let _: fn(&Engine) -> ServiceHandle = |e| e.serve();
+    let _: fn(&Engine, usize, ServeConfig) -> ServiceHandle = |e, w, c| e.serve_with(w, c);
+    let _: fn(Engine) -> ServiceHandle = Engine::into_service;
+    let _: fn(&Engine) -> ServeConfig = Engine::serve_config;
     let _: fn(&Engine) -> usize = Engine::len;
     let _: fn(&Engine) -> bool = Engine::is_empty;
     let _: for<'a> fn(&'a Engine, usize) -> &'a str = |e, i| e.pattern(i);
@@ -123,6 +137,45 @@ fn flow_service_signatures() {
     let _: fn(&FlowService<'_>) -> u64 = |s| s.pending_bytes();
     let _: fn(&FlowService<'_>) -> usize = |s| s.workers();
     let _: fn(&FlowService<'_>) -> ServiceConfig = |s| s.config();
+}
+
+#[test]
+fn service_handle_signatures() {
+    // The handle is owned: 'static, Send + Sync, no engine borrow.
+    fn assert_owned<T: Send + Sync + 'static>() {}
+    assert_owned::<ServiceHandle>();
+
+    let _: fn(&ServiceHandle) -> FlowId = |s| s.open_flow();
+    let _: fn(&ServiceHandle, FlowId, &[u8]) -> Poll<u64> = |s, f, c| s.try_push(f, c);
+    let _: fn(&ServiceHandle, FlowId, &[u8]) -> u64 = |s, f, c| s.push(f, c);
+    let _: fn(&ServiceHandle, FlowId) = |s, f| s.close(f);
+    let _: fn(&ServiceHandle) = |s| s.barrier();
+    let _: fn(&ServiceHandle, FlowId) -> Vec<RuleMatch> = |s, f| s.poll(f);
+    let _: fn(&ServiceHandle, FlowId) -> Vec<RuleMatch> = |s, f| s.finishing(f);
+    let _: fn(&ServiceHandle) -> Vec<ServiceEvent> = |s| s.drain_global();
+    let _: fn(&ServiceHandle) -> Vec<FlowId> = |s| s.evictions();
+    let _: fn(&ServiceHandle) -> ServiceMetrics = |s| s.metrics();
+    let _: fn(&ServiceHandle, &Engine) -> u64 = |s, e| s.reload(e);
+    let _: fn(&ServiceHandle, Vec<String>) -> Result<u64, CompileError> = |s, r| s.reload_rules(r);
+    let _: fn(&ServiceHandle) -> u64 = |s| s.epoch();
+    let _: fn(&ServiceHandle) -> usize = |s| s.flow_count();
+    let _: fn(&ServiceHandle, FlowId) -> Option<u64> = |s, f| s.flow_len(f);
+    let _: fn(&ServiceHandle) -> u64 = |s| s.pending_bytes();
+    let _: fn(&ServiceHandle, FlowId) -> bool = |s, f| s.is_live(f);
+    let _: fn(&ServiceHandle) -> bool = |s| s.is_poisoned();
+    let _: fn(&ServiceHandle) -> usize = |s| s.workers();
+    let _: fn(&ServiceHandle) -> ServeConfig = |s| s.config();
+    let _: fn(ServiceHandle) = ServiceHandle::shutdown;
+
+    // The deprecated raw-u64 shims keep the scheduler's addressing.
+    let _: fn(&ServiceHandle, u64, &[u8]) -> Poll<u64> = |s, f, c| s.try_push_raw(f, c);
+    let _: fn(&ServiceHandle, u64) = |s, f| s.close_raw(f);
+    let _: fn(&ServiceHandle, u64) -> Vec<SetMatch> = |s, f| s.poll_raw(f);
+    let _: fn(&ServiceHandle, u64) -> Vec<SetMatch> = |s, f| s.finishing_raw(f);
+
+    // FlowId is an opaque generational handle.
+    let _: fn(&FlowId) -> u32 = FlowId::index;
+    let _: fn(&FlowId) -> u32 = FlowId::generation;
 }
 
 #[test]
@@ -208,6 +261,61 @@ fn pin_service_config(c: ServiceConfig) -> (usize, Option<Duration>) {
         idle_timeout,
     } = c;
     (flow_budget, idle_timeout)
+}
+
+#[allow(dead_code)]
+fn pin_serve_config(c: ServeConfig) -> (usize, Option<Duration>, Option<Duration>, usize, u64) {
+    let ServeConfig {
+        flow_budget,
+        idle_timeout,
+        sweep_interval,
+        max_flows,
+        max_buffered_bytes,
+    } = c;
+    (
+        flow_budget,
+        idle_timeout,
+        sweep_interval,
+        max_flows,
+        max_buffered_bytes,
+    )
+}
+
+#[allow(dead_code)]
+fn pin_service_types(m: RuleMatch, e: ServiceEvent) -> (u64, u64, FlowId, u64, u64) {
+    let RuleMatch { rule, end } = m;
+    let ServiceEvent {
+        flow,
+        rule: ev_rule,
+        end: ev_end,
+    } = e;
+    (rule, end, flow, ev_rule, ev_end)
+}
+
+#[allow(dead_code)]
+fn pin_service_metrics(m: ServiceMetrics) {
+    let ServiceMetrics {
+        epoch,
+        reloads,
+        flows,
+        epoch_flows,
+        pending_bytes,
+        queue_depth,
+        queue_depth_peak,
+        in_flight,
+        shard_scan_ns,
+        shard_scan_bytes,
+        idle_evictions,
+        budget_evictions,
+        backpressure,
+        hybrid,
+    } = m;
+    let _: (u64, u64, usize, Vec<(u64, usize)>, u64) =
+        (epoch, reloads, flows, epoch_flows, pending_bytes);
+    let _: (usize, usize, usize) = (queue_depth, queue_depth_peak, in_flight);
+    let _: (Vec<u64>, Vec<u64>) = (shard_scan_ns, shard_scan_bytes);
+    let _: (u64, u64, u64) = (idle_evictions, budget_evictions, backpressure);
+    let _: Option<HybridStats> = hybrid;
 }
 
 #[allow(dead_code)]
