@@ -1,0 +1,18 @@
+use recama::Engine;
+
+#[test]
+fn double_close_after_reload() {
+    let v1 = Engine::builder().rule(7, "abc").build().unwrap();
+    let v2 = Engine::builder().rule(7, "abc").rule(9, "xyz").build().unwrap();
+    let svc = v1.serve();
+    let flow = svc.open_flow();
+    svc.push(flow, b".abc.");
+    svc.close(flow);
+    svc.barrier();
+    // flow is finished (engines freed, epoch pin released) but its
+    // reports are still undrained, so the slot stays occupied.
+    let _ = svc.reload(&v2); // epoch 0 now has zero pins -> retired
+    svc.close(flow); // second close on a live-but-finished id
+    let hits = svc.poll(flow);
+    assert_eq!(hits.len(), 1);
+}
