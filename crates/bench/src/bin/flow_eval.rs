@@ -335,7 +335,9 @@ fn main() {
             "{{\"workers\":{service_workers},\"mib_per_s\":{:.3},\"hits\":{service_hits},\
              \"reload_round\":{},\"reload_wall_ms\":{:.3},\"reload_lossless\":{reload_lossless},\
              \"epoch\":{},\"reloads\":{},\"queue_depth_peak\":{},\"idle_evictions\":{},\
-             \"budget_evictions\":{},\"backpressure\":{},\"scan_bytes\":{},\"scan_ns\":{}{}}}",
+             \"budget_evictions\":{},\"backpressure\":{},\"scan_bytes\":{},\"scan_ns\":{},\
+             \"faults\":{{\"quarantined_flows\":{},\"worker_restarts\":{},\
+             \"shed_opens\":{},\"fail_stops\":{}}}{}}}",
             mib / service_elapsed.as_secs_f64(),
             config
                 .reload
@@ -349,6 +351,10 @@ fn main() {
             metrics.backpressure,
             metrics.shard_scan_bytes.iter().sum::<u64>(),
             metrics.shard_scan_ns.iter().sum::<u64>(),
+            metrics.faults.quarantined_flows,
+            metrics.faults.worker_restarts,
+            metrics.faults.shed_opens,
+            metrics.faults.fail_stops,
             match &metrics.hybrid {
                 Some(s) => format!(",\"dfa_hit_rate\":{:.4}", s.dfa_hit_rate()),
                 None => String::new(),

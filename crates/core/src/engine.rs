@@ -25,6 +25,8 @@
 //! `ShardedPatternSet::compile_many_with`, `compile_filtered`) are thin
 //! deprecated wrappers over this builder.
 
+#[cfg(feature = "fault-inject")]
+use crate::service::FaultPlan;
 #[allow(deprecated)]
 use crate::service::FlowService;
 use crate::service::ServiceHandle;
@@ -151,9 +153,67 @@ impl Default for ServiceConfig {
     }
 }
 
+/// What the service does when a worker panics mid-scan — the fault
+/// policy of [`ServeConfig::fault_policy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FaultPolicy {
+    /// Isolate the fault: the panic **quarantines only the offending
+    /// flow** (its engines are freed, its epoch pin released, its
+    /// already-merged reports stay pollable, and
+    /// [`push_checked`](ServiceHandle::push_checked) /
+    /// [`poll_checked`](ServiceHandle::poll_checked) on it return a
+    /// [`ServeError::Quarantined`](crate::ServeError::Quarantined)
+    /// carrying the panic message), while every other flow keeps
+    /// flowing. The panicked worker is respawned under
+    /// [`restart_budget`](ServeConfig::restart_budget) with exponential
+    /// [`restart_backoff`](ServeConfig::restart_backoff); only when the
+    /// budget is exhausted does the service fall back to fail-stop
+    /// poisoning. The default.
+    #[default]
+    Isolate,
+    /// Legacy fail-stop: the first worker panic poisons the whole
+    /// service — every blocking call on every flow then panics with the
+    /// payload summary. This was the only behavior before the
+    /// quarantine layer existed and remains available for callers that
+    /// prefer to die loudly; the deprecated scope-based [`FlowService`]
+    /// always runs fail-stop (its [`run`](FlowService::run) rethrows
+    /// the worker's payload).
+    FailStop,
+}
+
+/// High-watermark overload shedding for an owned [`ServiceHandle`] —
+/// the policy behind [`ServeConfig::overload`].
+///
+/// When either watermark is reached the service is *overloaded*:
+/// [`try_open_flow`](ServiceHandle::try_open_flow) sheds new opens
+/// (returning [`ServeError::Overloaded`](crate::ServeError::Overloaded)
+/// and counting
+/// [`shed_opens`](crate::FaultMetrics::shed_opens)) instead of
+/// admitting more traffic into an already-drowning queue. The default
+/// policy disables both watermarks — nothing sheds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct OverloadPolicy {
+    /// Readiness-queue depth (pending `(flow, shard)` scan units) at or
+    /// above which new opens are shed. `None` (default) disables the
+    /// watermark.
+    pub max_queue_depth: Option<usize>,
+    /// Buffered-but-unscanned bytes (the service-wide
+    /// [`pending_bytes`](crate::ServiceMetrics::pending_bytes)) at or
+    /// above which new opens are shed. `None` (default) disables the
+    /// watermark.
+    pub max_pending_bytes: Option<u64>,
+    /// Evict the least-recently-pushed drained open flow whenever an
+    /// open is shed, so sustained overload reclaims capacity instead of
+    /// only refusing work. Evictions are counted in
+    /// [`budget_evictions`](crate::ServiceMetrics::budget_evictions).
+    /// Default `false`.
+    pub evict_on_shed: bool,
+}
+
 /// Configuration of an owned [`ServiceHandle`] (see [`Engine::serve`]):
-/// the [`ServiceConfig`] knobs plus the bounded-flow-table and
-/// sweep-cadence controls the long-lived serving shape needs.
+/// the [`ServiceConfig`] knobs plus the bounded-flow-table,
+/// sweep-cadence, fault-tolerance, and overload-shedding controls the
+/// long-lived serving shape needs.
 ///
 /// `ServiceConfig` predates this struct and is kept (frozen) for the
 /// deprecated scope-based [`FlowService`]; `ServeConfig` is its
@@ -193,6 +253,27 @@ pub struct ServeConfig {
     /// `Poll::Pending` (and counts backpressure) once accepting the
     /// chunk would push the service's total buffered bytes past this.
     pub max_buffered_bytes: u64,
+    /// What a worker panic mid-scan does to the service: quarantine the
+    /// offending flow and respawn the worker
+    /// ([`FaultPolicy::Isolate`], the default), or poison the whole
+    /// service ([`FaultPolicy::FailStop`], the legacy behavior).
+    pub fault_policy: FaultPolicy,
+    /// Under [`FaultPolicy::Isolate`], how many worker respawns the
+    /// service tolerates in total before it stops trusting itself and
+    /// falls back to fail-stop poisoning (counted in
+    /// [`fail_stops`](crate::FaultMetrics::fail_stops)). Default `8`.
+    /// `0` means the first panic fail-stops (quarantining its flow
+    /// first).
+    pub restart_budget: u32,
+    /// Base delay before a panicked worker is respawned; it doubles on
+    /// every consecutive restart of the same worker seat (capped at
+    /// 2¹⁶×), so a crash-looping workload degrades into a slow trickle
+    /// instead of a hot spin. Default `1ms`; `Duration::ZERO` respawns
+    /// immediately.
+    pub restart_backoff: Duration,
+    /// High-watermark overload shedding (see [`OverloadPolicy`]).
+    /// Default: both watermarks disabled — nothing sheds.
+    pub overload: OverloadPolicy,
 }
 
 impl Default for ServeConfig {
@@ -203,6 +284,10 @@ impl Default for ServeConfig {
             sweep_interval: None,
             max_flows: 1 << 20, // ~10^6 concurrent flows
             max_buffered_bytes: 1 << 30,
+            fault_policy: FaultPolicy::Isolate,
+            restart_budget: 8,
+            restart_backoff: Duration::from_millis(1),
+            overload: OverloadPolicy::default(),
         }
     }
 }
@@ -229,6 +314,8 @@ pub struct EngineBuilder {
     serve: Option<ServeConfig>,
     lossy: bool,
     scan_mode: ScanMode,
+    #[cfg(feature = "fault-inject")]
+    faults: FaultPlan,
 }
 
 impl Default for EngineBuilder {
@@ -242,6 +329,8 @@ impl Default for EngineBuilder {
             serve: None,
             lossy: false,
             scan_mode: ScanMode::default(),
+            #[cfg(feature = "fault-inject")]
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -326,6 +415,18 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the deterministic [`FaultPlan`] every [`ServiceHandle`]
+    /// served from the built engine injects into its scan loop —
+    /// panics and artificial delays at the k-th scan of a chosen
+    /// `(flow, shard)`, for chaos-testing the fault-tolerance layer.
+    /// Only compiled in under the `fault-inject` cargo feature; release
+    /// builds carry no injection hook at all.
+    #[cfg(feature = "fault-inject")]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> EngineBuilder {
+        self.faults = plan;
+        self
+    }
+
     /// Makes the build lossy: rules that fail to compile are skipped
     /// (recorded queryably in [`Engine::skipped`]) instead of failing
     /// the build — the tolerant mode real rulesets need.
@@ -383,6 +484,8 @@ impl EngineBuilder {
             workers: self.workers,
             service: self.service,
             serve: self.serve,
+            #[cfg(feature = "fault-inject")]
+            faults: self.faults,
             template,
         })
     }
@@ -429,6 +532,10 @@ pub struct Engine {
     workers: usize,
     service: ServiceConfig,
     serve: Option<ServeConfig>,
+    /// The deterministic fault-injection plan every served handle
+    /// inherits (chaos testing only — absent from normal builds).
+    #[cfg(feature = "fault-inject")]
+    faults: FaultPlan,
     /// The builder (rules cleared) this engine came from, retained for
     /// [`ServiceHandle::reload_rules`].
     template: EngineBuilder,
@@ -673,5 +780,11 @@ impl Engine {
     /// [`ServiceHandle::reload_rules`].
     pub(crate) fn template(&self) -> &EngineBuilder {
         &self.template
+    }
+
+    /// The fault-injection plan served handles inherit (chaos testing).
+    #[cfg(feature = "fault-inject")]
+    pub(crate) fn fault_plan_clone(&self) -> FaultPlan {
+        self.faults.clone()
     }
 }

@@ -347,10 +347,13 @@ impl<'a> Shared<'a> {
             stream,
             ..
         } = unit;
-        let f = self
-            .flows
-            .get_mut(&flow)
-            .expect("flows persist while checked out");
+        let Some(f) = self.flows.get_mut(&flow) else {
+            // A sibling unit's panic dropped this flow while the unit
+            // was out scanning (see `InFlightGuard`): drop the late
+            // reports, settle the count.
+            self.in_flight -= 1;
+            return;
+        };
         let slot = &mut f.shards[si];
         slot.pos = stream.position();
         slot.stream = Some(stream);
@@ -547,7 +550,10 @@ impl<'a> FlowScheduler<'a> {
             // an engine panic into a deadlock. The guard settles the
             // count on unwind so every worker exits and the panic
             // propagates out of run().
-            let guard = InFlightGuard { sched: self };
+            let guard = InFlightGuard {
+                sched: self,
+                flow: unit.flow,
+            };
 
             // Scan outside the lock; other workers may be advancing other
             // shards of the same flow right now.
@@ -651,15 +657,18 @@ impl<'a> FlowScheduler<'a> {
 }
 
 /// Unwind protection for a checked-out `(flow, shard)` unit: if the
-/// owning worker panics during its unlocked scan, dropping this settles
-/// `in_flight` and wakes the siblings so they can observe the drained
-/// queue and exit (letting `thread::scope` join and propagate the
-/// panic). The normal check-in path settles the count under the lock
-/// and `mem::forget`s the guard. The scheduler is left with that unit's
-/// engine lost — consistent with the panic making the run's results
-/// unusable anyway.
+/// owning worker panics during its unlocked scan, dropping this
+/// quarantines the broken flow — removes it from the table and purges
+/// its queued units, since its engine is lost and it could never drain
+/// — then settles `in_flight` and wakes the siblings so they can
+/// observe the drained queue and exit (letting `thread::scope` join
+/// and propagate the panic). Every *other* flow's state survives, so a
+/// caller that catches the panic out of [`FlowScheduler::run`] can
+/// keep scheduling the rest. The normal check-in path settles the
+/// count under the lock and `mem::forget`s the guard.
 struct InFlightGuard<'s, 'a> {
     sched: &'s FlowScheduler<'a>,
+    flow: u64,
 }
 
 impl Drop for InFlightGuard<'_, '_> {
@@ -671,6 +680,9 @@ impl Drop for InFlightGuard<'_, '_> {
             .shared
             .lock()
             .unwrap_or_else(|poison| poison.into_inner());
+        let flow = self.flow;
+        shared.flows.remove(&flow);
+        shared.ready.retain(|&(rid, _)| rid != flow);
         shared.in_flight -= 1;
         self.sched.wake.notify_all();
     }

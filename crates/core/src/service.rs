@@ -55,7 +55,7 @@
 //! wrapper over the same core: it spawns its handle's workers paused
 //! and only unparks them inside [`FlowService::run`].
 
-use crate::engine::{CompileError, Engine, EngineBuilder, ServeConfig, ServiceConfig};
+use crate::engine::{CompileError, Engine, EngineBuilder, FaultPolicy, ServeConfig, ServiceConfig};
 use crate::sched::Segment;
 use crate::{FlowMatch, SetMatch, ShardedPatternSet};
 use recama_nca::{HybridStats, MultiReport, ScanMode, ShardStreamState};
@@ -171,12 +171,187 @@ pub struct ServiceMetrics {
     /// [`ScanMode::Hybrid`]; `None` in pure-NCA mode. The interesting
     /// roll-up is [`HybridStats::dfa_hit_rate`].
     pub hybrid: Option<HybridStats>,
+    /// Fault-tolerance counters: quarantined flows, worker restarts,
+    /// shed opens, fail-stop transitions. All zero on clean traffic.
+    pub faults: FaultMetrics,
 }
 
 impl ServiceMetrics {
     /// Total evicted flows (idle + budget).
     pub fn total_evictions(&self) -> u64 {
         self.idle_evictions + self.budget_evictions
+    }
+}
+
+/// Cumulative fault-tolerance counters, in [`ServiceMetrics::faults`].
+/// On clean traffic every field stays 0 — CI's perf-smoke summary
+/// warns otherwise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultMetrics {
+    /// Flows quarantined after a panic inside one of their scans
+    /// (under [`FaultPolicy::Isolate`](crate::FaultPolicy::Isolate)).
+    pub quarantined_flows: u64,
+    /// Worker threads respawned after a panic, within
+    /// [`restart_budget`](crate::ServeConfig::restart_budget).
+    pub worker_restarts: u64,
+    /// [`try_open_flow`](ServiceHandle::try_open_flow) calls shed by
+    /// the [`overload`](crate::ServeConfig::overload) policy.
+    pub shed_opens: u64,
+    /// Transitions into fail-stop poisoning: every panic under
+    /// explicit [`FaultPolicy::FailStop`](crate::FaultPolicy::FailStop)
+    /// (first counted), or an exhausted restart budget.
+    pub fail_stops: u64,
+}
+
+/// Why a checked [`ServiceHandle`] call could not proceed.
+///
+/// The original calls ([`push`](ServiceHandle::push),
+/// [`poll`](ServiceHandle::poll), [`open_flow`](ServiceHandle::open_flow))
+/// keep their panicking/silent signatures for compatibility; the
+/// `_checked` variants surface the same conditions as values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The flow is quarantined: a scan over its bytes panicked, its
+    /// engines were freed, and it accepts no more input. Carries a
+    /// summary of the panic payload. Reports merged before the fault
+    /// stay available via [`poll`](ServiceHandle::poll) /
+    /// [`poll_checked`](ServiceHandle::poll_checked);
+    /// [`close`](ServiceHandle::close) acknowledges the quarantine and
+    /// reclaims the slot.
+    Quarantined {
+        /// Summary of the panic payload that quarantined the flow.
+        message: String,
+    },
+    /// The whole service fail-stopped (explicit
+    /// [`FaultPolicy::FailStop`](crate::FaultPolicy::FailStop), or the
+    /// restart budget ran out). Carries the first panic's payload
+    /// summary — also available as
+    /// [`panic_message`](ServiceHandle::panic_message).
+    Poisoned {
+        /// Summary of the first worker panic payload.
+        message: String,
+    },
+    /// The [`overload`](crate::ServeConfig::overload) high-watermark
+    /// policy shed this open.
+    Overloaded,
+    /// The flow id is closed, stale, or unknown.
+    Closed,
+    /// The service has no consuming workers (paused or shut down).
+    Stopped,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Quarantined { message } => {
+                write!(f, "flow quarantined after a scan panic: {message}")
+            }
+            ServeError::Poisoned { message } => {
+                write!(f, "service poisoned by a worker panic: {message}")
+            }
+            ServeError::Overloaded => write!(f, "open shed by the overload policy"),
+            ServeError::Closed => write!(f, "flow is closed, stale, or unknown"),
+            ServeError::Stopped => write!(f, "service has no consuming workers"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A deterministic fault-injection plan for chaos testing, compiled in
+/// under the `fault-inject` cargo feature and installed with
+/// [`EngineBuilder::fault_plan`](crate::EngineBuilder::fault_plan)
+/// before the engine is served.
+///
+/// Faults address the **k-th scan** (1-based) of a given shard of a
+/// given flow, flows numbered in open order (0-based, across reopens).
+/// With a [`barrier`](ServiceHandle::barrier) between pushes, every
+/// non-empty push triggers exactly one scan per shard, so the scan
+/// number equals the chunk number — `tests/service_faults.rs` leans on
+/// that to place faults deterministically.
+#[cfg(feature = "fault-inject")]
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: Vec<InjectedFault>,
+}
+
+#[cfg(feature = "fault-inject")]
+#[derive(Debug, Clone)]
+struct InjectedFault {
+    flow_seq: u64,
+    shard: usize,
+    scan: u64,
+    action: FaultAction,
+}
+
+#[cfg(feature = "fault-inject")]
+#[derive(Debug, Clone)]
+enum FaultAction {
+    Panic(String),
+    Delay(std::time::Duration),
+}
+
+#[cfg(feature = "fault-inject")]
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Panics with `message` at the `scan`-th scan (1-based) of
+    /// `shard` of the `flow_seq`-th opened flow (0-based).
+    pub fn panic_at(
+        mut self,
+        flow_seq: u64,
+        shard: usize,
+        scan: u64,
+        message: impl Into<String>,
+    ) -> FaultPlan {
+        self.faults.push(InjectedFault {
+            flow_seq,
+            shard,
+            scan,
+            action: FaultAction::Panic(message.into()),
+        });
+        self
+    }
+
+    /// Sleeps for `delay` before the `scan`-th scan (1-based) of
+    /// `shard` of the `flow_seq`-th opened flow (0-based), then scans
+    /// normally — for racing slow scans against reloads and closes.
+    pub fn delay_at(
+        mut self,
+        flow_seq: u64,
+        shard: usize,
+        scan: u64,
+        delay: std::time::Duration,
+    ) -> FaultPlan {
+        self.faults.push(InjectedFault {
+            flow_seq,
+            shard,
+            scan,
+            action: FaultAction::Delay(delay),
+        });
+        self
+    }
+
+    /// Fires the matching fault, if any: sleeps through delays, panics
+    /// with the configured message. Runs on the worker thread, outside
+    /// the service lock, inside its panic protection.
+    pub(crate) fn trigger(&self, flow_seq: u64, shard: usize, scan: u64) {
+        for fault in &self.faults {
+            if fault.flow_seq == flow_seq && fault.shard == shard && fault.scan == scan {
+                match &fault.action {
+                    FaultAction::Delay(delay) => std::thread::sleep(*delay),
+                    FaultAction::Panic(message) => panic!("{message}"),
+                }
+            }
+        }
     }
 }
 
@@ -245,6 +420,10 @@ struct OwnedShardSlot {
     pos: u64,
     /// Whether the unit is in the ready queue *or* checked out.
     busy: bool,
+    /// Scans checked out for this unit so far — the fault-injection
+    /// address. Resets when the flow migrates to a new epoch.
+    #[cfg(feature = "fault-inject")]
+    scans: u64,
 }
 
 /// Per-flow state in the slab: buffered input, one [`OwnedShardSlot`]
@@ -276,6 +455,16 @@ struct OwnedFlow {
     dollar: HashMap<u32, u64>,
     /// The resolved finishing set of a finished flow, until drained.
     finishing: Vec<StoredMatch>,
+    /// The panic payload summary that quarantined this flow, when a
+    /// scan over its bytes panicked under
+    /// [`FaultPolicy::Isolate`](crate::FaultPolicy::Isolate). A
+    /// quarantined flow is closed, engine-free, and kept addressable
+    /// (so pushes/polls can report the condition) until explicitly
+    /// closed.
+    quarantined: Option<String>,
+    /// Open-order sequence number — the fault-injection address.
+    #[cfg(feature = "fault-inject")]
+    seq: u64,
     /// Last push attempt (or scan progress), for idle eviction.
     last_activity: Instant,
     /// Monotone LRU stamp, for flow-table budget eviction.
@@ -330,6 +519,10 @@ struct MetricsAcc {
     queue_peak: usize,
     shard_scan_ns: Vec<u64>,
     shard_scan_bytes: Vec<u64>,
+    quarantined: u64,
+    worker_restarts: u64,
+    shed_opens: u64,
+    fail_stops: u64,
 }
 
 /// Everything the service lock protects.
@@ -370,6 +563,17 @@ struct ServeState {
     /// The panicking worker's payload, so [`FlowService::run`] can
     /// rethrow it like the scoped implementation did.
     panic_payload: Option<Box<dyn Any + Send>>,
+    /// Human-readable summary of the first fail-stop panic payload;
+    /// survives `take_panic` (which consumes the payload itself).
+    panic_message: Option<String>,
+    /// Worker restarts consumed from
+    /// [`ServeConfig::restart_budget`](crate::ServeConfig::restart_budget),
+    /// shared across the pool.
+    restarts: u32,
+    /// Flows opened so far — assigns `OwnedFlow::seq` fault-injection
+    /// addresses.
+    #[cfg(feature = "fault-inject")]
+    opened: u64,
     /// When the next idle sweep is due.
     next_sweep: Option<Instant>,
     /// Evicted flows (with their raw id, if any) until drained by
@@ -406,6 +610,10 @@ impl ServeState {
             shutdown: false,
             poisoned: false,
             panic_payload: None,
+            panic_message: None,
+            restarts: 0,
+            #[cfg(feature = "fault-inject")]
+            opened: 0,
             next_sweep: None,
             evicted: Vec::new(),
             touch: 0,
@@ -482,6 +690,12 @@ impl ServeState {
         let states = self.current().set.shard_stream_states();
         self.bind_epoch(epoch);
         self.touch += 1;
+        #[cfg(feature = "fault-inject")]
+        let seq = {
+            let seq = self.opened;
+            self.opened += 1;
+            seq
+        };
         let flow = Box::new(OwnedFlow {
             raw,
             epoch,
@@ -497,11 +711,16 @@ impl ServeState {
                     pending: VecDeque::new(),
                     pos: 0,
                     busy: false,
+                    #[cfg(feature = "fault-inject")]
+                    scans: 0,
                 })
                 .collect(),
             reports: VecDeque::new(),
             dollar: HashMap::new(),
             finishing: Vec::new(),
+            quarantined: None,
+            #[cfg(feature = "fault-inject")]
+            seq,
             last_activity: Instant::now(),
             last_touch: self.touch,
         });
@@ -554,13 +773,92 @@ impl ServeState {
 
     /// Frees the slot once the flow is finished with both report
     /// queues drained — mirrors the scheduler forgetting such flows.
+    /// Quarantined flows are exempt: they stay addressable (so pushes
+    /// and polls keep reporting the condition) until explicitly
+    /// closed.
     fn free_if_drained(&mut self, id: FlowId) {
-        if self
-            .flow(id)
-            .is_some_and(|f| f.finished() && f.reports.is_empty() && f.finishing.is_empty())
-        {
+        if self.flow(id).is_some_and(|f| {
+            f.quarantined.is_none()
+                && f.finished()
+                && f.reports.is_empty()
+                && f.finishing.is_empty()
+        }) {
             self.free_slot(id);
         }
+    }
+
+    // ---- fault handling ---------------------------------------------
+
+    /// Poisons the whole service — the fail-stop path (explicit
+    /// [`FaultPolicy::FailStop`], or an exhausted restart budget):
+    /// every blocking call panics from now on. Records the transition
+    /// and the first panic's payload + summary.
+    fn fail_stop(&mut self, payload: Box<dyn Any + Send>) {
+        if !self.poisoned {
+            self.metrics.fail_stops += 1;
+        }
+        self.poisoned = true;
+        if self.panic_payload.is_none() {
+            self.panic_message = Some(payload_summary(payload.as_ref()));
+            self.panic_payload = Some(payload);
+        }
+    }
+
+    /// Quarantines `id` after a panic inside one of its scans (the
+    /// [`FaultPolicy::Isolate`] path): its queued units leave the
+    /// readiness queue, its remaining engines are freed (hybrid
+    /// counters retired), its buffered bytes leave the global gauge,
+    /// and its epoch pin is released — so every *other* flow keeps
+    /// flowing and a blocked `barrier` still drains. Reports merged
+    /// before the fault stay pollable.
+    fn quarantine(&mut self, id: FlowId, summary: &str) {
+        let Some(f) = self.flow(id) else { return };
+        if f.quarantined.is_some() {
+            return; // a sibling shard already quarantined this flow
+        }
+        self.metrics.quarantined += 1;
+        self.ready.retain(|&(rid, _)| rid != id);
+        let f = self.flow_mut(id).expect("quarantining a live flow");
+        let before = f.buffered();
+        let was_open = !f.closed;
+        f.closed = true;
+        f.quarantined = Some(summary.to_string());
+        let mut retired = HybridStats::default();
+        for slot in &f.shards {
+            if let Some(stats) = slot.state.as_ref().and_then(ShardStreamState::hybrid_stats) {
+                retired.merge(&stats);
+            }
+        }
+        f.shards.clear();
+        f.segments.clear();
+        f.dollar.clear();
+        let epoch = f.epoch;
+        let release = !f.epoch_released;
+        f.epoch_released = true;
+        self.buffered_total -= before;
+        if was_open {
+            self.open_count -= 1;
+        }
+        self.hybrid_retired.merge(&retired);
+        if release {
+            self.release_epoch(epoch);
+        }
+    }
+
+    /// Whether the [`overload`](crate::ServeConfig::overload)
+    /// high-watermark policy sheds new opens right now.
+    fn overloaded(&self, cfg: &ServeConfig) -> bool {
+        let o = &cfg.overload;
+        o.max_queue_depth.is_some_and(|hw| self.ready.len() >= hw)
+            || o.max_pending_bytes
+                .is_some_and(|hw| self.buffered_total >= hw)
+    }
+
+    /// The panic summary for poisoned-path messages.
+    fn panic_summary(&self) -> &str {
+        self.panic_message
+            .as_deref()
+            .unwrap_or("payload unavailable")
     }
 
     // ---- the scheduling moves ---------------------------------------
@@ -648,6 +946,8 @@ impl ServeState {
                 pending: VecDeque::new(),
                 pos: base,
                 busy: false,
+                #[cfg(feature = "fault-inject")]
+                scans: 0,
             })
             .collect();
         f.epoch = current;
@@ -701,8 +1001,15 @@ impl ServeState {
             .flow
             .as_deref_mut()
             .expect("ready unit belongs to a live flow");
+        #[cfg(feature = "fault-inject")]
+        let seq = f.seq;
         let slot = &mut f.shards[si];
         debug_assert!(slot.busy, "queued units are marked busy");
+        #[cfg(feature = "fault-inject")]
+        let scan_no = {
+            slot.scans += 1;
+            slot.scans
+        };
         let state = slot.state.take().expect("ready slot holds its engine");
         let from = slot.pos;
         let segments: Vec<Segment> = f
@@ -719,6 +1026,10 @@ impl ServeState {
             set,
             state,
             segments,
+            #[cfg(feature = "fault-inject")]
+            seq,
+            #[cfg(feature = "fault-inject")]
+            scan_no,
         })
     }
 
@@ -732,6 +1043,17 @@ impl ServeState {
         state: ShardStreamState,
         reports: Vec<MultiReport>,
     ) {
+        // A sibling shard's panic may have quarantined the flow — and
+        // an acknowledging `close` may even have freed its slot —
+        // while this unit was out scanning. Retire the late engine's
+        // hybrid counters, drop its now-unmergeable reports, settle.
+        if self.flow(id).is_none_or(|f| f.shards.is_empty()) {
+            if let Some(stats) = state.hybrid_stats() {
+                self.hybrid_retired.merge(&stats);
+            }
+            self.in_flight -= 1;
+            return;
+        }
         let f = self.slots[id.index as usize]
             .flow
             .as_deref_mut()
@@ -763,6 +1085,13 @@ impl ServeState {
     /// global sink, then drops input segments every shard has consumed.
     fn merge_ready(&mut self, id: FlowId) {
         let Some(f) = self.flow(id) else { return };
+        if f.shards.is_empty() {
+            // Already finished (engines freed, epoch pin released —
+            // the epoch may since have been retired by a reload) or a
+            // zero-shard set: nothing pending to merge. A second
+            // `close` on a finished flow lands here.
+            return;
+        }
         let raw = f.raw;
         let (set, ids) = {
             let e = self.epoch_entry(f.epoch);
@@ -851,9 +1180,15 @@ impl ServeState {
         self.release_epoch(epoch);
     }
 
-    /// Marks a flow closed and finishes it if already drained.
+    /// Marks a flow closed and finishes it if already drained. Closing
+    /// a quarantined flow acknowledges the quarantine: the slot is
+    /// reclaimed (undrained reports included).
     fn close_flow(&mut self, id: FlowId) {
         let Some(f) = self.flow_mut(id) else { return };
+        if f.quarantined.is_some() {
+            self.free_slot(id);
+            return;
+        }
         if !f.closed {
             f.closed = true;
             self.open_count -= 1;
@@ -1026,7 +1361,25 @@ impl ServeState {
             budget_evictions: self.metrics.budget_evictions,
             backpressure: self.metrics.backpressure,
             hybrid,
+            faults: FaultMetrics {
+                quarantined_flows: self.metrics.quarantined,
+                worker_restarts: self.metrics.worker_restarts,
+                shed_opens: self.metrics.shed_opens,
+                fail_stops: self.metrics.fail_stops,
+            },
         }
+    }
+}
+
+/// A human-readable summary of a panic payload: `&str` and `String`
+/// payloads verbatim, anything else opaquely.
+fn payload_summary(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -1044,6 +1397,13 @@ struct ServeUnit {
     set: Arc<ShardedPatternSet>,
     state: ShardStreamState,
     segments: Vec<Segment>,
+    /// The flow's open-order sequence number (fault-injection address).
+    #[cfg(feature = "fault-inject")]
+    seq: u64,
+    /// Which scan of this `(flow, shard)` unit this checkout is
+    /// (1-based; fault-injection address).
+    #[cfg(feature = "fault-inject")]
+    scan_no: u64,
 }
 
 impl ServeUnit {
@@ -1086,6 +1446,10 @@ struct ServiceCore {
     /// end-of-run drain) wait here; signalled when a worker checks a
     /// unit in (bytes were consumed — space freed) or evicts.
     space: Condvar,
+    /// Deterministic fault-injection plan, from
+    /// [`EngineBuilder::fault_plan`](crate::EngineBuilder::fault_plan).
+    #[cfg(feature = "fault-inject")]
+    fault_plan: FaultPlan,
 }
 
 impl ServiceCore {
@@ -1106,8 +1470,13 @@ impl ServiceCore {
     }
 }
 
-/// The worker thread body: sweep, check out, scan unlocked, check in;
-/// park when idle, exit on shutdown.
+/// One supervised pass of the worker loop: sweep, check out, scan
+/// unlocked, check in; park when idle, return on shutdown. A panic
+/// inside a scan is caught here: under [`FaultPolicy::Isolate`] the
+/// offending flow is quarantined and the panic rethrown into
+/// [`supervised_worker`] (which respawns the loop under the restart
+/// budget); under [`FaultPolicy::FailStop`] the service is poisoned
+/// and the loop keeps running, preserving the legacy contract.
 fn worker_loop(core: &ServiceCore) {
     let cfg = core.config;
     let mut st = core.lock();
@@ -1123,13 +1492,22 @@ fn worker_loop(core: &ServiceCore) {
                 let (id, shard) = (unit.id, unit.shard);
                 drop(st);
                 let started = Instant::now();
-                // Panic protection: if the unlocked scan panics, the
-                // unit's engine is lost and its flow can never drain,
-                // so the service is poisoned — blocked producers then
-                // panic out of their waits instead of re-blocking on a
+                // Panic protection: the unlocked scan runs caught, so
+                // a panic loses only the unit's engine — never the
+                // lock's consistency. What happens next is the fault
+                // policy's call: Isolate quarantines the one flow and
+                // lets the supervisor respawn this worker; FailStop
+                // poisons the whole service (blocked producers panic
+                // out of their waits instead of re-blocking on a
                 // backlog that will never clear, and the wrapper
-                // rethrows the payload out of `FlowService::run`.
-                let scanned = catch_unwind(AssertUnwindSafe(|| unit.scan()));
+                // rethrows the payload out of `FlowService::run`).
+                #[cfg(feature = "fault-inject")]
+                let probe = (unit.seq, unit.shard, unit.scan_no);
+                let scanned = catch_unwind(AssertUnwindSafe(|| {
+                    #[cfg(feature = "fault-inject")]
+                    core.fault_plan.trigger(probe.0, probe.1, probe.2);
+                    unit.scan()
+                }));
                 let ns = started.elapsed().as_nanos() as u64;
                 let mut relocked = core.lock();
                 match scanned {
@@ -1139,9 +1517,19 @@ fn worker_loop(core: &ServiceCore) {
                     }
                     Err(payload) => {
                         relocked.in_flight -= 1;
-                        relocked.poisoned = true;
-                        if relocked.panic_payload.is_none() {
-                            relocked.panic_payload = Some(payload);
+                        match cfg.fault_policy {
+                            FaultPolicy::Isolate => {
+                                let summary = payload_summary(payload.as_ref());
+                                relocked.quarantine(id, &summary);
+                                drop(relocked);
+                                core.wake.notify_all();
+                                core.space.notify_all();
+                                // Rethrow into the supervisor, which
+                                // respawns the loop under the restart
+                                // budget (or fail-stops past it).
+                                std::panic::resume_unwind(payload);
+                            }
+                            FaultPolicy::FailStop => relocked.fail_stop(payload),
                         }
                     }
                 }
@@ -1169,6 +1557,49 @@ fn worker_loop(core: &ServiceCore) {
                 .wait(st)
                 .unwrap_or_else(|poison| poison.into_inner()),
         };
+    }
+}
+
+/// The worker thread body: reruns [`worker_loop`] across panics.
+///
+/// Under [`FaultPolicy::Isolate`], a panicked pass (which already
+/// quarantined the offending flow before rethrowing) respawns the loop
+/// while the pool-wide [`restart_budget`](ServeConfig::restart_budget)
+/// lasts, sleeping an exponential backoff first — starting at
+/// [`restart_backoff`](ServeConfig::restart_backoff) and doubling per
+/// restart this thread has absorbed (saturating; exponent capped).
+/// Once the budget is spent — or under [`FaultPolicy::FailStop`],
+/// where `worker_loop` only rethrows non-scan panics — the payload
+/// fail-stops the whole service and the thread exits.
+fn supervised_worker(core: &ServiceCore) {
+    let cfg = core.config;
+    let mut consecutive: u32 = 0;
+    loop {
+        let payload = match catch_unwind(AssertUnwindSafe(|| worker_loop(core))) {
+            Ok(()) => return, // clean shutdown
+            Err(payload) => payload,
+        };
+        let backoff = {
+            let mut st = core.lock();
+            if cfg.fault_policy == FaultPolicy::FailStop
+                || st.restarts >= cfg.restart_budget
+                || st.shutdown
+            {
+                st.fail_stop(payload);
+                drop(st);
+                core.wake.notify_all();
+                core.space.notify_all();
+                return;
+            }
+            st.restarts += 1;
+            st.metrics.worker_restarts += 1;
+            consecutive += 1;
+            cfg.restart_backoff
+                .saturating_mul(1u32 << (consecutive - 1).min(16))
+        };
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
     }
 }
 
@@ -1237,13 +1668,15 @@ impl ServiceHandle {
             state: Mutex::new(ServeState::new(engine, paused)),
             wake: Condvar::new(),
             space: Condvar::new(),
+            #[cfg(feature = "fault-inject")]
+            fault_plan: engine.fault_plan_clone(),
         });
         let threads = (0..workers)
             .map(|i| {
                 let core = Arc::clone(&core);
                 std::thread::Builder::new()
                     .name(format!("recama-serve-{i}"))
-                    .spawn(move || worker_loop(&core))
+                    .spawn(move || supervised_worker(&core))
                     .expect("spawn service worker thread")
             })
             .collect();
@@ -1273,10 +1706,36 @@ impl ServiceHandle {
         self.core.lock().current_epoch
     }
 
-    /// Whether a worker panicked mid-scan, losing its engine unit —
-    /// the service can no longer drain and every blocking call panics.
+    /// Whether the service fail-stopped: a worker panic was not (or
+    /// could not be) absorbed — explicit
+    /// [`FaultPolicy::FailStop`](crate::FaultPolicy::FailStop), or an
+    /// exhausted [`restart_budget`](crate::ServeConfig::restart_budget)
+    /// — so the service can no longer drain and every blocking call
+    /// panics.
     pub fn is_poisoned(&self) -> bool {
         self.core.lock().poisoned
+    }
+
+    /// A summary of the first worker panic payload, once the service
+    /// fail-stopped; `None` while healthy. (A quarantined flow's panic
+    /// message travels on [`ServeError::Quarantined`] instead — see
+    /// [`push_checked`](ServiceHandle::push_checked) /
+    /// [`poll_checked`](ServiceHandle::poll_checked).)
+    pub fn panic_message(&self) -> Option<String> {
+        self.core.lock().panic_message.clone()
+    }
+
+    /// Whether `flow` is quarantined: a scan over its bytes panicked
+    /// under [`FaultPolicy::Isolate`](crate::FaultPolicy::Isolate), so
+    /// its engines were freed and it accepts no more input. Reports
+    /// merged before the fault stay pollable;
+    /// [`close`](ServiceHandle::close) acknowledges the quarantine and
+    /// reclaims the slot.
+    pub fn is_quarantined(&self, flow: FlowId) -> bool {
+        self.core
+            .lock()
+            .flow(flow)
+            .is_some_and(|f| f.quarantined.is_some())
     }
 
     /// Shuts the service down: parked workers exit (after draining the
@@ -1338,6 +1797,7 @@ impl ServiceHandle {
     /// let svc = v1.serve();
     /// let flow = svc.open_flow();
     /// svc.push(flow, b".abbc"); // scanned by v1
+    /// svc.barrier(); // drain the flow: migration needs a drained boundary
     /// assert_eq!(svc.reload(&v2), 1);
     /// svc.push(flow, b".xyz"); // flow migrates here; scanned by v2
     /// svc.close(flow);
@@ -1397,6 +1857,37 @@ impl ServiceHandle {
         id
     }
 
+    /// Like [`open_flow`](ServiceHandle::open_flow), but sheds the
+    /// open — [`ServeError::Overloaded`] — while the service is past
+    /// the [`overload`](crate::ServeConfig::overload) high watermark
+    /// (queue depth or pending bytes), instead of admitting a flow the
+    /// backlog cannot serve. With
+    /// [`evict_on_shed`](crate::OverloadPolicy::evict_on_shed) set, a
+    /// shed open also evicts the least-recently-pushed drained flow,
+    /// so the table self-heals under sustained overload. Poisoning
+    /// surfaces as [`ServeError::Poisoned`].
+    pub fn try_open_flow(&self) -> Result<FlowId, ServeError> {
+        let mut st = self.core.lock();
+        if st.poisoned {
+            return Err(ServeError::Poisoned {
+                message: st.panic_summary().to_string(),
+            });
+        }
+        if st.overloaded(&self.core.config) {
+            st.metrics.shed_opens += 1;
+            let evicted = self.core.config.overload.evict_on_shed && st.evict_lru();
+            drop(st);
+            if evicted {
+                self.core.space.notify_all();
+            }
+            return Err(ServeError::Overloaded);
+        }
+        let id = st.open(None, &self.core.config);
+        drop(st);
+        self.core.space.notify_all();
+        Ok(id)
+    }
+
     /// Attempts to buffer `chunk` for `flow`. Returns
     /// `Poll::Ready(total)` — the flow's new byte length — on
     /// acceptance, or `Poll::Pending` when accepting the chunk would
@@ -1413,10 +1904,13 @@ impl ServiceHandle {
     /// Panics if the service is poisoned (a worker panicked mid-scan).
     pub fn try_push(&self, flow: FlowId, chunk: &[u8]) -> Poll<u64> {
         let mut st = self.core.lock();
-        assert!(
-            !st.poisoned,
-            "ServiceHandle is poisoned: a worker panicked mid-scan, so pending flows can never drain"
-        );
+        if st.poisoned {
+            panic!(
+                "ServiceHandle is poisoned: a worker panicked mid-scan ({}), \
+                 so pending flows can never drain",
+                st.panic_summary()
+            );
+        }
         let result = st.try_push_at(flow, chunk, &self.core.config);
         drop(st);
         if result.is_ready() {
@@ -1431,9 +1925,11 @@ impl ServiceHandle {
     ///
     /// # Panics
     ///
-    /// Panics if the service is poisoned, if `flow` is closed or stale
-    /// (it would block forever — open a new flow instead), or if the
-    /// service is shutting down.
+    /// Panics if the service is poisoned, if `flow` is quarantined,
+    /// closed, or stale (it would block forever — open a new flow
+    /// instead), or if the service is shutting down. Prefer
+    /// [`push_checked`](ServiceHandle::push_checked) to handle those
+    /// conditions as values.
     pub fn push(&self, flow: FlowId, chunk: &[u8]) -> u64 {
         let mut st = self.core.lock();
         loop {
@@ -1442,10 +1938,20 @@ impl ServiceHandle {
                 self.core.wake.notify_all();
                 return total;
             }
-            assert!(
-                !st.poisoned,
-                "ServiceHandle is poisoned: a worker panicked mid-scan, so this flow can never drain"
-            );
+            if st.poisoned {
+                panic!(
+                    "ServiceHandle is poisoned: a worker panicked mid-scan ({}), \
+                     so this flow can never drain",
+                    st.panic_summary()
+                );
+            }
+            if let Some(message) = st.flow(flow).and_then(|f| f.quarantined.clone()) {
+                panic!(
+                    "ServiceHandle::push to a quarantined flow (a scan over its bytes \
+                     panicked: {message}): it accepts no more input — \
+                     use push_checked to handle this as a value"
+                );
+            }
             assert!(
                 st.flow(flow).is_some_and(|f| !f.closed),
                 "ServiceHandle::push to a closed or stale FlowId would block forever: \
@@ -1455,6 +1961,41 @@ impl ServiceHandle {
                 !st.paused && !st.shutdown,
                 "ServiceHandle::push would block forever with no workers consuming"
             );
+            st = self.core.wait_space(st);
+        }
+    }
+
+    /// Like [`push`](ServiceHandle::push), but surfaces every
+    /// cannot-proceed condition as a [`ServeError`] instead of
+    /// panicking: [`Quarantined`](ServeError::Quarantined) (with the
+    /// panic summary) for a quarantined flow,
+    /// [`Poisoned`](ServeError::Poisoned) for a fail-stopped service,
+    /// [`Closed`](ServeError::Closed) for a closed/stale id, and
+    /// [`Stopped`](ServeError::Stopped) when no workers are consuming.
+    /// Still blocks, like `push`, while the byte budgets are the only
+    /// obstacle.
+    pub fn push_checked(&self, flow: FlowId, chunk: &[u8]) -> Result<u64, ServeError> {
+        let mut st = self.core.lock();
+        loop {
+            if let Some(message) = st.flow(flow).and_then(|f| f.quarantined.clone()) {
+                return Err(ServeError::Quarantined { message });
+            }
+            if st.poisoned {
+                return Err(ServeError::Poisoned {
+                    message: st.panic_summary().to_string(),
+                });
+            }
+            if let Poll::Ready(total) = st.try_push_at(flow, chunk, &self.core.config) {
+                drop(st);
+                self.core.wake.notify_all();
+                return Ok(total);
+            }
+            if st.flow(flow).is_none_or(|f| f.closed) {
+                return Err(ServeError::Closed);
+            }
+            if st.paused || st.shutdown {
+                return Err(ServeError::Stopped);
+            }
             st = self.core.wait_space(st);
         }
     }
@@ -1482,10 +2023,13 @@ impl ServiceHandle {
     pub fn barrier(&self) {
         let mut st = self.core.lock();
         while st.buffered_total > 0 || st.in_flight > 0 {
-            assert!(
-                !st.poisoned,
-                "ServiceHandle is poisoned: a worker panicked mid-scan, so the backlog can never drain"
-            );
+            if st.poisoned {
+                panic!(
+                    "ServiceHandle is poisoned: a worker panicked mid-scan ({}), \
+                     so the backlog can never drain",
+                    st.panic_summary()
+                );
+            }
             assert!(
                 !st.paused && !st.shutdown,
                 "ServiceHandle::barrier would block forever with no workers consuming"
@@ -1510,6 +2054,27 @@ impl ServiceHandle {
         let out = f.reports.drain(..).map(StoredMatch::rule_match).collect();
         st.free_if_drained(flow);
         out
+    }
+
+    /// Like [`poll`](ServiceHandle::poll), but distinguishes the empty
+    /// cases: a stale/unknown id returns
+    /// [`Closed`](ServeError::Closed), and a quarantined flow with
+    /// nothing left to drain returns
+    /// [`Quarantined`](ServeError::Quarantined) with the panic summary
+    /// — instead of an indistinguishable empty vec.
+    pub fn poll_checked(&self, flow: FlowId) -> Result<Vec<RuleMatch>, ServeError> {
+        let mut st = self.core.lock();
+        let Some(f) = st.flow_mut(flow) else {
+            return Err(ServeError::Closed);
+        };
+        if f.reports.is_empty() {
+            if let Some(message) = f.quarantined.clone() {
+                return Err(ServeError::Quarantined { message });
+            }
+        }
+        let out = f.reports.drain(..).map(StoredMatch::rule_match).collect();
+        st.free_if_drained(flow);
+        Ok(out)
     }
 
     /// Drains `flow`'s finishing set: the `$`-anchored matches ending
@@ -1602,10 +2167,13 @@ impl ServiceHandle {
     #[deprecated(note = "address flows with the generational FlowId from open_flow")]
     pub fn try_push_raw(&self, flow: u64, chunk: &[u8]) -> Poll<u64> {
         let mut st = self.core.lock();
-        assert!(
-            !st.poisoned,
-            "ServiceHandle is poisoned: a worker panicked mid-scan, so pending flows can never drain"
-        );
+        if st.poisoned {
+            panic!(
+                "ServiceHandle is poisoned: a worker panicked mid-scan ({}), \
+                 so pending flows can never drain",
+                st.panic_summary()
+            );
+        }
         let result = match st.raw_push_target(flow, &self.core.config) {
             Some(id) => st.try_push_at(id, chunk, &self.core.config),
             None => Poll::Pending, // closed, not yet drained
@@ -1735,8 +2303,14 @@ impl<'a> FlowService<'a> {
         workers: usize,
         config: ServiceConfig,
     ) -> FlowService<'a> {
+        // The wrapper's contract predates per-flow quarantine: a
+        // worker panic poisons the service and `run()` rethrows the
+        // payload. Pin the legacy fail-stop policy regardless of the
+        // default.
+        let mut serve = ServeConfig::from(config);
+        serve.fault_policy = FaultPolicy::FailStop;
         FlowService {
-            handle: ServiceHandle::spawn_paused(engine, workers, ServeConfig::from(config)),
+            handle: ServiceHandle::spawn_paused(engine, workers, serve),
             config,
             _scope: PhantomData,
         }
@@ -1806,10 +2380,13 @@ impl<'a> FlowService<'a> {
     pub fn try_push(&self, flow: u64, chunk: &[u8]) -> Poll<u64> {
         let core = &self.handle.core;
         let mut st = core.lock();
-        assert!(
-            !st.poisoned,
-            "FlowService is poisoned: a worker panicked mid-scan, so pending flows can never drain"
-        );
+        if st.poisoned {
+            panic!(
+                "FlowService is poisoned: a worker panicked mid-scan ({}), \
+                 so pending flows can never drain",
+                st.panic_summary()
+            );
+        }
         let result = match st.raw_push_target(flow, &core.config) {
             Some(id) => st.try_push_at(id, chunk, &core.config),
             None => Poll::Pending, // closed, not yet drained
@@ -1842,10 +2419,13 @@ impl<'a> FlowService<'a> {
                 core.wake.notify_all();
                 return total;
             }
-            assert!(
-                !st.poisoned,
-                "FlowService is poisoned: a worker panicked mid-scan, so this flow can never drain"
-            );
+            if st.poisoned {
+                panic!(
+                    "FlowService is poisoned: a worker panicked mid-scan ({}), \
+                     so this flow can never drain",
+                    st.panic_summary()
+                );
+            }
             assert!(
                 st.wrapper_running && !st.paused,
                 "FlowService::push would block forever with no workers running: \
@@ -1882,10 +2462,13 @@ impl<'a> FlowService<'a> {
         let core = &self.handle.core;
         let mut st = core.lock();
         while st.buffered_total > 0 || st.in_flight > 0 {
-            assert!(
-                !st.poisoned,
-                "FlowService is poisoned: a worker panicked mid-scan, so the backlog can never drain"
-            );
+            if st.poisoned {
+                panic!(
+                    "FlowService is poisoned: a worker panicked mid-scan ({}), \
+                     so the backlog can never drain",
+                    st.panic_summary()
+                );
+            }
             assert!(
                 st.wrapper_running && !st.paused,
                 "FlowService::barrier would block forever with no workers running: \

@@ -25,7 +25,15 @@ fn main() {
         ("a(bc){1,3}d", "Fig. 4: a(bc){1,3}d"),
     ];
     for (pattern, label) in examples {
-        let parsed = recama::syntax::parse(pattern).unwrap();
+        // Surface a bad pattern as a report line, not a crash: the rest
+        // of the tour still runs.
+        let parsed = match recama::syntax::parse(pattern) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("{label:45} SKIPPED (parse error: {e})");
+                continue;
+            }
+        };
         print!("{label:45} ");
         for method in [Method::Exact, Method::Approximate, Method::Hybrid] {
             let res = check(&parsed.regex, method, &cfg);
@@ -49,7 +57,10 @@ fn main() {
     }
 
     println!("\n== Witness replay =======================================");
-    let parsed = recama::syntax::parse(".*a{4}").unwrap();
+    let parsed = recama::syntax::parse(".*a{4}").unwrap_or_else(|e| {
+        eprintln!("cannot parse the witness-replay regex: {e}");
+        std::process::exit(1);
+    });
     let res = check(&parsed.regex, Method::HybridWitness, &cfg);
     let witness = res.witness.expect("ambiguous regex yields a witness");
     println!(
@@ -69,11 +80,20 @@ fn main() {
     // The same analysis picks the storage module when the patterns are
     // compiled for real: unambiguous counting gets an O(log n) counter,
     // ambiguous single-class counting gets a bit vector.
-    let engine = recama::Engine::builder()
+    // A strict (non-lossy) build rejects unsupported rules with a
+    // CompileError naming the offender — report it instead of crashing.
+    let engine = match recama::Engine::builder()
         .rule(32, "^head[0-9]{500}tail") // Example-3.2-style, unambiguous
         .rule(22, "k.{500}") // Σ*σ{n}: counter-ambiguous
         .build()
-        .unwrap();
+    {
+        Ok(engine) => engine,
+        Err(e) => {
+            eprintln!("engine build failed: {e}");
+            eprintln!("  (phase {:?}, rule index {})", e.phase, e.index);
+            std::process::exit(1);
+        }
+    };
     for i in 0..engine.len() {
         println!(
             "  rule {} ({:40}) -> modules {:?}",

@@ -142,5 +142,20 @@ fn main() {
         metrics.queue_depth_peak,
         metrics.total_evictions(),
     );
+    // The fault-tolerance counters a pager would alarm on. A healthy
+    // deployment shows zeros: no flow quarantined by a scan panic, no
+    // worker respawned, no open shed by the overload policy, and no
+    // fail-stop transition.
+    let faults = metrics.faults;
+    println!(
+        "fault counters: {} quarantined flow(s), {} worker restart(s), \
+         {} shed open(s), {} fail-stop(s)",
+        faults.quarantined_flows, faults.worker_restarts, faults.shed_opens, faults.fail_stops,
+    );
+    assert_eq!(
+        faults.quarantined_flows, 0,
+        "clean traffic quarantines nothing"
+    );
+    assert_eq!(faults.fail_stops, 0, "the monitor never fail-stopped");
     svc.shutdown(); // joins the workers; Drop would do the same
 }

@@ -55,12 +55,20 @@ fn main() {
     // crafted demo rule, scanned against an email body. `lossy(true)`
     // skips the out-of-fragment rules and records them queryably.
     let demo = "prize[a-z ]{4,30}claim";
-    let engine = recama::Engine::builder()
+    let engine = match recama::Engine::builder()
         .patterns(ruleset.patterns.iter().map(|(p, _)| p.as_str()))
         .pattern(demo)
         .lossy(true)
         .build()
-        .expect("lossy builds are infallible");
+    {
+        Ok(engine) => engine,
+        // Lossy builds record unsupported rules instead of failing, but
+        // a gateway still wants the failure path handled, not unwrapped.
+        Err(e) => {
+            eprintln!("ruleset failed to compile: {e}");
+            std::process::exit(1);
+        }
+    };
     println!(
         "\nwhole ruleset in one engine: {} rules compiled, {} skipped as unsupported",
         engine.len(),
@@ -79,7 +87,13 @@ fn main() {
 
     // The single-pattern pipeline agrees, in software and simulated
     // hardware alike.
-    let pattern = Pattern::compile(demo).expect("compiles");
+    let pattern = match Pattern::compile(demo) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("demo rule failed to compile: {e}");
+            std::process::exit(1);
+        }
+    };
     assert_eq!(pattern.find_ends(email), ends, "engine agrees with Pattern");
     let mut hw = pattern.hardware();
     assert_eq!(hw.match_ends(email), ends, "hardware agrees with software");
@@ -109,4 +123,45 @@ fn main() {
         println!("inbox scan (legacy scope API): demo rule flags {flagged:?}");
         assert_eq!(flagged, vec![true, false, true]);
     }
+
+    // The owned handle is the production shape: `push_checked` /
+    // `poll_checked` surface quarantine (a scan over the flow's bytes
+    // panicked), overload shedding, and fail-stop as values, so one
+    // hostile message can be dropped without unwinding the gateway.
+    let svc = engine.serve();
+    let inbox: &[&[u8]] = &[
+        email,
+        b"Meeting moved to 3pm, agenda attached.",
+        b"Final notice: your prize will soon expire so claim it now!",
+    ];
+    let mut flagged = Vec::new();
+    for mail in inbox {
+        let flow = match svc.try_open_flow() {
+            Ok(flow) => flow,
+            Err(e) => {
+                // Overloaded / poisoned: shed this message, keep serving.
+                eprintln!("message shed: {e}");
+                flagged.push(false);
+                continue;
+            }
+        };
+        let verdict = match svc.push_checked(flow, mail) {
+            Ok(_) => {
+                svc.close(flow);
+                svc.barrier();
+                svc.poll(flow)
+                    .iter()
+                    .any(|m| m.rule == engine.rule_id(demo_index))
+            }
+            Err(e) => {
+                eprintln!("message dropped ({e})");
+                svc.close(flow); // acknowledges a quarantine, if any
+                false
+            }
+        };
+        flagged.push(verdict);
+    }
+    svc.shutdown();
+    println!("inbox scan (owned handle):    demo rule flags {flagged:?}");
+    assert_eq!(flagged, vec![true, false, true]);
 }

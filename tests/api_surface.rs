@@ -17,10 +17,11 @@ use recama::compiler::CompileOptions;
 use recama::hw::ShardPolicy;
 use recama::syntax::ParseError;
 use recama::{
-    CompileError, CompilePhase, Engine, EngineBuilder, FlowId, FlowMatch, FlowScheduler,
-    FlowService, HybridStats, MatchSpan, Pattern, PatternSet, RuleMatch, ServeConfig,
-    ServiceConfig, ServiceEvent, ServiceHandle, ServiceMetrics, SetCompileError, SetMatch, SetSpan,
-    SetStream, ShardedPatternSet, ShardedSetStream, SkippedRule,
+    CompileError, CompilePhase, Engine, EngineBuilder, FaultMetrics, FaultPolicy, FlowId,
+    FlowMatch, FlowScheduler, FlowService, HybridStats, MatchSpan, OverloadPolicy, Pattern,
+    PatternSet, RuleMatch, ServeConfig, ServeError, ServiceConfig, ServiceEvent, ServiceHandle,
+    ServiceMetrics, SetCompileError, SetMatch, SetSpan, SetStream, ShardedPatternSet,
+    ShardedSetStream, SkippedRule,
 };
 use std::task::Poll;
 use std::time::Duration;
@@ -35,17 +36,22 @@ const ROOT_EXPORTS: &[&str] = &[
     "DEFAULT_STATE_BUDGET",
     "Engine",
     "EngineBuilder",
+    "FaultMetrics",
+    "FaultPlan (feature fault-inject only)",
+    "FaultPolicy",
     "FlowId",
     "FlowMatch",
     "FlowScheduler",
     "FlowService (deprecated = ServiceHandle)",
     "HybridStats",
     "MatchSpan",
+    "OverloadPolicy",
     "Pattern",
     "PatternSet",
     "RuleMatch",
     "ScanMode",
     "ServeConfig",
+    "ServeError",
     "ServiceConfig",
     "ServiceEvent",
     "ServiceHandle",
@@ -163,6 +169,16 @@ fn service_handle_signatures() {
     let _: fn(&ServiceHandle) -> u64 = |s| s.pending_bytes();
     let _: fn(&ServiceHandle, FlowId) -> bool = |s, f| s.is_live(f);
     let _: fn(&ServiceHandle) -> bool = |s| s.is_poisoned();
+
+    // The fault-tolerance surface: checked variants return ServeError
+    // where the originals panic or stay silent.
+    let _: fn(&ServiceHandle) -> Result<FlowId, ServeError> = |s| s.try_open_flow();
+    let _: fn(&ServiceHandle, FlowId, &[u8]) -> Result<u64, ServeError> =
+        |s, f, c| s.push_checked(f, c);
+    let _: fn(&ServiceHandle, FlowId) -> Result<Vec<RuleMatch>, ServeError> =
+        |s, f| s.poll_checked(f);
+    let _: fn(&ServiceHandle, FlowId) -> bool = |s, f| s.is_quarantined(f);
+    let _: fn(&ServiceHandle) -> Option<String> = |s| s.panic_message();
     let _: fn(&ServiceHandle) -> usize = |s| s.workers();
     let _: fn(&ServiceHandle) -> ServeConfig = |s| s.config();
     let _: fn(ServiceHandle) = ServiceHandle::shutdown;
@@ -264,13 +280,30 @@ fn pin_service_config(c: ServiceConfig) -> (usize, Option<Duration>) {
 }
 
 #[allow(dead_code)]
-fn pin_serve_config(c: ServeConfig) -> (usize, Option<Duration>, Option<Duration>, usize, u64) {
+#[allow(clippy::type_complexity)] // the pin IS the explicit shape
+fn pin_serve_config(
+    c: ServeConfig,
+) -> (
+    usize,
+    Option<Duration>,
+    Option<Duration>,
+    usize,
+    u64,
+    FaultPolicy,
+    u32,
+    Duration,
+    OverloadPolicy,
+) {
     let ServeConfig {
         flow_budget,
         idle_timeout,
         sweep_interval,
         max_flows,
         max_buffered_bytes,
+        fault_policy,
+        restart_budget,
+        restart_backoff,
+        overload,
     } = c;
     (
         flow_budget,
@@ -278,7 +311,32 @@ fn pin_serve_config(c: ServeConfig) -> (usize, Option<Duration>, Option<Duration
         sweep_interval,
         max_flows,
         max_buffered_bytes,
+        fault_policy,
+        restart_budget,
+        restart_backoff,
+        overload,
     )
+}
+
+#[allow(dead_code)]
+fn pin_overload_policy(o: OverloadPolicy) -> (Option<usize>, Option<u64>, bool) {
+    let OverloadPolicy {
+        max_queue_depth,
+        max_pending_bytes,
+        evict_on_shed,
+    } = o;
+    (max_queue_depth, max_pending_bytes, evict_on_shed)
+}
+
+#[allow(dead_code)]
+fn pin_fault_metrics(f: FaultMetrics) -> (u64, u64, u64, u64) {
+    let FaultMetrics {
+        quarantined_flows,
+        worker_restarts,
+        shed_opens,
+        fail_stops,
+    } = f;
+    (quarantined_flows, worker_restarts, shed_opens, fail_stops)
 }
 
 #[allow(dead_code)]
@@ -309,6 +367,7 @@ fn pin_service_metrics(m: ServiceMetrics) {
         budget_evictions,
         backpressure,
         hybrid,
+        faults,
     } = m;
     let _: (u64, u64, usize, Vec<(u64, usize)>, u64) =
         (epoch, reloads, flows, epoch_flows, pending_bytes);
@@ -316,6 +375,7 @@ fn pin_service_metrics(m: ServiceMetrics) {
     let _: (Vec<u64>, Vec<u64>) = (shard_scan_ns, shard_scan_bytes);
     let _: (u64, u64, u64) = (idle_evictions, budget_evictions, backpressure);
     let _: Option<HybridStats> = hybrid;
+    let _: FaultMetrics = faults;
 }
 
 #[allow(dead_code)]
@@ -323,6 +383,29 @@ fn pin_match_types(m: SetMatch, s: SetSpan, f: FlowMatch, p: MatchSpan) -> [usiz
     [
         m.pattern, m.end, s.pattern, s.start, s.end, f.pattern, f.end, p.start,
     ]
+}
+
+#[test]
+fn fault_policy_variants_are_stable() {
+    // Exhaustive match: a new policy variant must be added here (and
+    // documented on ServeConfig) deliberately. Isolate is the default.
+    assert_eq!(FaultPolicy::default(), FaultPolicy::Isolate);
+    for policy in [FaultPolicy::Isolate, FaultPolicy::FailStop] {
+        match policy {
+            FaultPolicy::Isolate => {}
+            FaultPolicy::FailStop => {}
+        }
+    }
+}
+
+#[allow(dead_code)]
+fn pin_serve_error(e: ServeError) -> Option<String> {
+    // Exhaustive match pins the variant set and payload shapes.
+    match e {
+        ServeError::Quarantined { message } => Some(message),
+        ServeError::Poisoned { message } => Some(message),
+        ServeError::Overloaded | ServeError::Closed | ServeError::Stopped => None,
+    }
 }
 
 #[test]

@@ -351,3 +351,101 @@ fn mid_traffic_reload_loses_no_matches() {
     assert_eq!(svc.metrics().reloads, 1);
     svc.shutdown();
 }
+
+/// Regression (folded in from the PR-8 review probe): closing an
+/// already-finished flow a second time — after a reload retired its
+/// epoch — must neither panic nor disturb its undrained reports.
+#[test]
+fn double_close_after_reload() {
+    let v1 = Engine::builder().rule(7, "abc").build().unwrap();
+    let v2 = Engine::builder()
+        .rule(7, "abc")
+        .rule(9, "xyz")
+        .build()
+        .unwrap();
+    let svc = v1.serve();
+    let flow = svc.open_flow();
+    svc.push(flow, b".abc.");
+    svc.close(flow);
+    svc.barrier();
+    // flow is finished (engines freed, epoch pin released) but its
+    // reports are still undrained, so the slot stays occupied.
+    let _ = svc.reload(&v2); // epoch 0 now has zero pins -> retired
+    svc.close(flow); // second close on a live-but-finished id
+    let hits = svc.poll(flow);
+    assert_eq!(hits.len(), 1);
+}
+
+/// A [`ServiceHandle::metrics`] snapshot taken while reloads race
+/// pushes must still be internally coherent: the epoch counter is
+/// monotone, the reported current epoch always appears in
+/// `epoch_flows`, no listed epoch exceeds the current one, and the
+/// per-epoch flow counts never sum past the tracked-flow gauge.
+#[test]
+fn metrics_snapshot_stays_coherent_while_reload_races_pushes() {
+    let a = Engine::builder()
+        .rule(1, "ab{2}c")
+        .workers(2)
+        .build()
+        .unwrap();
+    let svc = a.serve_with(2, ServeConfig::default());
+
+    std::thread::scope(|scope| {
+        // Producer: steady traffic over a rotating set of flows.
+        scope.spawn(|| {
+            for round in 0u64..30 {
+                let flows: Vec<FlowId> = (0..4).map(|_| svc.open_flow()).collect();
+                for flow in &flows {
+                    push_chunked(&svc, *flow, b".abbc.abbc.", round + 1);
+                }
+                for flow in &flows {
+                    svc.close(*flow);
+                    svc.poll(*flow);
+                }
+            }
+        });
+        // Reloader: installs a new epoch as fast as it can compile one.
+        scope.spawn(|| {
+            for _ in 0..10 {
+                let b = Engine::builder()
+                    .rule(1, "ab{2}c")
+                    .workers(2)
+                    .build()
+                    .unwrap();
+                svc.reload(&b);
+            }
+        });
+        // Sampler: every snapshot must be coherent mid-race.
+        let mut last_epoch = 0u64;
+        for _ in 0..200 {
+            let m = svc.metrics();
+            assert!(m.epoch >= last_epoch, "epoch counter is monotone");
+            last_epoch = m.epoch;
+            assert!(
+                m.epoch_flows.iter().any(|&(e, _)| e == m.epoch),
+                "current epoch {} missing from epoch_flows {:?}",
+                m.epoch,
+                m.epoch_flows
+            );
+            assert!(
+                m.epoch_flows.iter().all(|&(e, _)| e <= m.epoch),
+                "epoch_flows lists a future epoch: {:?}",
+                m.epoch_flows
+            );
+            assert!(
+                m.epoch_flows.windows(2).all(|w| w[0].0 < w[1].0),
+                "epoch_flows is ascending and duplicate-free: {:?}",
+                m.epoch_flows
+            );
+            let pinned: usize = m.epoch_flows.iter().map(|&(_, n)| n).sum();
+            assert!(
+                pinned <= m.flows,
+                "{pinned} pinned flows exceed {} tracked",
+                m.flows
+            );
+        }
+    });
+    svc.barrier();
+    assert_eq!(svc.metrics().reloads, 10);
+    svc.shutdown();
+}
