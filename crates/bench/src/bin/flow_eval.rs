@@ -26,15 +26,26 @@
 //! snapshot, the reload wall-clock, and whether the mid-run swap lost
 //! any matches against the scheduler baseline.
 //!
+//! A final **prefilter pass** measures the literal-prefilter (MPM)
+//! subsystem on the workload it targets: a SpamAssassin-profile ruleset
+//! (every rule carries a required literal — the Snort profile's
+//! Σ*-family "expensive" rules are always-on in every shard, so
+//! shard-level skipping cannot engage there) driven with a **benign**
+//! corpus (background bytes, no planted matches) and a **hit-heavy**
+//! corpus, each under `PrefilterMode::On` and `::Off`. The `prefilter`
+//! JSON record carries the benign skip rate, the four MiB/s numbers,
+//! and the on-vs-off speedups.
+//!
 //! Flags: `--flows N`, `--rounds N`, `--chunk BYTES`, `--workers CSV`,
 //! `--shards N`, `--scale F`, `--seed S`, `--reload ROUND` (hot-reload
-//! before that 0-based round in the service pass), `--json` (print ONLY
-//! the JSON document to stdout; the human-readable report moves to
-//! stderr).
+//! before that 0-based round in the service pass), `--benign` (deliver
+//! benign background bytes instead of planted-match traffic in the
+//! scheduler/service passes), `--json` (print ONLY the JSON document to
+//! stdout; the human-readable report moves to stderr).
 
 use recama::hw::ShardPolicy;
 use recama::workloads::{generate, traffic, BenchmarkId};
-use recama::{Engine, FlowId, HybridStats};
+use recama::{Engine, FlowId, HybridStats, PrefilterMode};
 use recama_bench::{ms, seed};
 use std::time::{Duration, Instant};
 
@@ -47,6 +58,7 @@ struct Config {
     scale: f64,
     seed: u64,
     reload: Option<usize>,
+    benign: bool,
     json: bool,
 }
 
@@ -60,6 +72,7 @@ fn parse_args() -> Config {
         scale: 0.02,
         seed: seed(),
         reload: None,
+        benign: false,
         json: false,
     };
     let mut args = std::env::args().skip(1);
@@ -82,6 +95,7 @@ fn parse_args() -> Config {
                     .map(|w| w.trim().parse().expect("--workers takes a CSV of counts"))
                     .collect()
             }
+            "--benign" => config.benign = true,
             "--json" => config.json = true,
             other => panic!("unknown flag {other} (see the module docs)"),
         }
@@ -138,10 +152,13 @@ fn main() {
         ms(start.elapsed())
     ));
 
-    // Per-flow traffic with planted matches, distinct per flow.
+    // Per-flow traffic, distinct per flow: planted matches by default,
+    // background-only bytes under --benign (the production common case
+    // the prefilter exists for).
     let per_flow = config.rounds * config.chunk;
+    let plant_rate = if config.benign { 0.0 } else { 0.0005 };
     let streams: Vec<Vec<u8>> = (0..config.flows)
-        .map(|fi| traffic(&ruleset, per_flow, 0.0005, config.seed * 31 + fi as u64))
+        .map(|fi| traffic(&ruleset, per_flow, plant_rate, config.seed * 31 + fi as u64))
         .collect();
     let total_bytes = (config.flows * per_flow) as f64;
     let mib = total_bytes / (1024.0 * 1024.0);
@@ -301,6 +318,97 @@ fn main() {
         metrics.epoch,
     ));
 
+    // ---- prefilter pass ---------------------------------------------
+    // The literal-prefilter (MPM) measurement: a SpamAssassin-profile
+    // ruleset (every rule carries a required literal; the Snort set
+    // above keeps its always-on Σ*-family rules in every shard, so
+    // skipping never engages there) scanned over a benign and a
+    // hit-heavy corpus, with the filter on and off. Same arrival
+    // pattern as the scheduler pass.
+    let spam_rules = generate(BenchmarkId::SpamAssassin, config.scale, config.seed);
+    let spam_patterns = spam_rules.pattern_strings();
+    let spam_engine = |mode: PrefilterMode| {
+        Engine::builder()
+            .patterns(&spam_patterns)
+            .shard_policy(ShardPolicy::Fixed(config.shards))
+            .prefilter(mode)
+            .lossy(true)
+            .build()
+            .expect("lossy builds are infallible")
+    };
+    let pf_on = spam_engine(PrefilterMode::On);
+    let pf_off = spam_engine(PrefilterMode::Off);
+    let corpus = |rate: f64, salt: u64| -> Vec<Vec<u8>> {
+        (0..config.flows)
+            .map(|fi| {
+                traffic(
+                    &spam_rules,
+                    per_flow,
+                    rate,
+                    config.seed * 131 + salt + fi as u64,
+                )
+            })
+            .collect()
+    };
+    let benign_streams = corpus(0.0, 0);
+    let hit_streams = corpus(0.002, 7919);
+    // Best of three timed runs per configuration: the smoke corpora are
+    // tiny, so a single timing is all scheduling noise.
+    let drive = |engine: &Engine, streams: &[Vec<u8>]| {
+        let mut best = 0.0f64;
+        let mut stats = None;
+        let mut hits = 0usize;
+        for _ in 0..3 {
+            let sched = engine.scheduler_with(service_workers);
+            let run = Instant::now();
+            for round in 0..config.rounds {
+                let at = round * config.chunk;
+                for (fi, bytes) in streams.iter().enumerate() {
+                    sched.push(fi as u64, &bytes[at..at + config.chunk]);
+                }
+                sched.run();
+            }
+            let elapsed = run.elapsed();
+            best = best.max(mib / elapsed.as_secs_f64());
+            // Counters are deterministic, so any run's snapshot serves.
+            stats = sched.prefilter_stats();
+            hits = (0..config.flows)
+                .map(|fi| sched.poll(fi as u64).len())
+                .sum();
+        }
+        (best, stats, hits)
+    };
+    let (benign_on_mib, benign_stats, _) = drive(&pf_on, &benign_streams);
+    let (benign_off_mib, _, _) = drive(&pf_off, &benign_streams);
+    let (hit_on_mib, hit_stats, hit_on_hits) = drive(&pf_on, &hit_streams);
+    let (hit_off_mib, _, hit_off_hits) = drive(&pf_off, &hit_streams);
+    assert_eq!(
+        hit_on_hits, hit_off_hits,
+        "prefiltered output must be byte-identical to unfiltered"
+    );
+    let benign_stats = benign_stats.expect("pf_on was built with the filter");
+    let hit_stats = hit_stats.expect("pf_on was built with the filter");
+    let filterable = (config.flows * per_flow * pf_on.shard_count()) as f64;
+    let skip_rate = benign_stats.total_skipped_bytes() as f64 / filterable.max(1.0);
+    let benign_speedup = benign_on_mib / benign_off_mib.max(1e-9);
+    let hit_speedup = hit_on_mib / hit_off_mib.max(1e-9);
+    say(format!(
+        "\nprefilter (SpamAssassin profile, {} rules, {} always-on, {} shard(s)):",
+        pf_on.len(),
+        benign_stats.always_on_rules,
+        pf_on.shard_count(),
+    ));
+    say(format!(
+        "  benign:    {benign_on_mib:>8.3} MiB/s on {benign_off_mib:>8.3} off \
+         ({benign_speedup:.2}x), skip rate {:.1}%",
+        skip_rate * 100.0,
+    ));
+    say(format!(
+        "  hit-heavy: {hit_on_mib:>8.3} MiB/s on {hit_off_mib:>8.3} off \
+         ({hit_speedup:.2}x), {} candidate wakes, {hit_on_hits} hits",
+        hit_stats.candidate_hits,
+    ));
+
     if config.json {
         // Machine-readable record for the CI perf-tracking artifact.
         let rows: Vec<String> = results
@@ -337,7 +445,7 @@ fn main() {
              \"epoch\":{},\"reloads\":{},\"queue_depth_peak\":{},\"idle_evictions\":{},\
              \"budget_evictions\":{},\"backpressure\":{},\"scan_bytes\":{},\"scan_ns\":{},\
              \"faults\":{{\"quarantined_flows\":{},\"worker_restarts\":{},\
-             \"shed_opens\":{},\"fail_stops\":{}}}{}}}",
+             \"shed_opens\":{},\"fail_stops\":{}}}{}{}}}",
             mib / service_elapsed.as_secs_f64(),
             config
                 .reload
@@ -359,11 +467,44 @@ fn main() {
                 Some(s) => format!(",\"dfa_hit_rate\":{:.4}", s.dfa_hit_rate()),
                 None => String::new(),
             },
+            match &metrics.prefilter {
+                Some(p) => format!(
+                    ",\"prefilter\":{{\"skipped_units\":{},\"skipped_bytes\":{},\
+                     \"candidate_hits\":{},\"always_on_rules\":{}}}",
+                    p.total_skipped_units(),
+                    p.total_skipped_bytes(),
+                    p.candidate_hits,
+                    p.always_on_rules,
+                ),
+                None => String::new(),
+            },
+        );
+        // The prefilter-pass record: the benign skip rate plus the
+        // measured on-vs-off throughput deltas on both corpora.
+        let prefilter_record = format!(
+            "{{\"ruleset\":\"spamassassin\",\"patterns\":{},\"shards\":{},\
+             \"always_on_rules\":{},\"benign_skip_rate\":{:.4},\
+             \"benign_mib_per_s_on\":{:.3},\"benign_mib_per_s_off\":{:.3},\
+             \"benign_speedup\":{:.3},\"hit_mib_per_s_on\":{:.3},\
+             \"hit_mib_per_s_off\":{:.3},\"hit_speedup\":{:.3},\
+             \"candidate_hits\":{},\"hits\":{}}}",
+            pf_on.len(),
+            pf_on.shard_count(),
+            benign_stats.always_on_rules,
+            skip_rate,
+            benign_on_mib,
+            benign_off_mib,
+            benign_speedup,
+            hit_on_mib,
+            hit_off_mib,
+            hit_speedup,
+            hit_stats.candidate_hits,
+            hit_on_hits,
         );
         println!(
             "{{\"bench\":\"flow_eval\",\"scale\":{},\"flows\":{},\"rounds\":{},\"chunk_bytes\":{},\
-             \"shards\":{},\"patterns\":{},\"scan_mode\":\"{}\",\"results\":[{}],\
-             \"service_metrics\":{}}}",
+             \"shards\":{},\"patterns\":{},\"scan_mode\":\"{}\",\"benign\":{},\"results\":[{}],\
+             \"service_metrics\":{},\"prefilter\":{}}}",
             config.scale,
             config.flows,
             config.rounds,
@@ -371,8 +512,10 @@ fn main() {
             engine.shard_count(),
             engine.len(),
             scan_mode,
+            config.benign,
             rows.join(","),
-            service_record
+            service_record,
+            prefilter_record
         );
     }
 }

@@ -25,6 +25,7 @@
 //! `ShardedPatternSet::compile_many_with`, `compile_filtered`) are thin
 //! deprecated wrappers over this builder.
 
+use crate::prefilter::PrefilterMode;
 #[cfg(feature = "fault-inject")]
 use crate::service::FaultPlan;
 #[allow(deprecated)]
@@ -314,6 +315,7 @@ pub struct EngineBuilder {
     serve: Option<ServeConfig>,
     lossy: bool,
     scan_mode: ScanMode,
+    prefilter: Option<PrefilterMode>,
     #[cfg(feature = "fault-inject")]
     faults: FaultPlan,
 }
@@ -329,9 +331,21 @@ impl Default for EngineBuilder {
             serve: None,
             lossy: false,
             scan_mode: ScanMode::default(),
+            prefilter: None,
             #[cfg(feature = "fault-inject")]
             faults: FaultPlan::default(),
         }
+    }
+}
+
+/// The prefilter default when [`EngineBuilder::prefilter`] was never
+/// called: [`PrefilterMode::On`] unless `RECAMA_PREFILTER` disables it.
+fn env_prefilter_mode() -> PrefilterMode {
+    match std::env::var("RECAMA_PREFILTER") {
+        Ok(v) if matches!(v.to_ascii_lowercase().as_str(), "off" | "0" | "false") => {
+            PrefilterMode::Off
+        }
+        _ => PrefilterMode::On,
     }
 }
 
@@ -415,6 +429,24 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the [`PrefilterMode`]. The default, [`PrefilterMode::On`],
+    /// extracts a required literal per rule at compile time and builds
+    /// one Aho-Corasick filter per shard; scans, streams, schedulers,
+    /// and service handles then skip any `(flow, shard)` unit whose
+    /// filter has seen no candidate — with output byte-identical to
+    /// [`PrefilterMode::Off`], which disables the filter entirely (the
+    /// escape hatch, and the measuring stick for the filter's effect).
+    ///
+    /// When this knob is never called, the default also honors the
+    /// `RECAMA_PREFILTER` environment variable (`off`/`0`/`false`
+    /// disable the filter) — the no-recompile operational escape hatch,
+    /// which CI uses to run the whole suite with the filter disabled.
+    /// An explicit call always wins over the environment.
+    pub fn prefilter(mut self, mode: PrefilterMode) -> EngineBuilder {
+        self.prefilter = Some(mode);
+        self
+    }
+
     /// Sets the deterministic [`FaultPlan`] every [`ServiceHandle`]
     /// served from the built engine injects into its scan loop —
     /// panics and artificial delays at the k-th scan of a chosen
@@ -475,7 +507,13 @@ impl EngineBuilder {
                 }
             }
         }
-        let set = ShardedPatternSet::build(accepted, &self.options, self.policy, self.scan_mode);
+        let set = ShardedPatternSet::build(
+            accepted,
+            &self.options,
+            self.policy,
+            self.scan_mode,
+            self.prefilter.unwrap_or_else(env_prefilter_mode),
+        );
         Ok(Engine {
             set: Arc::new(set),
             ids: ids.into(),
@@ -641,6 +679,13 @@ impl Engine {
     /// lazy-DFA overlay).
     pub fn scan_mode(&self) -> ScanMode {
         self.set.scan_mode()
+    }
+
+    /// The [`PrefilterMode`] this engine was built with (set via
+    /// [`EngineBuilder::prefilter`]; defaults to
+    /// [`PrefilterMode::On`]).
+    pub fn prefilter(&self) -> PrefilterMode {
+        self.set.prefilter_mode()
     }
 
     /// The [`ServiceConfig`] new [`service`](Engine::service) handles

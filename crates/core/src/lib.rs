@@ -44,6 +44,7 @@ pub use recama_syntax as syntax;
 pub use recama_workloads as workloads;
 
 mod engine;
+mod prefilter;
 pub mod sched;
 mod service;
 mod set;
@@ -52,6 +53,7 @@ pub use engine::{
     CompileError, CompilePhase, Engine, EngineBuilder, FaultPolicy, OverloadPolicy, ServeConfig,
     ServiceConfig, SkippedRule,
 };
+pub use prefilter::{PrefilterMetrics, PrefilterMode};
 pub use recama_nca::{HybridStats, ScanMode, DEFAULT_STATE_BUDGET};
 pub use sched::{FlowMatch, FlowScheduler};
 #[cfg(feature = "fault-inject")]

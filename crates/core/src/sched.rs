@@ -37,6 +37,7 @@
 //! candidates actually landed on the final byte, mirroring
 //! [`ShardedSetStream::finish`](crate::ShardedSetStream::finish).
 
+use crate::prefilter::{ChunkAction, PrefilterCounters, PrefilterMetrics, PrefilterState};
 use crate::set::DollarTracker;
 use crate::{SetMatch, ShardedPatternSet};
 use recama_nca::{HybridStats, MultiReport, ScanMode, ShardStream};
@@ -93,6 +94,10 @@ struct ShardSlot<'a> {
     /// Whether the unit is in the ready queue *or* checked out — either
     /// way it must not be enqueued again.
     busy: bool,
+    /// Literal-prefilter state: the unit is skipped while cold (see
+    /// [`crate::PrefilterMode`]). Cold units are never queued, so their
+    /// engine is always present and fresh.
+    pre: PrefilterState,
 }
 
 /// Per-flow state: buffered input, one [`ShardSlot`] per shard, and the
@@ -114,6 +119,10 @@ pub(crate) struct Flow<'a> {
     /// The resolved finishing set of a finished flow, until drained by
     /// [`FlowScheduler::finishing`].
     finishing: Vec<SetMatch>,
+    /// Last `window` bytes of the flow, kept while any shard is cold so
+    /// a prefilter wake-up can replay the bytes a match may have
+    /// started in.
+    tail: Vec<u8>,
 }
 
 impl<'a> Flow<'a> {
@@ -130,11 +139,13 @@ impl<'a> Flow<'a> {
                     pending: VecDeque::new(),
                     pos: 0,
                     busy: false,
+                    pre: PrefilterState::default(),
                 })
                 .collect(),
             reports: VecDeque::new(),
             dollar: DollarTracker::new(set.anchored_end()),
             finishing: Vec::new(),
+            tail: Vec::new(),
         }
     }
 
@@ -229,6 +240,8 @@ pub(crate) struct Shared<'a> {
     pub(crate) in_flight: usize,
     /// Global sink: every merged match, attributed to its flow.
     sink: Vec<FlowMatch>,
+    /// Prefilter skip/wake counters across all flows.
+    pre_counters: PrefilterCounters,
 }
 
 /// A `(flow, shard)` unit checked out of the readiness queue: the
@@ -262,6 +275,7 @@ impl<'a> Shared<'a> {
             ready: VecDeque::new(),
             in_flight: 0,
             sink: Vec::new(),
+            pre_counters: PrefilterCounters::default(),
         }
     }
 
@@ -289,23 +303,105 @@ impl<'a> Shared<'a> {
     }
 
     /// Buffers `chunk` for an open `flow` and marks its idle shard units
-    /// ready. Returns the flow's new total length. A zero-length chunk
-    /// schedules no work.
-    pub(crate) fn buffer_chunk(&mut self, flow: u64, chunk: &[u8]) -> u64 {
+    /// ready — except units the literal prefilter proves cold, whose
+    /// position advances past the chunk without a scan. Returns the
+    /// flow's new total length. A zero-length chunk schedules no work.
+    pub(crate) fn buffer_chunk(
+        &mut self,
+        set: &'a ShardedPatternSet,
+        flow: u64,
+        chunk: &[u8],
+    ) -> u64 {
         let f = self.flows.get_mut(&flow).expect("buffer_chunk: open flow");
         if chunk.is_empty() {
             return f.total;
         }
+        let chunk_start = f.total;
         f.segments.push_back(Segment {
-            start: f.total,
+            start: chunk_start,
             bytes: Arc::from(chunk),
         });
         f.total += chunk.len() as u64;
-        for (si, slot) in f.shards.iter_mut().enumerate() {
-            if !slot.busy {
-                slot.busy = true;
-                self.ready.push_back((flow, si));
+        let Some(pf) = set.prefilter() else {
+            for (si, slot) in f.shards.iter_mut().enumerate() {
+                if !slot.busy {
+                    slot.busy = true;
+                    self.ready.push_back((flow, si));
+                }
             }
+            return f.total;
+        };
+        // Filter verdict per shard; the filter state advances over the
+        // chunk even when the scan is skipped.
+        let actions: Vec<ChunkAction> = f
+            .shards
+            .iter_mut()
+            .enumerate()
+            .map(|(si, slot)| pf.chunk_action(si, &mut slot.pre, chunk, chunk_start, 0))
+            .collect();
+        // A woken unit replays up to a window of bytes before the chunk;
+        // if those already fell off the segment queue, re-cover them
+        // with a synthetic segment sliced from the tail buffer (keeping
+        // the queue contiguous for `CheckedOut::scan`'s skip math).
+        let min_replay = actions
+            .iter()
+            .filter_map(|a| match a {
+                ChunkAction::Wake { replay_start } => Some(*replay_start),
+                _ => None,
+            })
+            .min();
+        if let Some(min_replay) = min_replay {
+            let front_start = f.segments.front().map_or(f.total, |s| s.start);
+            if min_replay < front_start {
+                let tail_start = chunk_start - f.tail.len() as u64;
+                debug_assert!(min_replay >= tail_start, "tail covers every replay window");
+                let a = (min_replay - tail_start) as usize;
+                let b = (front_start - tail_start) as usize;
+                f.segments.push_front(Segment {
+                    start: min_replay,
+                    bytes: Arc::from(&f.tail[a..b]),
+                });
+            }
+        }
+        let mut skipped = false;
+        for (si, (slot, action)) in f.shards.iter_mut().zip(&actions).enumerate() {
+            match action {
+                ChunkAction::Scan => {
+                    if !slot.busy {
+                        slot.busy = true;
+                        self.ready.push_back((flow, si));
+                    }
+                }
+                ChunkAction::Skip => {
+                    // Cold units are never queued, so the engine is home.
+                    debug_assert!(!slot.busy, "cold units are never busy");
+                    slot.pos = f.total;
+                    slot.stream
+                        .as_mut()
+                        .expect("cold units hold their engine")
+                        .restart_at(f.total);
+                    self.pre_counters.skipped_units.add(si, 1);
+                    self.pre_counters.skipped_bytes.add(si, chunk.len() as u64);
+                    skipped = true;
+                }
+                ChunkAction::Wake { replay_start } => {
+                    debug_assert!(!slot.busy, "cold units are never busy");
+                    slot.pos = *replay_start;
+                    slot.stream
+                        .as_mut()
+                        .expect("cold units hold their engine")
+                        .restart_at(*replay_start);
+                    self.pre_counters.candidate_hits += 1;
+                    slot.busy = true;
+                    self.ready.push_back((flow, si));
+                }
+            }
+        }
+        pf.extend_tail(&mut f.tail, chunk);
+        if skipped {
+            // Skips advance the watermark without a check-in: merge (and
+            // drop fully-consumed segments) promptly.
+            f.merge_ready_reports(flow, &mut self.sink);
         }
         f.total
     }
@@ -491,7 +587,7 @@ impl<'a> FlowScheduler<'a> {
         if shared.open_flow(self.set, flow).is_err() {
             panic!("push to closed flow {flow}: run() + poll() it first, or use a new id");
         }
-        shared.buffer_chunk(flow, chunk);
+        shared.buffer_chunk(self.set, flow, chunk);
         self.wake.notify_all();
     }
 
@@ -653,6 +749,22 @@ impl<'a> FlowScheduler<'a> {
             }
         }
         Some(total)
+    }
+
+    /// Aggregated literal-prefilter counters — skipped `(flow, shard)`
+    /// chunk scans per shard, skipped bytes, cold→hot wake-ups — or
+    /// `None` when the set was built with
+    /// [`PrefilterMode::Off`](crate::PrefilterMode::Off). Counters
+    /// accumulate across [`push`](FlowScheduler::push)es for the
+    /// scheduler's lifetime.
+    pub fn prefilter_stats(&self) -> Option<PrefilterMetrics> {
+        let pf = self.set.prefilter()?;
+        let shared = self.shared.lock().expect("scheduler lock");
+        Some(
+            shared
+                .pre_counters
+                .snapshot(self.set.shard_count(), pf.always_on_rules()),
+        )
     }
 }
 

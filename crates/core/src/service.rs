@@ -37,7 +37,9 @@
 //! * [`metrics`](ServiceHandle::metrics) snapshots the service
 //!   ([`ServiceMetrics`]): per-shard scan time and volume, queue
 //!   depth, eviction / backpressure / reload counters, per-epoch flow
-//!   counts, and the hybrid lazy-DFA hit-rate roll-up.
+//!   counts, the hybrid lazy-DFA hit-rate roll-up, and the
+//!   literal-prefilter block (per-shard skipped units/bytes, candidate
+//!   wake-ups, always-on rule count).
 //!
 //! Report semantics are identical to the scheduler's (and therefore
 //! byte-identical to one independent
@@ -56,6 +58,9 @@
 //! and only unparks them inside [`FlowService::run`].
 
 use crate::engine::{CompileError, Engine, EngineBuilder, FaultPolicy, ServeConfig, ServiceConfig};
+use crate::prefilter::{
+    ChunkAction, PerShard, PrefilterCounters, PrefilterMetrics, PrefilterState,
+};
 use crate::sched::Segment;
 use crate::{FlowMatch, SetMatch, ShardedPatternSet};
 use recama_nca::{HybridStats, MultiReport, ScanMode, ShardStreamState};
@@ -171,6 +176,15 @@ pub struct ServiceMetrics {
     /// [`ScanMode::Hybrid`]; `None` in pure-NCA mode. The interesting
     /// roll-up is [`HybridStats::dfa_hit_rate`].
     pub hybrid: Option<HybridStats>,
+    /// Literal-prefilter counters — per-shard skipped `(flow, shard)`
+    /// chunk scans and bytes, cold→hot wake-ups, always-on rules — when
+    /// the current epoch was built with
+    /// [`PrefilterMode::On`](crate::PrefilterMode::On); `None` under
+    /// [`PrefilterMode::Off`](crate::PrefilterMode::Off). The
+    /// interesting roll-ups are
+    /// [`PrefilterMetrics::total_skipped_bytes`] against
+    /// [`shard_scan_bytes`](ServiceMetrics::shard_scan_bytes).
+    pub prefilter: Option<PrefilterMetrics>,
     /// Fault-tolerance counters: quarantined flows, worker restarts,
     /// shed opens, fail-stop transitions. All zero on clean traffic.
     pub faults: FaultMetrics,
@@ -420,6 +434,10 @@ struct OwnedShardSlot {
     pos: u64,
     /// Whether the unit is in the ready queue *or* checked out.
     busy: bool,
+    /// Literal-prefilter state: the unit is skipped while cold (see
+    /// [`crate::PrefilterMode`]). Cold units are never queued, so their
+    /// engine is always parked. Resets at epoch migration.
+    pre: PrefilterState,
     /// Scans checked out for this unit so far — the fault-injection
     /// address. Resets when the flow migrates to a new epoch.
     #[cfg(feature = "fault-inject")]
@@ -455,6 +473,11 @@ struct OwnedFlow {
     dollar: HashMap<u32, u64>,
     /// The resolved finishing set of a finished flow, until drained.
     finishing: Vec<StoredMatch>,
+    /// Last `window` bytes of the flow since the epoch base, kept while
+    /// any shard is cold so a prefilter wake-up can replay the bytes a
+    /// match may have started in. Cleared at migration (fresh engines
+    /// start cold at the new base).
+    tail: Vec<u8>,
     /// The panic payload summary that quarantined this flow, when a
     /// scan over its bytes panicked under
     /// [`FaultPolicy::Isolate`](crate::FaultPolicy::Isolate). A
@@ -517,8 +540,9 @@ struct MetricsAcc {
     budget_evictions: u64,
     backpressure: u64,
     queue_peak: usize,
-    shard_scan_ns: Vec<u64>,
-    shard_scan_bytes: Vec<u64>,
+    shard_scan_ns: PerShard,
+    shard_scan_bytes: PerShard,
+    prefilter: PrefilterCounters,
     quarantined: u64,
     worker_restarts: u64,
     shed_opens: u64,
@@ -711,6 +735,7 @@ impl ServeState {
                     pending: VecDeque::new(),
                     pos: 0,
                     busy: false,
+                    pre: PrefilterState::default(),
                     #[cfg(feature = "fault-inject")]
                     scans: 0,
                 })
@@ -718,6 +743,7 @@ impl ServeState {
             reports: VecDeque::new(),
             dollar: HashMap::new(),
             finishing: Vec::new(),
+            tail: Vec::new(),
             quarantined: None,
             #[cfg(feature = "fault-inject")]
             seq,
@@ -832,6 +858,7 @@ impl ServeState {
         f.shards.clear();
         f.segments.clear();
         f.dollar.clear();
+        f.tail = Vec::new();
         let epoch = f.epoch;
         let release = !f.epoch_released;
         f.epoch_released = true;
@@ -939,6 +966,10 @@ impl ServeState {
         f.base = base;
         f.segments.clear(); // drained ⇒ already empty
         f.dollar.clear();
+        // Fresh engines start cold at the new base: a literal
+        // straddling the migration boundary is cut like any match
+        // there, so the filter state restarts with the engines.
+        f.tail.clear();
         f.shards = states
             .into_iter()
             .map(|state| OwnedShardSlot {
@@ -946,6 +977,7 @@ impl ServeState {
                 pending: VecDeque::new(),
                 pos: base,
                 busy: false,
+                pre: PrefilterState::default(),
                 #[cfg(feature = "fault-inject")]
                 scans: 0,
             })
@@ -958,8 +990,16 @@ impl ServeState {
     }
 
     /// Buffers `chunk` for an open flow and marks its idle shard units
-    /// ready. Returns the flow's new total length.
+    /// ready — except units the literal prefilter proves cold, whose
+    /// position advances past the chunk without a scan. Returns the
+    /// flow's new total length.
     fn buffer_chunk(&mut self, id: FlowId, chunk: &[u8]) -> u64 {
+        let epoch = self.slots[id.index as usize]
+            .flow
+            .as_deref()
+            .expect("buffer_chunk: open flow")
+            .epoch;
+        let set = Arc::clone(&self.epoch_entry(epoch).set);
         let f = self.slots[id.index as usize]
             .flow
             .as_deref_mut()
@@ -968,21 +1008,135 @@ impl ServeState {
             return f.total;
         }
         let before = f.buffered();
+        let chunk_start = f.total;
         f.segments.push_back(Segment {
-            start: f.total,
+            start: chunk_start,
             bytes: Arc::from(chunk),
         });
         f.total += chunk.len() as u64;
-        for (si, slot) in f.shards.iter_mut().enumerate() {
-            if !slot.busy {
-                slot.busy = true;
-                self.ready.push_back((id, si));
+        let mut skipped = false;
+        match set.prefilter() {
+            None => {
+                for (si, slot) in f.shards.iter_mut().enumerate() {
+                    if !slot.busy {
+                        slot.busy = true;
+                        self.ready.push_back((id, si));
+                    }
+                }
+            }
+            Some(pf) => {
+                let base = f.base;
+                let paused = self.paused;
+                // Filter verdict per shard; the filter state advances
+                // over the chunk even when the scan is skipped.
+                let actions: Vec<ChunkAction> = f
+                    .shards
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(si, slot)| pf.chunk_action(si, &mut slot.pre, chunk, chunk_start, base))
+                    .collect();
+                // Each cold idle unit's engine is teleported somewhere
+                // this push decides (`None` ⇒ leave it alone):
+                //
+                // * no candidate, workers live → past the chunk (the
+                //   skip — its whole point);
+                // * no candidate, workers parked → *back* to the wake
+                //   window. A parked skip would silently consume bytes
+                //   the budget/backpressure contract says are still
+                //   buffered, so the unit is enqueued like any other —
+                //   restarted early enough that every future wake-up's
+                //   replay point lies at or after where this engine
+                //   starts, because once the unit is busy a wake cannot
+                //   teleport it (the engine may be checked out);
+                // * first candidate → back to this wake's replay point.
+                //
+                // Busy units are left alone everywhere: cold busy
+                // engines start at or before any replay point (the
+                // invariant above), so they scan the window natively.
+                // Rewinding a cold engine is always sound: it has no
+                // report ending in — and, being report-free, no match
+                // state worth more than — the region it re-scans.
+                let targets: Vec<Option<u64>> = actions
+                    .iter()
+                    .enumerate()
+                    .zip(&f.shards)
+                    .map(|((si, action), slot)| match action {
+                        _ if slot.busy => None,
+                        ChunkAction::Scan => None,
+                        ChunkAction::Skip if paused => Some(
+                            (chunk_start + 1)
+                                .saturating_sub(
+                                    pf.shard(si).expect("cold shards have filters").window(),
+                                )
+                                .max(base),
+                        ),
+                        ChunkAction::Skip => Some(f.total),
+                        ChunkAction::Wake { replay_start } => Some(*replay_start),
+                    })
+                    .collect();
+                // A teleport below the oldest buffered segment re-covers
+                // the gap with a synthetic segment sliced from the tail
+                // buffer, keeping the queue contiguous for
+                // `ServeUnit::scan`'s skip math.
+                if let Some(min_target) = targets.iter().flatten().min().copied() {
+                    let front_start = f.segments.front().map_or(f.total, |s| s.start);
+                    if min_target < front_start {
+                        let tail_start = chunk_start - f.tail.len() as u64;
+                        debug_assert!(min_target >= tail_start, "tail covers the replay window");
+                        let a = (min_target - tail_start) as usize;
+                        let b = (front_start - tail_start) as usize;
+                        f.segments.push_front(Segment {
+                            start: min_target,
+                            bytes: Arc::from(&f.tail[a..b]),
+                        });
+                    }
+                }
+                for (si, ((slot, action), target)) in
+                    f.shards.iter_mut().zip(&actions).zip(&targets).enumerate()
+                {
+                    if let Some(target) = *target {
+                        slot.pos = target;
+                        let state = slot.state.take().expect("idle slots hold their engine");
+                        let mut stream = set.resume_shard_stream(state);
+                        stream.restart_at(target - base);
+                        slot.state = Some(stream.into_state());
+                    }
+                    match action {
+                        ChunkAction::Skip if target == &Some(f.total) => {
+                            self.metrics.prefilter.skipped_units.add(si, 1);
+                            self.metrics
+                                .prefilter
+                                .skipped_bytes
+                                .add(si, chunk.len() as u64);
+                            skipped = true;
+                        }
+                        ChunkAction::Wake { .. } => {
+                            self.metrics.prefilter.candidate_hits += 1;
+                            if !slot.busy {
+                                slot.busy = true;
+                                self.ready.push_back((id, si));
+                            }
+                        }
+                        _ => {
+                            if !slot.busy {
+                                slot.busy = true;
+                                self.ready.push_back((id, si));
+                            }
+                        }
+                    }
+                }
+                pf.extend_tail(&mut f.tail, chunk);
             }
         }
         let after = f.buffered();
         let total = f.total;
         self.buffered_total += after - before;
         self.metrics.queue_peak = self.metrics.queue_peak.max(self.ready.len());
+        if skipped {
+            // Skips advance the watermark without a check-in: merge
+            // (and drop fully-consumed segments) promptly.
+            self.merge_ready(id);
+        }
         total
     }
 
@@ -1318,12 +1472,8 @@ impl ServeState {
     // ---- metrics ----------------------------------------------------
 
     fn record_scan(&mut self, shard: usize, ns: u64, bytes: u64) {
-        if self.metrics.shard_scan_ns.len() <= shard {
-            self.metrics.shard_scan_ns.resize(shard + 1, 0);
-            self.metrics.shard_scan_bytes.resize(shard + 1, 0);
-        }
-        self.metrics.shard_scan_ns[shard] += ns;
-        self.metrics.shard_scan_bytes[shard] += bytes;
+        self.metrics.shard_scan_ns.add(shard, ns);
+        self.metrics.shard_scan_bytes.add(shard, bytes);
     }
 
     fn snapshot(&self) -> ServiceMetrics {
@@ -1346,6 +1496,12 @@ impl ServeState {
             ScanMode::Hybrid { .. } => Some(hybrid),
             ScanMode::Nca => None,
         };
+        let shards = self.current().set.shard_count();
+        let prefilter = self.current().set.prefilter().map(|pf| {
+            self.metrics
+                .prefilter
+                .snapshot(shards, pf.always_on_rules())
+        });
         ServiceMetrics {
             epoch: self.current_epoch,
             reloads: self.metrics.reloads,
@@ -1355,12 +1511,13 @@ impl ServeState {
             queue_depth: self.ready.len(),
             queue_depth_peak: self.metrics.queue_peak,
             in_flight: self.in_flight,
-            shard_scan_ns: self.metrics.shard_scan_ns.clone(),
-            shard_scan_bytes: self.metrics.shard_scan_bytes.clone(),
+            shard_scan_ns: self.metrics.shard_scan_ns.snapshot(shards),
+            shard_scan_bytes: self.metrics.shard_scan_bytes.snapshot(shards),
             idle_evictions: self.metrics.idle_evictions,
             budget_evictions: self.metrics.budget_evictions,
             backpressure: self.metrics.backpressure,
             hybrid,
+            prefilter,
             faults: FaultMetrics {
                 quarantined_flows: self.metrics.quarantined,
                 worker_restarts: self.metrics.worker_restarts,
@@ -2132,6 +2289,30 @@ impl ServiceHandle {
     // ---- observability ----------------------------------------------
 
     /// A point-in-time [`ServiceMetrics`] snapshot.
+    ///
+    /// ```
+    /// use recama::{Engine, PrefilterMode};
+    ///
+    /// let engine = Engine::builder()
+    ///     .patterns(["needle[0-9]z"])
+    ///     .prefilter(PrefilterMode::On) // the default
+    ///     .build()
+    ///     .unwrap();
+    /// let svc = engine.serve();
+    /// let flow = svc.open_flow();
+    /// svc.push(flow, b"......."); // no literal: skipped, not scanned
+    /// svc.push(flow, b"needle7z"); // literal: wakes the shard
+    /// svc.barrier();
+    ///
+    /// let m = svc.metrics();
+    /// let pf = m.prefilter.expect("built with the filter on");
+    /// assert_eq!(pf.total_skipped_units(), 1);
+    /// assert_eq!(pf.total_skipped_bytes(), 7);
+    /// assert_eq!(pf.candidate_hits, 1);
+    /// assert_eq!(pf.always_on_rules, 0);
+    /// assert_eq!(svc.poll(flow).len(), 1);
+    /// svc.shutdown();
+    /// ```
     pub fn metrics(&self) -> ServiceMetrics {
         self.core.lock().snapshot()
     }

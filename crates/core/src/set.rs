@@ -23,6 +23,7 @@
 //! analysis → module selection), same report semantics.
 
 use crate::engine::{CompileError, CompilePhase};
+use crate::prefilter::{ChunkAction, PrefilterMode, PrefilterState, SetPrefilter};
 use crate::{Engine, MatchSpan, Pattern};
 use recama_compiler::{compile, CompileOptions, CompileOutput};
 use recama_hw::{RuleCost, ShardPlan, ShardPolicy};
@@ -133,6 +134,11 @@ pub struct ShardedPatternSet {
     /// How scans and streams walk input bytes (exact NCA vs. hybrid
     /// lazy-DFA overlay).
     scan_mode: ScanMode,
+    /// The literal prefilter (`None` under [`PrefilterMode::Off`]):
+    /// per-shard Aho-Corasick filters over the shared alphabet that
+    /// scans, streams, and the serving layers consult before running
+    /// the automata.
+    prefilter: Option<SetPrefilter>,
     /// Reversed automata for span location, built per pattern on first
     /// use (repeated `find_spans` calls must not re-run Glushkov).
     reversed: Vec<OnceLock<Nca>>,
@@ -211,6 +217,7 @@ impl ShardedPatternSet {
         options: &CompileOptions,
         policy: ShardPolicy,
         scan_mode: ScanMode,
+        prefilter_mode: PrefilterMode,
     ) -> ShardedPatternSet {
         let mut sources = Vec::with_capacity(accepted.len());
         let mut parsed_list = Vec::with_capacity(accepted.len());
@@ -272,6 +279,19 @@ impl ShardedPatternSet {
             .collect();
         let multi = ShardedMulti::merge(&parts, plan.shards());
 
+        // Required-literal extraction over the raw rule ASTs, one AC
+        // filter per shard, over the same alphabet the engines index
+        // with (singleton predicates get singleton classes, so the
+        // class-indexed filter is exact on extracted literals).
+        let prefilter = match prefilter_mode {
+            PrefilterMode::On => Some(SetPrefilter::build(
+                &parsed_list,
+                plan.shards(),
+                multi.alphabet().clone(),
+            )),
+            PrefilterMode::Off => None,
+        };
+
         let reversed = (0..sources.len()).map(|_| OnceLock::new()).collect();
         ShardedPatternSet {
             sources,
@@ -282,6 +302,7 @@ impl ShardedPatternSet {
             networks,
             multi,
             scan_mode,
+            prefilter,
             reversed,
         }
     }
@@ -343,6 +364,29 @@ impl ShardedPatternSet {
     /// time via [`EngineBuilder::scan_mode`](crate::EngineBuilder)).
     pub fn scan_mode(&self) -> ScanMode {
         self.scan_mode
+    }
+
+    /// Whether this set consults the literal prefilter (set at build
+    /// time via [`EngineBuilder::prefilter`](crate::EngineBuilder)).
+    pub fn prefilter_mode(&self) -> PrefilterMode {
+        if self.prefilter.is_some() {
+            PrefilterMode::On
+        } else {
+            PrefilterMode::Off
+        }
+    }
+
+    /// Number of rules with no usable required literal (their shards
+    /// scan every byte). 0 under [`PrefilterMode::Off`].
+    pub fn always_on_rules(&self) -> usize {
+        self.prefilter
+            .as_ref()
+            .map_or(0, SetPrefilter::always_on_rules)
+    }
+
+    /// The compiled literal prefilter, if the set was built with one.
+    pub(crate) fn prefilter(&self) -> Option<&SetPrefilter> {
+        self.prefilter.as_ref()
     }
 
     /// One [`ShardStream`] per shard in this set's [`ScanMode`] — the
@@ -409,6 +453,15 @@ impl ShardedPatternSet {
     /// engine emits reports sorted by `(end, local pattern)`; ascending
     /// members make that `(end, global pattern)` order.
     fn scan_shard(&self, shard: usize, haystack: &[u8]) -> Vec<SetMatch> {
+        // Block-mode prefilter gate: a match is contained in the
+        // haystack, so a haystack without any required literal cannot
+        // contain one.
+        if let Some(filter) = self.prefilter.as_ref().and_then(|p| p.shard(shard)) {
+            let alphabet = self.prefilter.as_ref().expect("checked above").alphabet();
+            if !filter.contains(alphabet, haystack) {
+                return Vec::new();
+            }
+        }
         let reports = match self.scan_mode {
             ScanMode::Nca => self.multi.shard(shard).engine().match_reports(haystack),
             ScanMode::Hybrid { state_budget } => self
@@ -483,6 +536,9 @@ impl ShardedPatternSet {
             bufs: vec![Vec::new(); self.multi.shard_count()],
             merged: Vec::new(),
             dollar: DollarTracker::new(&self.anchored_end),
+            prefilter: self.prefilter.as_ref(),
+            pre: vec![PrefilterState::default(); self.multi.shard_count()],
+            tail: Vec::new(),
         }
     }
 
@@ -603,6 +659,14 @@ pub struct ShardedSetStream<'a> {
     bufs: Vec<Vec<MultiReport>>,
     merged: Vec<SetMatch>,
     dollar: DollarTracker<'a>,
+    /// The set's literal prefilter (`None` under
+    /// [`PrefilterMode`](crate::PrefilterMode)`::Off`): cold shards
+    /// skip the engines entirely until a literal candidate appears.
+    prefilter: Option<&'a SetPrefilter>,
+    /// Per-shard streaming filter state (AC node + sticky hot flag).
+    pre: Vec<PrefilterState>,
+    /// Last `window` bytes fed, for cold→hot wake-up replay.
+    tail: Vec<u8>,
 }
 
 /// Inputs at least this large are fanned out to shard engines on scoped
@@ -615,20 +679,61 @@ impl ShardedSetStream<'_> {
     /// order. End offsets are 1-based and *absolute* (counted from the
     /// start of the stream, across all chunks fed so far).
     pub fn feed(&mut self, chunk: &[u8]) -> impl Iterator<Item = SetMatch> + '_ {
+        let chunk_start = self.position();
+        // Consult the prefilter per shard before any engine runs. Cold
+        // shards skip the scan (their engines stay fresh and teleport
+        // via restart_at); a first candidate wakes the shard with a
+        // bounded tail replay. Empty chunks scan (a no-op) so the
+        // filter state never advances past bytes that were never fed.
+        let actions: Vec<ChunkAction> = match self.prefilter {
+            Some(pf) if !chunk.is_empty() => self
+                .pre
+                .iter_mut()
+                .enumerate()
+                .map(|(si, st)| pf.chunk_action(si, st, chunk, chunk_start, 0))
+                .collect(),
+            _ => vec![ChunkAction::Scan; self.shards.len()],
+        };
+        let tail = &self.tail;
+        let run = |shard: &mut ShardStream<'_>, buf: &mut Vec<MultiReport>, action: ChunkAction| {
+            buf.clear();
+            match action {
+                ChunkAction::Scan => shard.feed_into(chunk, buf),
+                ChunkAction::Skip => shard.restart_at(chunk_start + chunk.len() as u64),
+                ChunkAction::Wake { replay_start } => {
+                    shard.restart_at(replay_start);
+                    let need = (chunk_start - replay_start) as usize;
+                    if need > 0 {
+                        shard.feed_into(&tail[tail.len() - need..], buf);
+                    }
+                    shard.feed_into(chunk, buf);
+                }
+            }
+        };
         if self.shards.len() > 1 && chunk.len() >= PARALLEL_MIN_BYTES {
             std::thread::scope(|scope| {
-                for (shard, buf) in self.shards.iter_mut().zip(self.bufs.iter_mut()) {
-                    scope.spawn(move || {
-                        buf.clear();
-                        shard.feed_into(chunk, buf);
-                    });
+                let run = &run;
+                for ((shard, buf), action) in self
+                    .shards
+                    .iter_mut()
+                    .zip(self.bufs.iter_mut())
+                    .zip(actions.iter().copied())
+                {
+                    scope.spawn(move || run(shard, buf, action));
                 }
             });
         } else {
-            for (shard, buf) in self.shards.iter_mut().zip(self.bufs.iter_mut()) {
-                buf.clear();
-                shard.feed_into(chunk, buf);
+            for ((shard, buf), action) in self
+                .shards
+                .iter_mut()
+                .zip(self.bufs.iter_mut())
+                .zip(actions.iter().copied())
+            {
+                run(shard, buf, action);
             }
+        }
+        if let Some(pf) = self.prefilter {
+            pf.extend_tail(&mut self.tail, chunk);
         }
         self.merged.clear();
         merge_ordered_by(
@@ -675,6 +780,10 @@ impl ShardedSetStream<'_> {
         for shard in &mut self.shards {
             shard.reset();
         }
+        for st in &mut self.pre {
+            st.reset();
+        }
+        self.tail.clear();
         self.dollar.clear();
     }
 }
@@ -907,6 +1016,9 @@ impl PatternSet {
                 .shard_stream_with(0, self.inner.scan_mode()),
             buf: Vec::new(),
             dollar: DollarTracker::new(self.inner.anchored_end()),
+            prefilter: self.inner.prefilter(),
+            pre: PrefilterState::default(),
+            tail: Vec::new(),
         }
     }
 
@@ -924,6 +1036,13 @@ pub struct SetStream<'a> {
     engine: ShardStream<'a>,
     buf: Vec<recama_nca::MultiReport>,
     dollar: DollarTracker<'a>,
+    /// The set's literal prefilter (`None` under
+    /// [`PrefilterMode`](crate::PrefilterMode)`::Off`).
+    prefilter: Option<&'a SetPrefilter>,
+    /// Streaming filter state of the single shard.
+    pre: PrefilterState,
+    /// Last `window` bytes fed, for cold→hot wake-up replay.
+    tail: Vec<u8>,
 }
 
 impl SetStream<'_> {
@@ -931,8 +1050,30 @@ impl SetStream<'_> {
     /// order. End offsets are 1-based and *absolute* (counted from the
     /// start of the stream, across all chunks fed so far).
     pub fn feed(&mut self, chunk: &[u8]) -> impl Iterator<Item = SetMatch> + '_ {
+        let chunk_start = self.engine.position();
+        let action = match self.prefilter {
+            Some(pf) if !chunk.is_empty() => {
+                pf.chunk_action(0, &mut self.pre, chunk, chunk_start, 0)
+            }
+            _ => ChunkAction::Scan,
+        };
         self.buf.clear();
-        self.engine.feed_into(chunk, &mut self.buf);
+        match action {
+            ChunkAction::Scan => self.engine.feed_into(chunk, &mut self.buf),
+            ChunkAction::Skip => self.engine.restart_at(chunk_start + chunk.len() as u64),
+            ChunkAction::Wake { replay_start } => {
+                self.engine.restart_at(replay_start);
+                let need = (chunk_start - replay_start) as usize;
+                if need > 0 {
+                    let from = self.tail.len() - need;
+                    self.engine.feed_into(&self.tail[from..], &mut self.buf);
+                }
+                self.engine.feed_into(chunk, &mut self.buf);
+            }
+        }
+        if let Some(pf) = self.prefilter {
+            pf.extend_tail(&mut self.tail, chunk);
+        }
         for r in &self.buf {
             self.dollar.observe(r.pattern as usize, r.end);
         }
@@ -957,6 +1098,8 @@ impl SetStream<'_> {
     /// Restarts the stream at position 0.
     pub fn reset(&mut self) {
         self.engine.reset();
+        self.pre.reset();
+        self.tail.clear();
         self.dollar.clear();
     }
 }

@@ -339,6 +339,17 @@ impl<'a> HybridEngine<'a> {
         }
     }
 
+    /// Returns to the initial configuration but continues the byte count
+    /// from absolute offset `position` (see
+    /// [`MultiEngine::restart_at`](crate::MultiEngine::restart_at)). The
+    /// cache and cumulative stats persist, exactly as with
+    /// [`reset`](HybridEngine::reset); a later fallback to the exact
+    /// engine inherits the teleported position via the frontier hand-off.
+    pub fn restart_at(&mut self, position: u64) {
+        self.reset();
+        self.position = position;
+    }
+
     /// Number of live NCA states behind the current configuration.
     pub fn active_states(&self) -> usize {
         if self.in_dfa {

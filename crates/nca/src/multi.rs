@@ -484,6 +484,17 @@ impl ShardStream<'_> {
         }
     }
 
+    /// Resets this shard's frontier and resumes counting bytes from
+    /// absolute offset `position` — the literal-prefilter wake-up
+    /// primitive (a cold shard's engine skips ahead without scanning the
+    /// skipped bytes).
+    pub fn restart_at(&mut self, position: u64) {
+        match &mut self.engine {
+            StreamEngine::Nca(e) => e.restart_at(position),
+            StreamEngine::Hybrid(e) => e.restart_at(position),
+        }
+    }
+
     /// Consumes `chunk`, appending reports with **global** pattern
     /// indices and absolute 1-based end offsets to `out`. Appended
     /// reports are sorted by `(end, pattern)`: ends ascend with the
@@ -860,6 +871,18 @@ impl<'a> MultiEngine<'a> {
     /// Bytes consumed since the last reset.
     pub fn position(&self) -> u64 {
         self.position
+    }
+
+    /// Returns to the initial configuration but reports subsequent
+    /// matches as if the stream started at absolute offset `position` —
+    /// the primitive behind prefilter wake-up, where a cold shard's
+    /// engine teleports past skipped bytes and resumes with a fresh
+    /// `Σ*` frontier (sound because a fresh frontier at any offset is a
+    /// subset of the true frontier there, and over-approximates nothing
+    /// the search form `Σ*·r` would not restart anyway).
+    pub fn restart_at(&mut self, position: u64) {
+        self.reset();
+        self.position = position;
     }
 
     /// Number of `SingleValue` collisions observed (must stay 0 when the

@@ -107,5 +107,22 @@ fn main() {
         per_flow.iter().all(|&n| n == per_flow[0]),
         "identical flows must report identically"
     );
+
+    // The literal-prefilter block: per-(flow, shard) chunks skipped
+    // because no required literal appeared, and how many rules opted
+    // out of filtering. Snort-profile sets keep their Σ*-family
+    // counting rules (no extractable literal) spread across the
+    // shards, so those shards stay always-on — the counters make that
+    // cost visible per deployment.
+    if let Some(pf) = &metrics.prefilter {
+        println!(
+            "prefilter: skipped units per shard {:?} ({} B total), {} candidate wakes, \
+             {} always-on rules",
+            pf.skipped_units,
+            pf.total_skipped_bytes(),
+            pf.candidate_hits,
+            pf.always_on_rules
+        );
+    }
     svc.shutdown();
 }

@@ -142,6 +142,20 @@ fn main() {
         metrics.queue_depth_peak,
         metrics.total_evictions(),
     );
+    // The literal-prefilter block: `R` is a required literal of both
+    // properties, so idle-only stretches of a trace never check the
+    // monitor engines out — the counters show how many tick chunks the
+    // filter absorbed and how many woke a scan.
+    if let Some(pf) = &metrics.prefilter {
+        println!(
+            "prefilter: {} unit-chunks skipped ({} B), {} candidate wake(s), \
+             {} always-on rule(s)",
+            pf.total_skipped_units(),
+            pf.total_skipped_bytes(),
+            pf.candidate_hits,
+            pf.always_on_rules,
+        );
+    }
     // The fault-tolerance counters a pager would alarm on. A healthy
     // deployment shows zeros: no flow quarantined by a scan panic, no
     // worker respawned, no open shed by the overload policy, and no

@@ -161,6 +161,21 @@ fn main() {
         };
         flagged.push(verdict);
     }
+
+    // The literal prefilter (on by default) is what keeps ham cheap: a
+    // (flow, shard) unit is only checked out for scanning once its
+    // Aho-Corasick filter sees a required literal, so clean messages
+    // skip the pattern engines entirely. The metrics block counts what
+    // that saved across the inbox.
+    if let Some(pf) = svc.metrics().prefilter {
+        println!(
+            "prefilter: {} unit-chunks skipped ({} B), {} candidate wakes, {} always-on rules",
+            pf.total_skipped_units(),
+            pf.total_skipped_bytes(),
+            pf.candidate_hits,
+            pf.always_on_rules
+        );
+    }
     svc.shutdown();
     println!("inbox scan (owned handle):    demo rule flags {flagged:?}");
     assert_eq!(flagged, vec![true, false, true]);

@@ -19,9 +19,9 @@ use recama::syntax::ParseError;
 use recama::{
     CompileError, CompilePhase, Engine, EngineBuilder, FaultMetrics, FaultPolicy, FlowId,
     FlowMatch, FlowScheduler, FlowService, HybridStats, MatchSpan, OverloadPolicy, Pattern,
-    PatternSet, RuleMatch, ServeConfig, ServeError, ServiceConfig, ServiceEvent, ServiceHandle,
-    ServiceMetrics, SetCompileError, SetMatch, SetSpan, SetStream, ShardedPatternSet,
-    ShardedSetStream, SkippedRule,
+    PatternSet, PrefilterMetrics, PrefilterMode, RuleMatch, ServeConfig, ServeError, ServiceConfig,
+    ServiceEvent, ServiceHandle, ServiceMetrics, SetCompileError, SetMatch, SetSpan, SetStream,
+    ShardedPatternSet, ShardedSetStream, SkippedRule,
 };
 use std::task::Poll;
 use std::time::Duration;
@@ -48,6 +48,8 @@ const ROOT_EXPORTS: &[&str] = &[
     "OverloadPolicy",
     "Pattern",
     "PatternSet",
+    "PrefilterMetrics",
+    "PrefilterMode",
     "RuleMatch",
     "ScanMode",
     "ServeConfig",
@@ -97,6 +99,7 @@ fn engine_builder_signatures() {
     let _: fn(EngineBuilder, usize) -> EngineBuilder = EngineBuilder::workers;
     let _: fn(EngineBuilder, ServiceConfig) -> EngineBuilder = EngineBuilder::service_config;
     let _: fn(EngineBuilder, bool) -> EngineBuilder = EngineBuilder::lossy;
+    let _: fn(EngineBuilder, PrefilterMode) -> EngineBuilder = EngineBuilder::prefilter;
     let _: fn(EngineBuilder) -> Result<Engine, CompileError> = EngineBuilder::build;
 }
 
@@ -122,6 +125,7 @@ fn engine_signatures() {
     let _: fn(&Engine, usize) -> usize = Engine::source_index;
     let _: for<'a> fn(&'a Engine) -> &'a [SkippedRule] = |e| e.skipped();
     let _: fn(&Engine) -> usize = Engine::shard_count;
+    let _: fn(&Engine) -> PrefilterMode = Engine::prefilter;
     let _: fn(&Engine) -> usize = Engine::workers;
     let _: fn(&Engine) -> ServiceConfig = Engine::service_config;
     let _: for<'a> fn(&'a Engine) -> &'a ShardedPatternSet = |e| e.set();
@@ -207,6 +211,8 @@ fn flow_scheduler_signatures() {
     let _: fn(&FlowScheduler<'_>) -> usize = |s| s.flow_count();
     let _: fn(&FlowScheduler<'_>, u64) -> Option<u64> = |s, f| s.flow_len(f);
     let _: fn(&FlowScheduler<'_>) -> u64 = |s| s.pending_bytes();
+    let _: fn(&FlowScheduler<'_>) -> Option<HybridStats> = |s| s.hybrid_stats();
+    let _: fn(&FlowScheduler<'_>) -> Option<PrefilterMetrics> = |s| s.prefilter_stats();
 }
 
 #[test]
@@ -367,6 +373,7 @@ fn pin_service_metrics(m: ServiceMetrics) {
         budget_evictions,
         backpressure,
         hybrid,
+        prefilter,
         faults,
     } = m;
     let _: (u64, u64, usize, Vec<(u64, usize)>, u64) =
@@ -375,7 +382,35 @@ fn pin_service_metrics(m: ServiceMetrics) {
     let _: (Vec<u64>, Vec<u64>) = (shard_scan_ns, shard_scan_bytes);
     let _: (u64, u64, u64) = (idle_evictions, budget_evictions, backpressure);
     let _: Option<HybridStats> = hybrid;
+    let _: Option<PrefilterMetrics> = prefilter;
     let _: FaultMetrics = faults;
+}
+
+#[allow(dead_code)]
+fn pin_prefilter_metrics(p: PrefilterMetrics) {
+    let PrefilterMetrics {
+        skipped_units,
+        skipped_bytes,
+        candidate_hits,
+        always_on_rules,
+    } = p;
+    let _: (Vec<u64>, Vec<u64>) = (skipped_units, skipped_bytes);
+    let _: (u64, usize) = (candidate_hits, always_on_rules);
+    let _: fn(&PrefilterMetrics) -> u64 = PrefilterMetrics::total_skipped_units;
+    let _: fn(&PrefilterMetrics) -> u64 = PrefilterMetrics::total_skipped_bytes;
+}
+
+#[test]
+fn prefilter_mode_variants_are_stable() {
+    // Exhaustive match: a new mode must be added here (and to the
+    // EngineBuilder docs) deliberately. On is the default.
+    assert_eq!(PrefilterMode::default(), PrefilterMode::On);
+    for mode in [PrefilterMode::On, PrefilterMode::Off] {
+        match mode {
+            PrefilterMode::On => {}
+            PrefilterMode::Off => {}
+        }
+    }
 }
 
 #[allow(dead_code)]
